@@ -1,0 +1,71 @@
+// Command latbench regenerates the tables and figures of the paper's
+// evaluation section as text rows and series.
+//
+// Usage:
+//
+//	latbench -list
+//	latbench -exp fig3
+//	latbench -exp all [-quick]
+//
+// Every experiment is deterministic for a fixed build; -quick trades
+// statistics for speed (the setting the repository tests use).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"femtoverse/internal/figures"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+		quick  = flag.Bool("quick", false, "reduced statistics for fast runs")
+		list   = flag.Bool("list", false, "list available experiments")
+		outDir = flag.String("out", "", "also write each experiment to <out>/<name>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range figures.Names() {
+			res, err := figures.Run(n, true)
+			title := ""
+			if err == nil {
+				title = res.Title()
+			}
+			fmt.Printf("%-14s %s\n", n, title)
+		}
+		return
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "latbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	names := figures.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		res, err := figures.Run(strings.TrimSpace(name), *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latbench: %v\n", err)
+			os.Exit(1)
+		}
+		body := fmt.Sprintf("==== %s: %s ====\n%s\n", res.Name(), res.Title(), res.Render())
+		fmt.Print(body)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, res.Name()+".txt")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "latbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package femtoverse_test
+
+import (
+	"fmt"
+	"log"
+
+	"femtoverse"
+)
+
+// ExampleNeutronLifetime evaluates the paper's Eq. (1) at the PDG-like
+// coupling: the Standard-Model lifetime of a free neutron.
+func ExampleNeutronLifetime() {
+	tau, err := femtoverse.NeutronLifetime(1.2755, 0)
+	fmt.Printf("tau_n = %.1f +- %.1f s\n", tau, err)
+	// Output:
+	// tau_n = 879.5 +- 0.2 s
+}
+
+// ExampleSolve runs the production mixed-precision CGNE on a tiny
+// free-field domain-wall system.
+func ExampleSolve() {
+	g, err := femtoverse.NewLattice(2, 2, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := femtoverse.UnitGauge(g)
+	m, err := femtoverse.NewMobius(u, femtoverse.MobiusParams{
+		Ls: 4, M5: 1.4, B5: 1.25, C5: 0.25, M: 0.2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eo, err := femtoverse.NewMobiusEO(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := make([]complex128, eo.Size())
+	b[0] = 1
+	_, stats, err := femtoverse.Solve(eo, b, femtoverse.SolverParams{
+		Tol: 1e-8, Precision: femtoverse.Half,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%v precision=%v\n", stats.Converged, stats.Precision)
+	// Output:
+	// converged=true precision=half
+}
+
+// ExampleMachine shows the Table II encoding of the CORAL systems.
+func ExampleMachine() {
+	s := femtoverse.Sierra()
+	fmt.Printf("%s: %d nodes x %d %s, %.0f GB/s effective per GPU\n",
+		s.Name, s.Nodes, s.GPUsPerNode, s.GPU, s.EffectiveBWPerGPUGB())
+	// Output:
+	// Sierra: 4200 nodes x 4 V100, 975 GB/s effective per GPU
+}
+
+// ExampleExperiment regenerates one of the paper's tables.
+func ExampleExperiment() {
+	res, err := femtoverse.Experiment("table1", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Title())
+	// Output:
+	// Performance attributes
+}

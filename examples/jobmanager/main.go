@@ -1,0 +1,77 @@
+// Job manager: a Sierra-scale campaign - hundreds of 4-node propagator
+// solves plus the CPU-only contraction tasks that consume their output -
+// scheduled three ways: naive bundling (the baseline that idles 20-25% of
+// the allocation), METAQ-style backfilling (recovers the idle time but
+// fragments placements and pays a fresh mpirun per task), and mpi_jm
+// (blocks prevent fragmentation, spawns are cheap, and contractions are
+// co-scheduled onto the idle cores of GPU-busy nodes, making them free).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"femtoverse"
+	"femtoverse/internal/metaq"
+)
+
+func main() {
+	const (
+		nodes   = 256 // a 256-node Sierra slice: 1024 GPUs
+		nSolves = 280
+		nContr  = 140
+		jobGPUs = 16
+	)
+	cfg := femtoverse.ClusterConfig{
+		Nodes: nodes, GPUsPerNode: 4, CPUSlotsPerNode: 40,
+		JitterSigma: 0.05, Seed: 7,
+	}
+	rng := rand.New(rand.NewSource(8))
+	var tasks []femtoverse.ClusterTask
+	for i := 0; i < nSolves; i++ {
+		tasks = append(tasks, femtoverse.ClusterTask{
+			ID: i, Name: "propagator", Kind: femtoverse.GPUTask, GPUs: jobGPUs,
+			Seconds: 2000 * (1 + 0.3*(2*rng.Float64()-1)),
+		})
+	}
+	for i := 0; i < nContr; i++ {
+		tasks = append(tasks, femtoverse.ClusterTask{
+			ID: 10000 + i, Name: "contraction", Kind: femtoverse.CPUTask, CPUs: 8,
+			Seconds: 400,
+		})
+	}
+
+	policies := []femtoverse.SchedPolicy{
+		femtoverse.NaiveBundle(10),
+		metaq.Policy{},
+		femtoverse.NewMpiJM(femtoverse.MpiJMParams{
+			LumpNodes: 64, BlockNodes: 4, CoSchedule: true,
+		}),
+	}
+
+	fmt.Printf("campaign: %d solves (%d GPUs each) + %d contractions on %d nodes\n\n",
+		nSolves, jobGPUs, nContr, nodes)
+	var base float64
+	for i, p := range policies {
+		rep, err := femtoverse.SimulateCluster(cfg, tasks, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		window := rep.Makespan - rep.StartupSeconds
+		if i == 0 {
+			base = window
+		}
+		scattered := 0
+		for _, st := range rep.PerTask {
+			if st.Scattered {
+				scattered++
+			}
+		}
+		fmt.Printf("%-24s  work window %7.0f s   GPU util %5.1f%%   scattered %3d   speedup x%.2f\n",
+			rep.Policy, window, 100*rep.GPUUtil, scattered, base/window)
+	}
+	fmt.Println("\nthe mpi_jm line shows the paper's result: backfilling recovers the")
+	fmt.Println("bundling waste, blocks keep placements contiguous, and co-scheduling")
+	fmt.Println("hides the entire contraction workload under the GPU solves.")
+}

@@ -1,0 +1,45 @@
+// Scaling: sweep the calibrated performance model across the paper's
+// machines and problem sizes - the data behind Figs. 3 and 4. Strong
+// scaling of a 48^3 x 64 solve is compared across three GPU generations
+// (each faster and at a higher percent of peak), and the 96^3 x 144
+// next-generation problem is pushed to a large fraction of Summit, where
+// data parallelism alone collapses past ~2000 GPUs - the reason the
+// paper needs mpi_jm's task parallelism to saturate the machine.
+package main
+
+import (
+	"fmt"
+
+	"femtoverse"
+)
+
+func main() {
+	problem := femtoverse.Problem{Global: [4]int{48, 48, 48, 64}, Ls: 20}
+	fmt.Println("strong scaling, 48^3 x 64 x 20 (Fig. 3):")
+	fmt.Println("machine   GPUs   TFlops   pct_peak   GB/s/GPU   policy")
+	for _, m := range []femtoverse.Machine{femtoverse.Titan(), femtoverse.Ray(), femtoverse.Sierra()} {
+		pm := femtoverse.NewPerfModel(m)
+		for _, n := range []int{4, 16, 64, 160} {
+			pt, err := pm.Solve(problem, n)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%-8s %5d  %7.1f  %6.1f  %9.0f   %v\n",
+				m.Name, pt.GPUs, pt.TFlops, pt.PctPeak, pt.BWPerGPU, pt.Choice)
+		}
+	}
+
+	fmt.Println("\nstrong scaling on Summit, 96^3 x 144 x 20 (Fig. 4):")
+	fmt.Println("  GPUs    TFlops   TF/GPU")
+	big := femtoverse.Problem{Global: [4]int{96, 96, 96, 144}, Ls: 20}
+	pm := femtoverse.NewPerfModel(femtoverse.Summit())
+	for _, n := range []int{96, 384, 1536, 2592, 5184, 10368} {
+		pt, err := pm.Solve(big, n)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%6d  %8.1f  %7.3f\n", pt.GPUs, pt.TFlops, pt.TFlops/float64(pt.GPUs))
+	}
+	fmt.Println("\nthe rollover past ~2000 GPUs is why the paper runs thousands of")
+	fmt.Println("small jobs under mpi_jm instead of one machine-wide solve.")
+}

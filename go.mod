@@ -1,0 +1,3 @@
+module femtoverse
+
+go 1.22

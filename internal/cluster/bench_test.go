@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkLargeCampaign runs a 4224-node, 1056-job campaign through the
+// discrete-event engine: the Fig. 5 top point as a scheduling workload.
+func BenchmarkLargeCampaign(b *testing.B) {
+	cfg := Config{
+		Nodes: 4224, GPUsPerNode: 4, CPUSlotsPerNode: 40,
+		JitterSigma: 0.02, Seed: 1,
+	}
+	rng := rand.New(rand.NewSource(2))
+	tasks := make([]Task, 1056)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID: i, Kind: GPUTask, GPUs: 16,
+			Seconds: 3600 * (1 + 0.05*rng.Float64()),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(cfg, tasks, NaiveBundle{})
+		if err != nil || rep.TasksDone != 1056 {
+			b.Fatalf("%v done=%d", err, rep.TasksDone)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timeline renders an ASCII Gantt chart of the campaign: one row per
+// node-group lane, time flowing right, each task drawn with a letter
+// keyed in the legend. It is the quick-look diagnostic for scheduler
+// behaviour (bundle barriers, backfill, fragmentation, co-scheduling).
+func (r Report) Timeline(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if len(r.PerTask) == 0 || r.Makespan <= r.StartupSeconds {
+		return "(empty timeline)\n"
+	}
+	t0 := r.StartupSeconds
+	span := r.Makespan - t0
+	scale := float64(width) / span
+
+	// Lanes: one per distinct lead node, ordered.
+	laneOf := map[int]int{}
+	var leads []int
+	for _, st := range r.PerTask {
+		lead := st.Nodes[0]
+		if _, ok := laneOf[lead]; !ok {
+			laneOf[lead] = 0
+			leads = append(leads, lead)
+		}
+	}
+	sort.Ints(leads)
+	for i, lead := range leads {
+		laneOf[lead] = i
+	}
+
+	rows := make([][]byte, len(leads))
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	glyph := func(t Task, failed bool) byte {
+		if failed {
+			return 'x'
+		}
+		if t.Kind == CPUTask {
+			return 'c'
+		}
+		return byte('A' + t.ID%26)
+	}
+	for _, st := range r.PerTask {
+		lane := laneOf[st.Nodes[0]]
+		lo := int((st.Start - t0) * scale)
+		hi := int((st.End - t0) * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		g := glyph(st.Task, st.Failed)
+		for x := lo; x < hi && x >= 0; x++ {
+			rows[lane][x] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d lanes x %.0f s (one column = %.0f s); '.' idle, 'c' CPU task, 'x' failed\n",
+		len(leads), span, span/float64(width))
+	for i, row := range rows {
+		fmt.Fprintf(&b, "node%4d |%s|\n", leads[i], string(row))
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package contract
+
+import (
+	"math"
+	"testing"
+
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/linalg"
+)
+
+// TestPCACWardIdentity checks the axial Ward identity on real solves: the
+// PCAC quark mass m_PCAC(t) = d_t C_{A4 P} / 2 C_PP plateaus, and -
+// because the additive offset (m_res and normalization) is mass-
+// independent - the *difference* of PCAC masses at two bare masses equals
+// the bare-mass difference.
+func TestPCACWardIdentity(t *testing.T) {
+	g := lattice.MustNew(4, 4, 4, 12)
+	cfg := gauge.NewUnit(g)
+	cfg.FlipTimeBoundary()
+
+	plateau := func(mass float64) float64 {
+		_, p := solveProp(t, cfg, mass)
+		pc := PCACMass(p, 0)
+		// Average over the plateau window t = 3..6, checking flatness.
+		sum, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+		for tt := 3; tt <= 6; tt++ {
+			v := pc[tt]
+			if math.IsNaN(v) {
+				t.Fatalf("PCAC mass undefined at t=%d", tt)
+			}
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > 0.02 {
+			t.Fatalf("PCAC not plateauing at m=%v: spread %v..%v", mass, lo, hi)
+		}
+		return sum / 4
+	}
+	m1 := plateau(0.1)
+	m2 := plateau(0.3)
+	if m1 <= 0 || m2 <= m1 {
+		t.Fatalf("PCAC masses not ordered: %v, %v", m1, m2)
+	}
+	// Ward identity: the difference equals the bare-mass difference.
+	if d := (m2 - m1) - 0.2; math.Abs(d) > 0.01 {
+		t.Fatalf("PCAC mass difference %v, bare difference 0.2", m2-m1)
+	}
+}
+
+// TestCrossMesonReducesToPion verifies the mixed-bilinear correlator
+// collapses to the pseudoscalar one at equal gamma_5 insertions.
+func TestCrossMesonReducesToPion(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 6)
+	cfg := gauge.NewWeak(g, 111, 0.25)
+	cfg.FlipTimeBoundary()
+	_, p := solveProp(t, cfg, 0.3)
+	g5 := linalg.Gamma(4)
+	cross := CrossMeson2pt(p, 0, g5, g5)
+	pion := Pion2pt(p, 0)
+	for tt := range pion {
+		if math.Abs(real(cross[tt])-pion[tt]) > 1e-10*math.Abs(pion[tt]) {
+			t.Fatalf("cross(g5,g5) != pion at t=%d: %v vs %v", tt, cross[tt], pion[tt])
+		}
+		if math.Abs(imag(cross[tt])) > 1e-10*math.Abs(pion[tt]) {
+			t.Fatalf("imaginary part at t=%d", tt)
+		}
+	}
+}

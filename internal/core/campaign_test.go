@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"femtoverse/internal/hio"
+)
+
+func campaignSpec() RealConfig {
+	cfg := DefaultRealConfig()
+	cfg.Dims = [4]int{2, 2, 2, 6}
+	cfg.NConfigs = 4
+	cfg.ThermSweeps = 3
+	cfg.GapSweeps = 1
+	return cfg
+}
+
+func TestCampaignResumeMatchesUninterrupted(t *testing.T) {
+	// Reference: the whole campaign in one shot.
+	ref := NewCampaign(campaignSpec())
+	if n, err := ref.RunBatch(10); err != nil || n != 4 {
+		t.Fatalf("reference run: %d, %v", n, err)
+	}
+	if !ref.Complete() {
+		t.Fatal("reference incomplete")
+	}
+
+	// Interrupted: two configs, checkpoint, restore, finish.
+	c1 := NewCampaign(campaignSpec())
+	if n, err := c1.RunBatch(2); err != nil || n != 2 {
+		t.Fatalf("first batch: %d, %v", n, err)
+	}
+	file := hio.New()
+	if err := c1.Save(file.Root()); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the serialized container.
+	file2, err := hio.Decode(file.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadCampaign(file2.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Done() != 2 || c2.Complete() {
+		t.Fatalf("restored campaign state: done %d", c2.Done())
+	}
+	if c2.Spec.Params.B5 != campaignSpec().Params.B5 || c2.Spec.Seed != campaignSpec().Seed {
+		t.Fatalf("spec lost in round trip: %+v", c2.Spec)
+	}
+	if n, err := c2.RunBatch(10); err != nil || n != 2 {
+		t.Fatalf("resume batch: %d, %v", n, err)
+	}
+	if !c2.Complete() {
+		t.Fatal("resumed campaign incomplete")
+	}
+
+	// Bit-for-bit identical physics.
+	for i := 0; i < 4; i++ {
+		for tt := range ref.C2[i] {
+			if ref.C2[i][tt] != c2.C2[i][tt] || ref.CFH[i][tt] != c2.CFH[i][tt] {
+				t.Fatalf("config %d correlators differ after resume", i)
+			}
+		}
+	}
+
+	// Analysis runs on the completed campaign.
+	geff, gerr, err := c2.Geff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(geff) != 5 || len(gerr) != 5 {
+		t.Fatalf("geff length %d", len(geff))
+	}
+	for i, v := range geff {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("geff[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestCampaignGeffNeedsTwoConfigs(t *testing.T) {
+	c := NewCampaign(campaignSpec())
+	if _, _, err := c.Geff(); err == nil {
+		t.Fatal("empty campaign analysis accepted")
+	}
+	if n, err := c.RunBatch(0); err != nil || n != 0 {
+		t.Fatalf("zero batch: %d %v", n, err)
+	}
+}
+
+func TestLoadCampaignRejectsMissingGroup(t *testing.T) {
+	if _, err := LoadCampaign(hio.New().Root()); err == nil {
+		t.Fatal("missing campaign group accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package core assembles the paper's headline calculation: the nucleon
+// axial coupling gA and the Standard-Model neutron lifetime, computed
+// with the Feynman-Hellmann method that gives the paper its exponential
+// reduction in time-to-solution. Two complementary paths exercise it:
+//
+//   - RunSynthetic reproduces the statistical content of Fig. 1 on the
+//     a09m310-calibrated ensemble generator: the FH analysis on N
+//     samples against the traditional fixed-sink analysis on 10 N
+//     samples, the excited-state subtraction, and the lifetime;
+//   - RunReal runs the identical algorithm - 12+12 Mobius domain-wall
+//     solves, FH sequential sources, epsilon-tensor contractions - on
+//     real laptop-scale gauge configurations, demonstrating that every
+//     stage of the production pipeline is implemented, not mocked.
+package core
+
+import (
+	"fmt"
+
+	"femtoverse/internal/contract"
+	"femtoverse/internal/dirac"
+	"femtoverse/internal/ensemble"
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/linalg"
+	"femtoverse/internal/physics"
+	"femtoverse/internal/prop"
+	"femtoverse/internal/solver"
+	"femtoverse/internal/stats"
+)
+
+// SyntheticResult is the outcome of the statistical (Fig. 1) analysis.
+type SyntheticResult struct {
+	Params ensemble.FHParams
+	// FH is the Feynman-Hellmann extraction on N samples.
+	FH physics.GAResult
+	// Trad is the traditional extraction on TradFactor x N samples.
+	Trad       physics.GAResult
+	TradPoints []physics.TradPoint
+	TradFactor int
+	// Neutron lifetime from the FH coupling, Eq. (1).
+	TauSeconds, TauErr float64
+}
+
+// RunSynthetic runs the full Fig. 1 analysis with nSamples FH
+// configurations and tradFactor times as many traditional ones.
+func RunSynthetic(nSamples, tradFactor int, seed int64) (*SyntheticResult, error) {
+	p := ensemble.A09M310(nSamples, seed)
+	c2, cfh, err := ensemble.GenerateFH(p)
+	if err != nil {
+		return nil, err
+	}
+	fh, err := physics.ExtractFH(c2, cfh, 1, 10)
+	if err != nil {
+		return nil, fmt.Errorf("core: FH extraction: %w", err)
+	}
+
+	pt := ensemble.A09M310(nSamples*tradFactor, seed+1)
+	trad, err := ensemble.GenerateTraditional(pt, []int{10, 12, 14})
+	if err != nil {
+		return nil, err
+	}
+	tr, pts, err := physics.ExtractTraditional(trad)
+	if err != nil {
+		return nil, fmt.Errorf("core: traditional extraction: %w", err)
+	}
+
+	tau, tauErr := physics.NeutronLifetime(fh.GA, fh.Err)
+	return &SyntheticResult{
+		Params:     p,
+		FH:         fh,
+		Trad:       tr,
+		TradPoints: pts,
+		TradFactor: tradFactor,
+		TauSeconds: tau,
+		TauErr:     tauErr,
+	}, nil
+}
+
+// SpeedupFactor returns the effective statistical speed-up of the FH
+// method: the factor by which the traditional method would need to scale
+// its (already tradFactor-times-larger) sample size to match the FH
+// error, since errors shrink only like 1/sqrt(N).
+func (r *SyntheticResult) SpeedupFactor() float64 {
+	ratio := r.Trad.Err / r.FH.Err
+	return float64(r.TradFactor) * ratio * ratio
+}
+
+// RealConfig configures the real-lattice pipeline.
+type RealConfig struct {
+	Dims        [4]int
+	Params      dirac.MobiusParams
+	NConfigs    int
+	Seed        int64
+	Beta        float64
+	ThermSweeps int
+	GapSweeps   int
+	Tol         float64
+	Prec        solver.Precision
+}
+
+// DefaultRealConfig returns a configuration that runs in seconds.
+func DefaultRealConfig() RealConfig {
+	return RealConfig{
+		Dims:        [4]int{2, 2, 2, 8},
+		Params:      dirac.MobiusParams{Ls: 4, M5: 1.4, B5: 1.25, C5: 0.25, M: 0.2},
+		NConfigs:    3,
+		Seed:        11,
+		Beta:        5.8,
+		ThermSweeps: 5,
+		GapSweeps:   2,
+		Tol:         1e-8,
+		Prec:        solver.Single,
+	}
+}
+
+// RealResult is the outcome of the real-lattice FH pipeline.
+type RealResult struct {
+	// C2 and CFH are per-configuration proton two-point and FH
+	// three-point correlators.
+	C2, CFH [][]float64
+	// Geff / GeffErr is the jackknifed effective coupling curve.
+	Geff, GeffErr []float64
+	// SolvesPerConfig counts Dirac solves (12 forward + 12 FH).
+	SolvesPerConfig int
+}
+
+// RunReal executes the FH pipeline on real gauge configurations.
+func RunReal(cfg RealConfig) (*RealResult, error) {
+	g, err := lattice.New(cfg.Dims)
+	if err != nil {
+		return nil, err
+	}
+	configs := gauge.Ensemble(g, cfg.Seed, cfg.Beta, cfg.NConfigs, cfg.ThermSweeps, cfg.GapSweeps)
+	res := &RealResult{SolvesPerConfig: 24}
+	axial := linalg.AxialGamma()
+	tExt := g.T()
+
+	for _, u := range configs {
+		u.FlipTimeBoundary()
+		m, err := dirac.NewMobius(u, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		eo, err := dirac.NewMobiusEO(m)
+		if err != nil {
+			return nil, err
+		}
+		qs := prop.NewQuarkSolver(eo, solver.Params{Tol: cfg.Tol, Precision: cfg.Prec})
+		base, err := qs.ComputePoint([4]int{0, 0, 0, 0})
+		if err != nil {
+			return nil, err
+		}
+		fhProp, err := qs.FHPropagator(base, axial)
+		if err != nil {
+			return nil, err
+		}
+		c2 := contract.Real(contract.Proton2pt(base, base, 0))
+		c3 := contract.Real(contract.ProtonFH3pt(base, base, fhProp, fhProp, 0))
+		res.C2 = append(res.C2, c2)
+		res.CFH = append(res.CFH, c3)
+	}
+
+	// Jackknifed effective coupling from the joint sample vectors.
+	joined := make([][]float64, len(res.C2))
+	for i := range joined {
+		v := make([]float64, 2*tExt)
+		copy(v[:tExt], res.C2[i])
+		copy(v[tExt:], res.CFH[i])
+		joined[i] = v
+	}
+	res.Geff, res.GeffErr = stats.JackknifeVec(joined, func(mean []float64) []float64 {
+		return contract.EffectiveGA(mean[tExt:], mean[:tExt])
+	})
+	return res, nil
+}
+
+// TimeToSolution quantifies the exponential advantage: samplesNeeded
+// returns how many samples each method needs to reach a target absolute
+// error, given a measured (error, samples) operating point and 1/sqrt(N)
+// scaling.
+func TimeToSolution(measuredErr float64, measuredSamples int, targetErr float64) float64 {
+	if targetErr <= 0 {
+		return 0
+	}
+	r := measuredErr / targetErr
+	return float64(measuredSamples) * r * r
+}

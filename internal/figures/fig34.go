@@ -1,0 +1,97 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"femtoverse/internal/machine"
+	"femtoverse/internal/perfmodel"
+)
+
+func init() {
+	register("fig3", genFig3)
+	register("fig4", genFig4)
+}
+
+// Fig3 is the strong-scaling comparison of QUDA's CG across three GPU
+// generations on the 48^3 x 64 lattice: aggregate TFLOPS (a), percent of
+// peak (b), and sustained effective bandwidth per GPU (c).
+type Fig3 struct {
+	Problem perfmodel.Problem
+	Series  map[string][]perfmodel.Point
+	Order   []string
+}
+
+// Name implements Result.
+func (Fig3) Name() string { return "fig3" }
+
+// Title implements Result.
+func (Fig3) Title() string {
+	return "Strong scaling of the CG solver on Titan / Ray / Sierra (48^3 x 64)"
+}
+
+// Render implements Result.
+func (f Fig3) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# machine  GPUs  TFlops  pct_peak  GBs_per_GPU  policy\n")
+	for _, name := range f.Order {
+		for _, p := range f.Series[name] {
+			fmt.Fprintf(&b, "%-8s %5d  %7.1f  %7.1f  %9.0f  %s\n",
+				name, p.GPUs, p.TFlops, p.PctPeak, p.BWPerGPU, p.Choice)
+		}
+	}
+	return b.String()
+}
+
+func genFig3(bool) (Result, error) {
+	problem := perfmodel.Problem{Global: [4]int{48, 48, 48, 64}, Ls: 20}
+	counts := []int{4, 8, 16, 32, 64, 96, 128, 160}
+	f := Fig3{
+		Problem: problem,
+		Series:  map[string][]perfmodel.Point{},
+		Order:   []string{"Titan", "Ray", "Sierra"},
+	}
+	for _, m := range []machine.Machine{machine.Titan(), machine.Ray(), machine.Sierra()} {
+		f.Series[m.Name] = perfmodel.New(m).StrongScaling(problem, counts)
+		if len(f.Series[m.Name]) == 0 {
+			return nil, fmt.Errorf("figures: no admissible points for %s", m.Name)
+		}
+	}
+	return f, nil
+}
+
+// Fig4 is the Summit strong scaling of a single 96^3 x 144 solve to a
+// significant fraction of the machine, showing the efficiency collapse
+// past ~2000 GPUs.
+type Fig4 struct {
+	Points []perfmodel.Point
+}
+
+// Name implements Result.
+func (Fig4) Name() string { return "fig4" }
+
+// Title implements Result.
+func (Fig4) Title() string {
+	return "Strong scaling on Summit, single 96^3 x 144 lattice"
+}
+
+// Render implements Result.
+func (f Fig4) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# GPUs   TFlops   TFlops_per_GPU  policy\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%6d  %8.1f  %8.3f  %s\n",
+			p.GPUs, p.TFlops, p.TFlops/float64(p.GPUs), p.Choice)
+	}
+	return b.String()
+}
+
+func genFig4(bool) (Result, error) {
+	problem := perfmodel.Problem{Global: [4]int{96, 96, 96, 144}, Ls: 20}
+	counts := []int{96, 192, 384, 768, 1536, 2592, 3456, 5184, 6912, 10368}
+	pts := perfmodel.New(machine.Summit()).StrongScaling(problem, counts)
+	if len(pts) < 5 {
+		return nil, fmt.Errorf("figures: only %d Summit points", len(pts))
+	}
+	return Fig4{Points: pts}, nil
+}

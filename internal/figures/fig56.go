@@ -1,0 +1,217 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"femtoverse/internal/cluster"
+	"femtoverse/internal/machine"
+	"femtoverse/internal/metaq"
+	"femtoverse/internal/mpijm"
+	"femtoverse/internal/perfmodel"
+)
+
+func init() {
+	register("fig5", genFig5)
+	register("fig6", genFig6)
+}
+
+// WeakPoint is one weak-scaling measurement: sustained aggregate rate
+// when nJobs independent solves run under a job-management strategy.
+type WeakPoint struct {
+	GPUs            int
+	Jobs            int
+	SustainedPFlops float64
+	GPUUtil         float64
+}
+
+// weakScale runs nJobs identical jobs under the policy and returns the
+// sustained aggregate performance: total solver work divided by the time
+// the allocation took to complete it.
+func weakScale(m machine.Machine, nJobs, gpusPerJob int, perJobTF float64,
+	pol cluster.Policy, seed int64) (WeakPoint, error) {
+	nodesPerJob := gpusPerJob / m.GPUsPerNode
+	cfg := cluster.Config{
+		Nodes:           nJobs * nodesPerJob,
+		GPUsPerNode:     m.GPUsPerNode,
+		CPUSlotsPerNode: m.CPUSlotsPerNode,
+		JitterSigma:     0.02,
+		Seed:            seed,
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	const jobSeconds = 3600.0
+	tasks := make([]cluster.Task, nJobs)
+	for i := range tasks {
+		tasks[i] = cluster.Task{
+			ID: i, Name: "prop", Kind: cluster.GPUTask, GPUs: gpusPerJob,
+			Seconds: jobSeconds * (1 + 0.05*(2*rng.Float64()-1)),
+		}
+	}
+	rep, err := cluster.Run(cfg, tasks, pol)
+	if err != nil {
+		return WeakPoint{}, err
+	}
+	totalWork := 0.0
+	for _, t := range tasks {
+		totalWork += perJobTF * t.Seconds // TF x seconds of solver work
+	}
+	window := rep.Makespan - rep.StartupSeconds
+	return WeakPoint{
+		GPUs:            nJobs * gpusPerJob,
+		Jobs:            nJobs,
+		SustainedPFlops: totalWork / window / 1e3,
+		GPUUtil:         rep.GPUUtil,
+	}, nil
+}
+
+// Fig5 is the Sierra weak scaling: 4-node (16-GPU) 48^3 x 64 solves under
+// SpectrumMPI individual submissions, openMPI mpi_jm blocks, and a single
+// MVAPICH2 mpi_jm job spanning the allocation.
+type Fig5 struct {
+	Series map[string][]WeakPoint
+	Order  []string
+}
+
+// Name implements Result.
+func (Fig5) Name() string { return "fig5" }
+
+// Title implements Result.
+func (Fig5) Title() string {
+	return "Weak scaling of 16-GPU propagator solves on Sierra (48^3 x 64)"
+}
+
+// Render implements Result.
+func (f Fig5) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# series              GPUs   jobs   PFlops   util\n")
+	for _, name := range f.Order {
+		for _, p := range f.Series[name] {
+			fmt.Fprintf(&b, "%-20s %6d  %5d  %7.2f  %5.2f\n",
+				name, p.GPUs, p.Jobs, p.SustainedPFlops, p.GPUUtil)
+		}
+	}
+	return b.String()
+}
+
+func genFig5(quick bool) (Result, error) {
+	m := machine.Sierra()
+	problem := perfmodel.Problem{Global: [4]int{48, 48, 48, 64}, Ls: 20}
+	perJob, err := perfmodel.New(m).JobPerformance(problem, 16)
+	if err != nil {
+		return nil, err
+	}
+	f := Fig5{
+		Series: map[string][]WeakPoint{},
+		Order:  []string{"SpectrumMPI", "openMPI: mpi_jm", "MVAPICH2: mpi_jm"},
+	}
+	spectrum := []int{25, 50, 100, 200, 400} // 400-job submission ceiling
+	openmpi := []int{25, 50, 100, 175}       // 7 blocks of 100 nodes
+	mvapich := []int{64, 128, 256, 512, 844, 1056}
+	if quick {
+		spectrum, openmpi, mvapich = []int{25, 100}, []int{25, 100}, []int{64, 256}
+	}
+	for _, n := range spectrum {
+		// Individually scheduled jobs: each allocation holds exactly one
+		// job, so there is no bundling idle at all; model as perfectly
+		// packed naive bundles of identical jobs with no launch coupling.
+		pt, err := weakScale(m, n, 16, perJob, exactFit{}, 100+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		f.Series["SpectrumMPI"] = append(f.Series["SpectrumMPI"], pt)
+	}
+	for _, n := range openmpi {
+		pol := mpijm.New(mpijm.Params{LumpNodes: 100, BlockNodes: 4, SolveEfficiency: 0.97})
+		pt, err := weakScale(m, n, 16, perJob, pol, 200+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		f.Series["openMPI: mpi_jm"] = append(f.Series["openMPI: mpi_jm"], pt)
+	}
+	for _, n := range mvapich {
+		pol := mpijm.New(mpijm.Params{LumpNodes: 128, BlockNodes: 4, SolveEfficiency: 0.75})
+		pt, err := weakScale(m, n, 16, perJob, pol, 300+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		f.Series["MVAPICH2: mpi_jm"] = append(f.Series["MVAPICH2: mpi_jm"], pt)
+	}
+	return f, nil
+}
+
+// exactFit models individually scheduled jobs: every pending task starts
+// immediately on its own nodes (the batch system gave each job a
+// dedicated allocation).
+type exactFit struct{}
+
+// Name implements cluster.Policy.
+func (exactFit) Name() string { return "individual-jobs" }
+
+// Startup implements cluster.Policy.
+func (exactFit) Startup(cluster.Config) float64 { return 0 }
+
+// Dispatch implements cluster.Policy.
+func (exactFit) Dispatch(s *cluster.Sim) []cluster.Start {
+	free := s.FreeWholeNodes()
+	per := s.Config().GPUsPerNode
+	var out []cluster.Start
+	for _, id := range s.PendingIDs() {
+		t, _ := s.PendingTask(id)
+		need := (t.GPUs + per - 1) / per
+		if need > len(free) {
+			break
+		}
+		out = append(out, cluster.Start{
+			TaskID: id, Nodes: free[:need], SpeedPenalty: 1,
+		})
+		free = free[need:]
+	}
+	return out
+}
+
+// Fig6 is the Summit weak scaling with METAQ: 4-node (24-GPU) 64^3 x 96
+// solves dispatched by a single METAQ instance using jsrun.
+type Fig6 struct {
+	Points []WeakPoint
+}
+
+// Name implements Result.
+func (Fig6) Name() string { return "fig6" }
+
+// Title implements Result.
+func (Fig6) Title() string {
+	return "Weak scaling of 24-GPU propagator solves on Summit under METAQ (64^3 x 96)"
+}
+
+// Render implements Result.
+func (f Fig6) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# GPUs   jobs   PFlops   util\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%6d  %5d  %7.2f  %5.2f\n", p.GPUs, p.Jobs, p.SustainedPFlops, p.GPUUtil)
+	}
+	return b.String()
+}
+
+func genFig6(quick bool) (Result, error) {
+	m := machine.Summit()
+	problem := perfmodel.Problem{Global: [4]int{64, 64, 64, 96}, Ls: 12}
+	perJob, err := perfmodel.New(m).JobPerformance(problem, 24)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{16, 32, 64, 128, 200, 280}
+	if quick {
+		counts = []int{16, 64}
+	}
+	f := Fig6{}
+	for _, n := range counts {
+		pt, err := weakScale(m, n, 24, perJob, metaq.Policy{LaunchOverhead: 20}, 400+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		f.Points = append(f.Points, pt)
+	}
+	return f, nil
+}

@@ -1,0 +1,112 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"femtoverse/internal/cluster"
+	"femtoverse/internal/machine"
+	"femtoverse/internal/mpijm"
+	"femtoverse/internal/perfmodel"
+	"femtoverse/internal/stats"
+)
+
+func init() {
+	register("fig7", genFig7)
+}
+
+// Fig7 is the histogram of per-job solver performance from the largest
+// run: 13,500 GPUs on Sierra under mpi_jm with MVAPICH2. The spread comes
+// from per-node performance jitter and a tail of slower placements.
+type Fig7 struct {
+	Hist   *stats.Histogram
+	Mean   float64
+	P10    float64
+	P90    float64
+	NJobs  int
+	PerJob float64 // nominal per-job TFLOPS at full efficiency
+}
+
+// Name implements Result.
+func (Fig7) Name() string { return "fig7" }
+
+// Title implements Result.
+func (Fig7) Title() string {
+	return "Histogram of per-job solver performance, 13500-GPU mpi_jm run on Sierra"
+}
+
+// Render implements Result.
+func (f Fig7) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %d jobs of 16 GPUs, nominal %.1f TFLOPS per job\n", f.NJobs, f.PerJob)
+	fmt.Fprintf(&b, "# TFlops_bin_center  count\n")
+	maxCount := 0
+	for _, c := range f.Hist.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range f.Hist.Counts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("*", c*50/maxCount)
+		}
+		fmt.Fprintf(&b, "%8.2f  %5d  %s\n", f.Hist.BinCenter(i), c, bar)
+	}
+	fmt.Fprintf(&b, "# mean %.2f TF, p10 %.2f, p90 %.2f, mode %.2f\n",
+		f.Mean, f.P10, f.P90, f.Hist.Mode())
+	return b.String()
+}
+
+func genFig7(quick bool) (Result, error) {
+	m := machine.Sierra()
+	problem := perfmodel.Problem{Global: [4]int{48, 48, 48, 64}, Ls: 20}
+	perJob, err := perfmodel.New(m).JobPerformance(problem, 16)
+	if err != nil {
+		return nil, err
+	}
+	nJobs := 844 // 13504 GPUs
+	if quick {
+		nJobs = 200
+	}
+	cfg := cluster.Config{
+		Nodes:           nJobs * 4,
+		GPUsPerNode:     m.GPUsPerNode,
+		CPUSlotsPerNode: m.CPUSlotsPerNode,
+		JitterSigma:     0.035,
+		SlowNodeFrac:    0.06,
+		SlowFactor:      0.85,
+		Seed:            77,
+	}
+	tasks := make([]cluster.Task, nJobs)
+	for i := range tasks {
+		tasks[i] = cluster.Task{
+			ID: i, Name: "prop", Kind: cluster.GPUTask, GPUs: 16, Seconds: 3600,
+		}
+	}
+	pol := mpijm.New(mpijm.Params{LumpNodes: 128, BlockNodes: 4, SolveEfficiency: 0.75})
+	rep, err := cluster.Run(cfg, tasks, pol)
+	if err != nil {
+		return nil, err
+	}
+	perf := make([]float64, 0, nJobs)
+	for _, st := range rep.PerTask {
+		perf = append(perf, perJob*st.Speed)
+	}
+	lo, hi := stats.Percentile(perf, 0), stats.Percentile(perf, 1)
+	h, err := stats.NewHistogram(lo*0.98, hi*1.02, 30)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range perf {
+		h.Add(p)
+	}
+	return Fig7{
+		Hist:   h,
+		Mean:   stats.Mean(perf),
+		P10:    stats.Percentile(perf, 0.1),
+		P90:    stats.Percentile(perf, 0.9),
+		NJobs:  nJobs,
+		PerJob: perJob,
+	}, nil
+}

@@ -1,0 +1,64 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation, printing the same rows and series the paper reports. Each
+// experiment is a named generator returning a renderable result; the
+// cmd/latbench CLI and the repository-level benchmarks drive them. The
+// absolute numbers come from the calibrated models documented in
+// DESIGN.md; the shapes - who wins, by what factor, where crossovers and
+// rollovers fall - are the reproduction targets.
+package figures
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result is a rendered experiment.
+type Result interface {
+	// Name is the experiment identifier (e.g. "fig3", "table2").
+	Name() string
+	// Title is the human-readable caption.
+	Title() string
+	// Render returns the textual rows/series of the experiment.
+	Render() string
+}
+
+// Generator produces a Result; Quick trades statistics for speed and is
+// what the unit tests use.
+type Generator func(quick bool) (Result, error)
+
+var registry = map[string]Generator{}
+
+func register(name string, g Generator) {
+	if _, dup := registry[name]; dup {
+		panic("figures: duplicate experiment " + name)
+	}
+	registry[name] = g
+}
+
+// Names lists the registered experiments, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run generates one experiment by name.
+func Run(name string, quick bool) (Result, error) {
+	g, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("figures: unknown experiment %q (have %v)", name, Names())
+	}
+	return g(quick)
+}
+
+// text is a simple Result implementation.
+type text struct {
+	name, title, body string
+}
+
+func (t text) Name() string   { return t.name }
+func (t text) Title() string  { return t.title }
+func (t text) Render() string { return t.body }

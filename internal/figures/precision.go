@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"femtoverse/internal/machine"
+	"femtoverse/internal/perfmodel"
+)
+
+func init() {
+	register("precision", genPrecision)
+}
+
+// Precision quantifies Table I's "mixed-precision" attribute: on a
+// bandwidth-bound solver, the storage precision sets the bytes streamed
+// per flop, so 16-bit fixed point doubles the arithmetic intensity of
+// single precision and quadruples that of double - which is (almost
+// exactly) the sustained-rate ratio. The extra CGNE iterations the sloppy
+// precisions need are repaid many times over; reliable updates make the
+// answer exact.
+type Precision struct {
+	Rows []PrecisionRow
+}
+
+// PrecisionRow is one storage-precision operating point.
+type PrecisionRow struct {
+	Name         string
+	BytesPerReal float64
+	AI           float64
+	TFlopsPerGPU float64
+	Speedup      float64 // vs double
+}
+
+// Name implements Result.
+func (Precision) Name() string { return "precision" }
+
+// Title implements Result.
+func (Precision) Title() string {
+	return "Storage precision vs sustained solver rate (Sierra, bandwidth-bound)"
+}
+
+// Render implements Result.
+func (p Precision) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# precision  bytes/real  arith_intensity  TFlops/GPU  speedup\n")
+	for _, r := range p.Rows {
+		fmt.Fprintf(&b, "%-10s  %10.0f  %15.3f  %10.2f  x%.2f\n",
+			r.Name, r.BytesPerReal, r.AI, r.TFlopsPerGPU, r.Speedup)
+	}
+	fmt.Fprintf(&b, "# the paper's double-half reliable-update CG banks the 4x while staying exact\n")
+	return b.String()
+}
+
+func genPrecision(bool) (Result, error) {
+	m := machine.Sierra()
+	bwEff := m.EffectiveBWPerGPUGB() // GB/s at the best operating point
+	out := Precision{}
+	base := 0.0
+	for _, c := range []struct {
+		name  string
+		bytes float64
+	}{
+		{"half", 2}, {"single", 4}, {"double", 8},
+	} {
+		// AI scales inversely with bytes per real; the paper quotes 1.9
+		// for half precision.
+		ai := perfmodel.AI * 2 / c.bytes
+		tflops := bwEff * ai / 1e3
+		out.Rows = append(out.Rows, PrecisionRow{
+			Name: c.name, BytesPerReal: c.bytes, AI: ai, TFlopsPerGPU: tflops,
+		})
+		if c.name == "double" {
+			base = tflops
+		}
+	}
+	for i := range out.Rows {
+		out.Rows[i].Speedup = out.Rows[i].TFlopsPerGPU / base
+	}
+	return out, nil
+}

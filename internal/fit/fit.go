@@ -1,0 +1,280 @@
+// Package fit provides the correlated nonlinear least-squares machinery of
+// the gA analysis: a Levenberg-Marquardt minimiser with numerical
+// Jacobians, chi-square against either independent errors or a full
+// covariance matrix, and the specific fit models of the paper's Fig. 1 -
+// the effective-coupling plateau with excited-state contamination, and
+// multi-exponential two-point functions.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"femtoverse/internal/linalg"
+)
+
+// Func is a parametric model y = f(params, x).
+type Func func(params []float64, x float64) float64
+
+// Result reports a completed fit.
+type Result struct {
+	Params     []float64
+	Chi2       float64
+	DOF        int
+	Iterations int
+	Converged  bool
+}
+
+// Chi2PerDOF returns the reduced chi-square.
+func (r Result) Chi2PerDOF() float64 {
+	if r.DOF <= 0 {
+		return math.NaN()
+	}
+	return r.Chi2 / float64(r.DOF)
+}
+
+// Options tunes the minimiser; zero values select the defaults.
+type Options struct {
+	MaxIter int     // default 200
+	Tol     float64 // relative chi2 improvement convergence, default 1e-10
+	Lambda0 float64 // initial damping, default 1e-3
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Lambda0 <= 0 {
+		o.Lambda0 = 1e-3
+	}
+	return o
+}
+
+// ErrSingular is returned when the normal equations cannot be solved even
+// with heavy damping.
+var ErrSingular = errors.New("fit: singular normal equations")
+
+// Problem is a correlated least-squares problem: minimise
+// r^T W r with r_i = y_i - f(p, x_i) and W the inverse covariance.
+type Problem struct {
+	F  Func
+	Xs []float64
+	Ys []float64
+	// W is the inverse covariance (weight) matrix, row-major n x n.
+	W []float64
+}
+
+// NewUncorrelated builds a Problem from independent errors sigma_i.
+func NewUncorrelated(f Func, xs, ys, sigmas []float64) (*Problem, error) {
+	n := len(xs)
+	if len(ys) != n || len(sigmas) != n {
+		return nil, fmt.Errorf("fit: length mismatch %d/%d/%d", len(xs), len(ys), len(sigmas))
+	}
+	w := make([]float64, n*n)
+	for i, s := range sigmas {
+		if s <= 0 {
+			return nil, fmt.Errorf("fit: sigma[%d] = %g must be positive", i, s)
+		}
+		w[i*n+i] = 1 / (s * s)
+	}
+	return &Problem{F: f, Xs: xs, Ys: ys, W: w}, nil
+}
+
+// NewCorrelated builds a Problem from a covariance matrix, inverting it.
+func NewCorrelated(f Func, xs, ys, cov []float64) (*Problem, error) {
+	n := len(xs)
+	if len(ys) != n || len(cov) != n*n {
+		return nil, fmt.Errorf("fit: covariance shape mismatch")
+	}
+	w, err := linalg.InvReal(n, cov)
+	if err != nil {
+		return nil, fmt.Errorf("fit: covariance not invertible: %w", err)
+	}
+	return &Problem{F: f, Xs: xs, Ys: ys, W: w}, nil
+}
+
+// Chi2 evaluates the correlated chi-square at the given parameters.
+func (p *Problem) Chi2(params []float64) float64 {
+	n := len(p.Xs)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = p.Ys[i] - p.F(params, p.Xs[i])
+	}
+	chi2 := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			chi2 += r[i] * p.W[i*n+j] * r[j]
+		}
+	}
+	return chi2
+}
+
+// jacobian computes d f / d p_k at every x by central differences.
+func (p *Problem) jacobian(params []float64) []float64 {
+	n := len(p.Xs)
+	k := len(params)
+	jac := make([]float64, n*k)
+	pp := append([]float64(nil), params...)
+	for c := 0; c < k; c++ {
+		h := 1e-7 * (1 + math.Abs(params[c]))
+		pp[c] = params[c] + h
+		for i := 0; i < n; i++ {
+			jac[i*k+c] = p.F(pp, p.Xs[i])
+		}
+		pp[c] = params[c] - h
+		for i := 0; i < n; i++ {
+			jac[i*k+c] = (jac[i*k+c] - p.F(pp, p.Xs[i])) / (2 * h)
+		}
+		pp[c] = params[c]
+	}
+	return jac
+}
+
+// Solve runs Levenberg-Marquardt from the initial guess p0.
+func (p *Problem) Solve(p0 []float64, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	n := len(p.Xs)
+	k := len(p0)
+	if n < k {
+		return Result{}, fmt.Errorf("fit: %d points cannot constrain %d parameters", n, k)
+	}
+	params := append([]float64(nil), p0...)
+	chi2 := p.Chi2(params)
+	lambda := opt.Lambda0
+	res := Result{DOF: n - k}
+
+	r := make([]float64, n)
+	grad := make([]float64, k)
+	hess := make([]float64, k*k)
+	damped := make([]float64, k*k)
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		jac := p.jacobian(params)
+		for i := 0; i < n; i++ {
+			r[i] = p.Ys[i] - p.F(params, p.Xs[i])
+		}
+		// grad = J^T W r ; hess = J^T W J.
+		for a := 0; a < k; a++ {
+			grad[a] = 0
+			for b := 0; b < k; b++ {
+				hess[a*k+b] = 0
+			}
+		}
+		wr := make([]float64, n)
+		wj := make([]float64, n*k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				wij := p.W[i*n+j]
+				if wij == 0 {
+					continue
+				}
+				wr[i] += wij * r[j]
+				for a := 0; a < k; a++ {
+					wj[i*k+a] += wij * jac[j*k+a]
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for a := 0; a < k; a++ {
+				grad[a] += jac[i*k+a] * wr[i]
+				for b := 0; b < k; b++ {
+					hess[a*k+b] += jac[i*k+a] * wj[i*k+b]
+				}
+			}
+		}
+
+		improved := false
+		for attempt := 0; attempt < 25; attempt++ {
+			copy(damped, hess)
+			for a := 0; a < k; a++ {
+				damped[a*k+a] *= 1 + lambda
+				if damped[a*k+a] == 0 {
+					damped[a*k+a] = lambda
+				}
+			}
+			step, err := linalg.SolveReal(k, damped, grad)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, k)
+			for a := range trial {
+				trial[a] = params[a] + step[a]
+			}
+			trialChi2 := p.Chi2(trial)
+			if !math.IsNaN(trialChi2) && trialChi2 < chi2 {
+				rel := (chi2 - trialChi2) / (chi2 + 1e-300)
+				copy(params, trial)
+				chi2 = trialChi2
+				lambda = math.Max(lambda*0.3, 1e-12)
+				improved = true
+				if rel < opt.Tol {
+					res.Params = params
+					res.Chi2 = chi2
+					res.Converged = true
+					return res, nil
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+		if !improved {
+			// Local minimum (or singular): accept if chi2 is finite.
+			res.Params = params
+			res.Chi2 = chi2
+			res.Converged = !math.IsNaN(chi2) && !math.IsInf(chi2, 0)
+			if !res.Converged {
+				return res, ErrSingular
+			}
+			return res, nil
+		}
+	}
+	res.Params = params
+	res.Chi2 = chi2
+	res.Converged = true
+	return res, nil
+}
+
+// Models of the gA analysis.
+
+// SingleExp is A * exp(-m x) with params = [A, m].
+func SingleExp(p []float64, x float64) float64 { return p[0] * math.Exp(-p[1]*x) }
+
+// TwoExp is A0 exp(-m0 x) (1 + A1 exp(-dE x)) with params = [A0, m0, A1, dE]
+// and dE > 0 enforced softly by |dE|.
+func TwoExp(p []float64, x float64) float64 {
+	return p[0] * math.Exp(-p[1]*x) * (1 + p[2]*math.Exp(-math.Abs(p[3])*x))
+}
+
+// GeffModel is the paper's Fig. 1 fit form for the effective coupling:
+// g_eff(t) = gA + c1 * exp(-dE t), params = [gA, c1, dE]; the excited
+// contamination dies away leaving the plateau gA.
+func GeffModel(p []float64, t float64) float64 {
+	return p[0] + p[1]*math.Exp(-math.Abs(p[2])*t)
+}
+
+// ExcitedPart returns only the contamination term of GeffModel, used to
+// produce the paper's "modified results ... after removing the
+// contribution from excited states" (black points of Fig. 1).
+func ExcitedPart(p []float64, t float64) float64 {
+	return p[1] * math.Exp(-math.Abs(p[2])*t)
+}
+
+// TradRatioModel is the traditional fixed-sink ratio
+// R(tau; T) = gA + b [exp(-dE tau) + exp(-dE (T - tau))],
+// params = [gA, b, dE], with x encoding tau and the caller fixing T via
+// closure.
+func TradRatioModel(tSep float64) Func {
+	return func(p []float64, tau float64) float64 {
+		dE := math.Abs(p[2])
+		return p[0] + p[1]*(math.Exp(-dE*tau)+math.Exp(-dE*(tSep-tau)))
+	}
+}

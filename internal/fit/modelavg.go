@@ -1,0 +1,102 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model averaging over fit choices (window, excited-state form), in the
+// Akaike-information-criterion form used by the collaboration's later gA
+// analyses: each candidate fit gets weight exp(-AIC/2) with
+// AIC = chi2 + 2 k + 2 n_cut, where k counts parameters and n_cut counts
+// data points excluded by the window. The averaged result propagates both
+// the within-fit error and the spread across models.
+
+// Candidate is one fit entering the average.
+type Candidate struct {
+	// Value and Err are the parameter of interest and its uncertainty.
+	Value float64
+	Err   float64
+	// Chi2 is the (correlated) chi-square of the fit.
+	Chi2 float64
+	// Params counts the fit parameters k.
+	Params int
+	// Cut counts the data points the fit window excluded.
+	Cut int
+	// Label identifies the candidate in reports.
+	Label string
+}
+
+// AIC returns the Akaike criterion of the candidate.
+func (c Candidate) AIC() float64 {
+	return c.Chi2 + 2*float64(c.Params) + 2*float64(c.Cut)
+}
+
+// Average is the outcome of a model average.
+type Average struct {
+	Value float64
+	// StatErr is the weighted within-model uncertainty; ModelErr is the
+	// across-model spread; Err combines them in quadrature.
+	StatErr  float64
+	ModelErr float64
+	Err      float64
+	Weights  []float64
+	Best     int // index of the highest-weight candidate
+}
+
+// ModelAverage combines candidates with AIC weights. At least one
+// candidate with finite values is required.
+func ModelAverage(cands []Candidate) (Average, error) {
+	if len(cands) == 0 {
+		return Average{}, fmt.Errorf("fit: no candidates to average")
+	}
+	// Subtract the minimum AIC before exponentiating for stability.
+	minAIC := math.Inf(1)
+	for _, c := range cands {
+		if a := c.AIC(); a < minAIC && !math.IsNaN(c.Value) {
+			minAIC = a
+		}
+	}
+	if math.IsInf(minAIC, 1) {
+		return Average{}, fmt.Errorf("fit: all candidates invalid")
+	}
+	w := make([]float64, len(cands))
+	sum := 0.0
+	for i, c := range cands {
+		if math.IsNaN(c.Value) || math.IsNaN(c.Err) {
+			continue
+		}
+		w[i] = math.Exp(-(c.AIC() - minAIC) / 2)
+		sum += w[i]
+	}
+	if sum == 0 {
+		return Average{}, fmt.Errorf("fit: zero total weight")
+	}
+	avg := Average{Weights: w}
+	best := 0
+	for i := range w {
+		w[i] /= sum
+		if w[i] > w[best] {
+			best = i
+		}
+	}
+	avg.Best = best
+	var mean, stat, second float64
+	for i, c := range cands {
+		if w[i] == 0 {
+			continue
+		}
+		mean += w[i] * c.Value
+		stat += w[i] * c.Err * c.Err
+		second += w[i] * c.Value * c.Value
+	}
+	avg.Value = mean
+	avg.StatErr = math.Sqrt(stat)
+	modelVar := second - mean*mean
+	if modelVar < 0 {
+		modelVar = 0
+	}
+	avg.ModelErr = math.Sqrt(modelVar)
+	avg.Err = math.Hypot(avg.StatErr, avg.ModelErr)
+	return avg, nil
+}

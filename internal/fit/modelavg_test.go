@@ -1,0 +1,95 @@
+package fit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelAverageSingleCandidate(t *testing.T) {
+	avg, err := ModelAverage([]Candidate{{Value: 1.27, Err: 0.01, Chi2: 5, Params: 3, Cut: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Value != 1.27 || math.Abs(avg.StatErr-0.01) > 1e-15 {
+		t.Fatalf("%+v", avg)
+	}
+	if avg.ModelErr > 1e-12 {
+		t.Fatalf("single model has spread %v", avg.ModelErr)
+	}
+}
+
+func TestModelAverageWeightsByAIC(t *testing.T) {
+	// Candidate 0 has much better AIC: it must dominate.
+	cands := []Candidate{
+		{Value: 1.0, Err: 0.01, Chi2: 2, Params: 2, Cut: 0, Label: "good"},
+		{Value: 2.0, Err: 0.01, Chi2: 30, Params: 2, Cut: 0, Label: "bad"},
+	}
+	avg, err := ModelAverage(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Best != 0 {
+		t.Fatalf("best = %d", avg.Best)
+	}
+	if avg.Weights[0] < 0.99 {
+		t.Fatalf("good model weight %v", avg.Weights[0])
+	}
+	if math.Abs(avg.Value-1.0) > 0.01 {
+		t.Fatalf("value %v", avg.Value)
+	}
+}
+
+func TestModelAverageEqualWeightsSplit(t *testing.T) {
+	cands := []Candidate{
+		{Value: 1.0, Err: 0.1, Chi2: 5, Params: 2},
+		{Value: 2.0, Err: 0.1, Chi2: 5, Params: 2},
+	}
+	avg, err := ModelAverage(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg.Value-1.5) > 1e-12 {
+		t.Fatalf("value %v", avg.Value)
+	}
+	// Model spread: sqrt(<v^2> - <v>^2) = 0.5.
+	if math.Abs(avg.ModelErr-0.5) > 1e-12 {
+		t.Fatalf("model err %v", avg.ModelErr)
+	}
+	// Combined error exceeds both components.
+	if avg.Err < avg.ModelErr || avg.Err < avg.StatErr {
+		t.Fatal("combination wrong")
+	}
+}
+
+func TestModelAverageCutPenalty(t *testing.T) {
+	// Equal chi2 and params, but candidate 1 cut 5 more points: AIC
+	// penalizes it by 10, so candidate 0 dominates.
+	cands := []Candidate{
+		{Value: 1.0, Err: 0.1, Chi2: 5, Params: 2, Cut: 0},
+		{Value: 2.0, Err: 0.1, Chi2: 5, Params: 2, Cut: 5},
+	}
+	avg, err := ModelAverage(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Weights[0] < 0.95 {
+		t.Fatalf("weights %v", avg.Weights)
+	}
+}
+
+func TestModelAverageRejectsInvalid(t *testing.T) {
+	if _, err := ModelAverage(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := ModelAverage([]Candidate{{Value: math.NaN(), Err: 1}}); err == nil {
+		t.Fatal("all-NaN accepted")
+	}
+	// NaN candidates are skipped, not fatal, when others exist.
+	avg, err := ModelAverage([]Candidate{
+		{Value: math.NaN(), Err: 1, Chi2: 1},
+		{Value: 3, Err: 0.1, Chi2: 1, Params: 1},
+	})
+	if err != nil || math.Abs(avg.Value-3) > 1e-12 {
+		t.Fatalf("%v %+v", err, avg)
+	}
+}

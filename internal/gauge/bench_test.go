@@ -1,0 +1,19 @@
+package gauge
+
+import (
+	"testing"
+
+	"femtoverse/internal/lattice"
+)
+
+// BenchmarkPlaquette measures the gauge-observable kernel.
+func BenchmarkPlaquette(b *testing.B) {
+	g := lattice.MustNew(8, 8, 8, 16)
+	f := NewRandom(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := f.Plaquette(); p > 1 {
+			b.Fatal("impossible plaquette")
+		}
+	}
+}

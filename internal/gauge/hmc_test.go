@@ -1,0 +1,167 @@
+package gauge
+
+import (
+	"math"
+	"testing"
+
+	"femtoverse/internal/lattice"
+)
+
+func TestHMCParamsValidation(t *testing.T) {
+	bad := []HMCParams{
+		{Beta: 0, Steps: 10, StepSize: 0.1},
+		{Beta: 5.7, Steps: 0, StepSize: 0.1},
+		{Beta: 5.7, Steps: 10, StepSize: 0},
+	}
+	for i, p := range bad {
+		if _, err := NewHMC(p); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+// deltaH runs one measured trajectory from a fixed thermalized start and
+// returns |Delta H|.
+func deltaH(t *testing.T, steps int, eps float64, seed int64) float64 {
+	t.Helper()
+	g := lattice.MustNew(4, 4, 4, 4)
+	h, err := NewHMC(HMCParams{Beta: 5.7, Steps: steps, StepSize: eps, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewWeak(g, seed+1, 0.25)
+	// A few equilibration trajectories.
+	for i := 0; i < 3; i++ {
+		h.Trajectory(f)
+	}
+	h.Trajectory(f)
+	return math.Abs(h.LastDeltaH)
+}
+
+func TestLeapfrogEnergyViolationScalesAsEpsSquared(t *testing.T) {
+	// Fixed trajectory length tau = 0.5; halving eps (doubling steps)
+	// must shrink |Delta H| by about 4x (leapfrog is O(eps^2) at fixed
+	// length). Allow a generous window since a single trajectory is
+	// stochastic.
+	coarse := deltaH(t, 5, 0.1, 11)
+	fine := deltaH(t, 20, 0.025, 11)
+	if fine >= coarse {
+		t.Fatalf("refinement did not reduce Delta H: %g -> %g", coarse, fine)
+	}
+	ratio := coarse / fine
+	if ratio < 4 {
+		t.Fatalf("Delta H ratio %g for 4x step refinement; leapfrog predicts ~16", ratio)
+	}
+}
+
+func TestHMCHighAcceptanceAtSmallStep(t *testing.T) {
+	g := lattice.MustNew(4, 4, 4, 4)
+	h, err := NewHMC(HMCParams{Beta: 5.7, Steps: 10, StepSize: 0.04, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewWeak(g, 22, 0.25)
+	for i := 0; i < 20; i++ {
+		h.Trajectory(f)
+	}
+	if acc := h.AcceptanceRate(); acc < 0.8 {
+		t.Fatalf("acceptance %v at small step size", acc)
+	}
+	if e := f.MaxUnitarityError(); e > 1e-9 {
+		t.Fatalf("links drifted off the group: %g", e)
+	}
+}
+
+func TestLeapfrogReversibility(t *testing.T) {
+	// Integrate forward, flip the momenta, integrate again: the links
+	// must return to their starting values to near machine precision.
+	g := lattice.MustNew(2, 4, 2, 4)
+	h, err := NewHMC(HMCParams{Beta: 5.7, Steps: 8, StepSize: 0.05, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewWeak(g, 32, 0.25)
+	start := f.Clone()
+	p := newMomenta(g)
+	h.drawMomenta(g, p)
+
+	h.leapfrog(f, p)
+	// Negate momenta.
+	for mu := range p {
+		for s := range p[mu] {
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					p[mu][s][i][j] = -p[mu][s][i][j]
+				}
+			}
+		}
+	}
+	h.leapfrog(f, p)
+
+	worst := 0.0
+	for mu := 0; mu < lattice.NDim; mu++ {
+		for s := 0; s < g.Vol; s++ {
+			if d := f.U[mu][s].DistFrom(start.U[mu][s]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-8 {
+		t.Fatalf("leapfrog not reversible: worst link moved %g", worst)
+	}
+}
+
+func TestHMCEquilibratesPlaquette(t *testing.T) {
+	// From a hot (random) start at beta = 5.7 the plaquette must rise to
+	// the ordered regime, agreeing with the Metropolis sampler's value.
+	g := lattice.MustNew(4, 4, 4, 4)
+	ens, h, err := HMCEnsemble(g, HMCParams{Beta: 5.7, Steps: 10, StepSize: 0.08, Seed: 41}, 3, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens) != 3 {
+		t.Fatalf("%d configs", len(ens))
+	}
+	for i, f := range ens {
+		if p := f.Plaquette(); p < 0.35 {
+			t.Fatalf("config %d plaquette %v, not equilibrated", i, p)
+		}
+	}
+	if h.AcceptanceRate() < 0.5 {
+		t.Fatalf("acceptance %v", h.AcceptanceRate())
+	}
+	// Cross-check against the Metropolis ensemble at the same coupling.
+	mens := Ensemble(g, 43, 5.7, 3, 30, 3)
+	var hmcMean, metMean float64
+	for i := range ens {
+		hmcMean += ens[i].Plaquette() / 3
+		metMean += mens[i].Plaquette() / 3
+	}
+	if math.Abs(hmcMean-metMean) > 0.08 {
+		t.Fatalf("HMC plaquette %v vs Metropolis %v", hmcMean, metMean)
+	}
+}
+
+func TestMomentaDistributionNormalization(t *testing.T) {
+	// <tr P^2> per link = 4 for our traceless-Hermitian Gaussian: the
+	// diagonal contributes 3 * (1/2) - 1/2 (traceless projection) = 1 and
+	// the off-diagonals 2 * 3 * (1/2) = 3.
+	g := lattice.MustNew(4, 4, 4, 4)
+	h, _ := NewHMC(HMCParams{Beta: 5.7, Steps: 1, StepSize: 0.1, Seed: 51})
+	p := newMomenta(g)
+	h.drawMomenta(g, p)
+	mean := kinetic(g, p) / float64(4*g.Vol)
+	if math.Abs(mean-4) > 0.2 {
+		t.Fatalf("<tr P^2> = %v, want 4", mean)
+	}
+}
+
+func TestActionNonNegativeAndZeroOnUnitField(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 4)
+	if a := Action(NewUnit(g), 5.7); math.Abs(a) > 1e-10 {
+		t.Fatalf("unit-field action %v", a)
+	}
+	if a := Action(NewRandom(g, 61), 5.7); a <= 0 {
+		t.Fatalf("random-field action %v", a)
+	}
+}

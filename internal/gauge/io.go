@@ -1,0 +1,127 @@
+package gauge
+
+import (
+	"fmt"
+
+	"femtoverse/internal/hio"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/linalg"
+)
+
+// Configuration I/O through the hio container: the "load gluonic field"
+// stage of the paper's workflow (Fig. 2). Each configuration is stored as
+// one group holding the lattice shape, provenance attributes, and the
+// link matrices as a checksummed complex dataset; unitarity is validated
+// on load so silent corruption cannot propagate into solves.
+
+// Save writes the field into a group of an hio container.
+func (f *Field) Save(g *hio.Group, name string) error {
+	grp, err := g.CreateGroup(name)
+	if err != nil {
+		return err
+	}
+	dims := make([]int64, lattice.NDim)
+	for i, d := range f.G.Dims {
+		dims[i] = int64(d)
+	}
+	if err := grp.WriteInt64("dims", []int{lattice.NDim}, dims); err != nil {
+		return err
+	}
+	grp.SetAttrFloat("plaquette", f.Plaquette())
+	links := make([]complex128, 0, lattice.NDim*f.G.Vol*9)
+	for mu := 0; mu < lattice.NDim; mu++ {
+		for s := 0; s < f.G.Vol; s++ {
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					links = append(links, f.U[mu][s][i][j])
+				}
+			}
+		}
+	}
+	return grp.WriteComplex128("links", []int{lattice.NDim, f.G.Vol, 3, 3}, links)
+}
+
+// Load reads a field from a group written by Save, verifying the stored
+// plaquette and link unitarity.
+func Load(g *hio.Group, name string) (*Field, error) {
+	grp, err := g.Group(name)
+	if err != nil {
+		return nil, err
+	}
+	_, dims64, err := grp.ReadInt64("dims")
+	if err != nil {
+		return nil, err
+	}
+	if len(dims64) != lattice.NDim {
+		return nil, fmt.Errorf("gauge: stored dims have %d entries", len(dims64))
+	}
+	var dims [lattice.NDim]int
+	for i, d := range dims64 {
+		dims[i] = int(d)
+	}
+	geom, err := lattice.New(dims)
+	if err != nil {
+		return nil, fmt.Errorf("gauge: stored geometry invalid: %w", err)
+	}
+	shape, links, err := grp.ReadComplex128("links")
+	if err != nil {
+		return nil, err
+	}
+	if len(shape) != 4 || shape[0] != lattice.NDim || shape[1] != geom.Vol {
+		return nil, fmt.Errorf("gauge: link dataset shape %v inconsistent with dims %v", shape, dims)
+	}
+	f := &Field{G: geom}
+	k := 0
+	for mu := 0; mu < lattice.NDim; mu++ {
+		f.U[mu] = make([]linalg.SU3, geom.Vol)
+		for s := 0; s < geom.Vol; s++ {
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					f.U[mu][s][i][j] = links[k]
+					k++
+				}
+			}
+		}
+	}
+	if e := f.MaxUnitarityError(); e > 1e-8 {
+		return nil, fmt.Errorf("gauge: loaded links violate unitarity by %g", e)
+	}
+	want, err := grp.AttrFloat("plaquette")
+	if err == nil {
+		if got := f.Plaquette(); got < want-1e-10 || got > want+1e-10 {
+			return nil, fmt.Errorf("gauge: plaquette mismatch: stored %v, recomputed %v", want, got)
+		}
+	}
+	return f, nil
+}
+
+// SaveEnsemble writes a whole ensemble under numbered groups cfg0000,
+// cfg0001, ...; LoadEnsemble reads them back in order.
+func SaveEnsemble(root *hio.Group, ens []*Field) error {
+	for i, f := range ens {
+		if err := f.Save(root, fmt.Sprintf("cfg%04d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadEnsemble reads every cfgNNNN group under root, in order.
+func LoadEnsemble(root *hio.Group) ([]*Field, error) {
+	var out []*Field
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("cfg%04d", i)
+		if _, err := root.Group(name); err != nil {
+			break
+		}
+		f, err := Load(root, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gauge: no configurations under group %q", root.Name())
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package gauge
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"femtoverse/internal/hio"
+	"femtoverse/internal/lattice"
+)
+
+func TestGaugeSaveLoadRoundTrip(t *testing.T) {
+	g := lattice.MustNew(2, 4, 2, 4)
+	f := NewWeak(g, 41, 0.3)
+	file := hio.New()
+	if err := f.Save(file.Root(), "cfg"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cfg.fhio")
+	if err := file.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	file2, err := hio.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Load(file2.Root(), "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.G.Dims != f.G.Dims {
+		t.Fatalf("dims %v", f2.G.Dims)
+	}
+	for mu := 0; mu < lattice.NDim; mu++ {
+		for s := 0; s < g.Vol; s++ {
+			if d := f.U[mu][s].DistFrom(f2.U[mu][s]); d > 0 {
+				t.Fatalf("link (%d,%d) differs by %g", mu, s, d)
+			}
+		}
+	}
+	if math.Abs(f.Plaquette()-f2.Plaquette()) > 1e-14 {
+		t.Fatal("plaquette changed through I/O")
+	}
+}
+
+func TestGaugeLoadRejectsCorruption(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 2)
+	f := NewWeak(g, 43, 0.2)
+	file := hio.New()
+	if err := f.Save(file.Root(), "cfg"); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a non-unitary field under a fresh name by scaling
+	// links: container-level checksums pass, but unitarity must fail.
+	bad := f.Clone()
+	for s := range bad.U[0] {
+		bad.U[0][s] = bad.U[0][s].ScaleSU3(1.5)
+	}
+	if err := bad.Save(file.Root(), "bad"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(file.Root(), "bad"); err == nil {
+		t.Fatal("non-unitary configuration accepted")
+	}
+	if _, err := Load(file.Root(), "missing"); err == nil {
+		t.Fatal("missing configuration accepted")
+	}
+}
+
+func TestEnsembleSaveLoad(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 2)
+	ens := Ensemble(g, 45, 5.7, 3, 2, 1)
+	file := hio.New()
+	if err := SaveEnsemble(file.Root(), ens); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEnsemble(file.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("loaded %d configs", len(back))
+	}
+	for i := range ens {
+		if math.Abs(ens[i].Plaquette()-back[i].Plaquette()) > 1e-14 {
+			t.Fatalf("config %d changed", i)
+		}
+	}
+	empty := hio.New()
+	if _, err := LoadEnsemble(empty.Root()); err == nil {
+		t.Fatal("empty ensemble accepted")
+	}
+}

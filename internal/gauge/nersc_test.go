@@ -1,0 +1,106 @@
+package gauge
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"femtoverse/internal/lattice"
+)
+
+func TestNERSCRoundTrip(t *testing.T) {
+	g := lattice.MustNew(2, 4, 2, 4)
+	f := NewWeak(g, 101, 0.3)
+	var buf bytes.Buffer
+	if err := f.WriteNERSC(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNERSC(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.G.Dims != f.G.Dims {
+		t.Fatalf("dims %v", back.G.Dims)
+	}
+	for mu := 0; mu < lattice.NDim; mu++ {
+		for s := 0; s < g.Vol; s++ {
+			if d := f.U[mu][s].DistFrom(back.U[mu][s]); d > 0 {
+				t.Fatalf("link (%d,%d) moved %g", mu, s, d)
+			}
+		}
+	}
+	if math.Abs(f.Plaquette()-back.Plaquette()) > 1e-15 {
+		t.Fatal("plaquette changed")
+	}
+}
+
+func TestNERSCHeaderFormat(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 2)
+	f := NewUnit(g)
+	var buf bytes.Buffer
+	if err := f.WriteNERSC(&buf); err != nil {
+		t.Fatal(err)
+	}
+	head := buf.String()[:400]
+	for _, want := range []string{
+		"BEGIN_HEADER", "DATATYPE = 4D_SU3_GAUGE_3x3",
+		"DIMENSION_1 = 2", "DIMENSION_4 = 2",
+		"FLOATING_POINT = IEEE64LITTLE", "END_HEADER",
+		"PLAQUETTE = 1", "LINK_TRACE = 1",
+	} {
+		if !strings.Contains(head, want) {
+			t.Fatalf("header missing %q:\n%s", want, head)
+		}
+	}
+}
+
+func TestNERSCDetectsCorruption(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 2)
+	f := NewWeak(g, 103, 0.2)
+	var buf bytes.Buffer
+	if err := f.WriteNERSC(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-3] ^= 0xFF
+	if _, err := ReadNERSC(bytes.NewReader(bad)); err == nil {
+		t.Fatal("payload corruption accepted")
+	}
+
+	// Truncate the payload.
+	if _, err := ReadNERSC(bytes.NewReader(data[:len(data)-16])); err == nil {
+		t.Fatal("truncation accepted")
+	}
+
+	// Wrong magic.
+	if _, err := ReadNERSC(strings.NewReader("NOT_A_HEADER\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+
+	// Unsupported datatype.
+	wrong := strings.Replace(string(data), "4D_SU3_GAUGE_3x3", "4D_SU3_GAUGE", 1)
+	if _, err := ReadNERSC(strings.NewReader(wrong)); err == nil {
+		t.Fatal("wrong datatype accepted")
+	}
+}
+
+func TestNERSCValidatesPhysicsNumbers(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 2)
+	f := NewWeak(g, 105, 0.2)
+	var buf bytes.Buffer
+	if err := f.WriteNERSC(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the stored plaquette (keeping the checksum intact).
+	s := buf.String()
+	idx := strings.Index(s, "PLAQUETTE = ")
+	end := strings.Index(s[idx:], "\n") + idx
+	tampered := s[:idx] + "PLAQUETTE = 0.123456" + s[end:]
+	if _, err := ReadNERSC(strings.NewReader(tampered)); err == nil {
+		t.Fatal("plaquette mismatch accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package gauge
+
+import (
+	"math"
+	"testing"
+
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/linalg"
+)
+
+func TestAPESmearingRaisesPlaquette(t *testing.T) {
+	g := lattice.MustNew(4, 4, 4, 4)
+	f := NewWeak(g, 21, 0.35)
+	p0 := f.Plaquette()
+	sm, err := f.APESmear(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := sm.Plaquette()
+	if p1 <= p0 {
+		t.Fatalf("APE smearing did not smooth: %v -> %v", p0, p1)
+	}
+	if e := sm.MaxUnitarityError(); e > 1e-10 {
+		t.Fatalf("smeared links left the group: %g", e)
+	}
+	// Original untouched.
+	if f.Plaquette() != p0 {
+		t.Fatal("APESmear mutated its input")
+	}
+}
+
+func TestStoutSmearingRaisesPlaquette(t *testing.T) {
+	g := lattice.MustNew(4, 4, 4, 4)
+	f := NewWeak(g, 23, 0.35)
+	p0 := f.Plaquette()
+	sm, err := f.StoutSmear(0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := sm.Plaquette()
+	if p1 <= p0 {
+		t.Fatalf("stout smearing did not smooth: %v -> %v", p0, p1)
+	}
+	if e := sm.MaxUnitarityError(); e > 1e-10 {
+		t.Fatalf("stout links left the group: %g", e)
+	}
+}
+
+func TestSmearingPreservesUnitField(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 4)
+	f := NewUnit(g)
+	for _, sm := range []func() (*Field, error){
+		func() (*Field, error) { return f.APESmear(0.4, 2) },
+		func() (*Field, error) { return f.StoutSmear(0.12, 2) },
+	} {
+		out, err := sm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mu := 0; mu < lattice.NDim; mu++ {
+			for s := 0; s < g.Vol; s++ {
+				if d := out.U[mu][s].DistFrom(linalg.IdentitySU3()); d > 1e-10 {
+					t.Fatalf("unit field moved by smearing: %g", d)
+				}
+			}
+		}
+	}
+}
+
+func TestSmearParameterValidation(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 2)
+	f := NewUnit(g)
+	if _, err := f.APESmear(1.5, 1); err == nil {
+		t.Fatal("APE alpha > 1 accepted")
+	}
+	if _, err := f.StoutSmear(0.5, 1); err == nil {
+		t.Fatal("stout rho > 0.25 accepted")
+	}
+}
+
+func TestStoutSmearingGaugeCovariant(t *testing.T) {
+	// Smearing must commute with gauge transformations: smear-then-rotate
+	// equals rotate-then-smear (plaquette equality is the cheap check).
+	g := lattice.MustNew(2, 2, 2, 4)
+	f := NewWeak(g, 25, 0.3)
+	omega := RandomGaugeRotation(g, 26)
+
+	a, err := f.StoutSmear(0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.GaugeTransform(omega); err != nil {
+		t.Fatal(err)
+	}
+
+	b := f.Clone()
+	if err := b.GaugeTransform(omega); err != nil {
+		t.Fatal(err)
+	}
+	b, err = b.StoutSmear(0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for mu := 0; mu < lattice.NDim; mu++ {
+		for s := 0; s < g.Vol; s++ {
+			if d := a.U[mu][s].DistFrom(b.U[mu][s]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-9 {
+		t.Fatalf("stout smearing not gauge covariant: %g", worst)
+	}
+}
+
+func TestGaussianSmearingSpreadsSource(t *testing.T) {
+	g := lattice.MustNew(8, 8, 8, 4)
+	f := NewUnit(g)
+	origin := [4]int{0, 0, 0, 0}
+	src := make([]complex128, g.Vol*12)
+	src[g.Index(origin)*12] = 1
+
+	r0 := SourceRMSRadius(g, src, origin)
+	if r0 != 0 {
+		t.Fatalf("point source has radius %v", r0)
+	}
+	sm1 := GaussianSmearSource(f, src, 0.25, 10)
+	r1 := SourceRMSRadius(g, sm1, origin)
+	sm2 := GaussianSmearSource(f, src, 0.25, 40)
+	r2 := SourceRMSRadius(g, sm2, origin)
+	if !(r2 > r1 && r1 > 0.5) {
+		t.Fatalf("smearing radii not growing: %v -> %v", r1, r2)
+	}
+	// Smearing is spatial only: nothing leaks to other time slices.
+	for s := 0; s < g.Vol; s++ {
+		if g.Coords(s)[3] != 0 {
+			for i := 0; i < 12; i++ {
+				if sm2[s*12+i] != 0 {
+					t.Fatal("smearing leaked across time slices")
+				}
+			}
+		}
+	}
+}
+
+func TestGaussianSmearingPreservesSpin(t *testing.T) {
+	// A source in spin-color component (2,1) stays in that component on
+	// the unit field (smearing acts on space and color only; color is
+	// trivial here).
+	g := lattice.MustNew(4, 4, 4, 2)
+	f := NewUnit(g)
+	src := make([]complex128, g.Vol*12)
+	src[g.Index([4]int{1, 1, 1, 0})*12+2*3+1] = 1
+	sm := GaussianSmearSource(f, src, 0.3, 8)
+	for s := 0; s < g.Vol; s++ {
+		for i := 0; i < 12; i++ {
+			if i == 2*3+1 {
+				continue
+			}
+			if sm[s*12+i] != 0 {
+				t.Fatalf("component %d populated", i)
+			}
+		}
+	}
+	// Norm conserved approximately? Not exactly (kernel is a weighted
+	// average), but total weight must remain positive and finite.
+	n := 0.0
+	for _, v := range sm {
+		n += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if n <= 0 || math.IsNaN(n) {
+		t.Fatalf("weight %v", n)
+	}
+}

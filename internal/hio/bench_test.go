@@ -1,0 +1,30 @@
+package hio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkContainerRoundTrip measures the serialize/parse cost of a
+// propagator-sized container, the unit of the workflow's I/O share.
+func BenchmarkContainerRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := New()
+	g, _ := f.Root().CreateGroup("cfg")
+	data := make([]complex128, 1<<15)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	if err := g.WriteComplex128("prop", []int{1 << 15}, data); err != nil {
+		b.Fatal(err)
+	}
+	enc := f.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := f.Encode()
+		if _, err := Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package lattice
+
+import "testing"
+
+// BenchmarkBestGrid measures the partitioner over a production-size
+// search (the per-solve setup cost of the performance model).
+func BenchmarkBestGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BestGrid([4]int{96, 96, 96, 144}, 20, 1536); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

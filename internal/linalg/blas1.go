@@ -1,0 +1,203 @@
+package linalg
+
+import "math"
+
+// The BLAS-1 kernels below are the auxiliary operations of the CG solver
+// described in the paper (50-100 flops per lattice site, strongly
+// bandwidth-bound). Each kernel takes an explicit worker count so the
+// run-time autotuner can search over it; workers <= 0 means DefaultWorkers.
+
+// Zero sets every element of v to zero.
+func Zero(v []complex128) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Copy copies src into dst. The slices must have equal length.
+func Copy(dst, src []complex128) {
+	if len(dst) != len(src) {
+		panic("linalg: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Scale sets v[i] *= a.
+func Scale(a complex128, v []complex128, workers int) {
+	For(len(v), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] *= a
+		}
+	})
+}
+
+// Axpy computes y[i] += a*x[i].
+func Axpy(a complex128, x, y []complex128, workers int) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	For(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	})
+}
+
+// Xpay computes y[i] = x[i] + a*y[i] (the CG search-direction update).
+func Xpay(x []complex128, a complex128, y []complex128, workers int) {
+	if len(x) != len(y) {
+		panic("linalg: Xpay length mismatch")
+	}
+	For(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = x[i] + a*y[i]
+		}
+	})
+}
+
+// AxpyZ computes z[i] = a*x[i] + y[i] without overwriting the inputs.
+func AxpyZ(a complex128, x, y, z []complex128, workers int) {
+	if len(x) != len(y) || len(x) != len(z) {
+		panic("linalg: AxpyZ length mismatch")
+	}
+	For(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			z[i] = a*x[i] + y[i]
+		}
+	})
+}
+
+// Dot returns the conjugated inner product <x, y> = sum conj(x[i]) * y[i],
+// accumulated in double precision.
+func Dot(x, y []complex128, workers int) complex128 {
+	if len(x) != len(y) {
+		panic("linalg: Dot length mismatch")
+	}
+	return ReduceComplex128(len(x), workers, func(lo, hi int) complex128 {
+		var s complex128
+		for i := lo; i < hi; i++ {
+			xc := x[i]
+			s += complex(real(xc), -imag(xc)) * y[i]
+		}
+		return s
+	})
+}
+
+// NormSq returns ||v||^2 accumulated in double precision.
+func NormSq(v []complex128, workers int) float64 {
+	return ReduceFloat64(len(v), workers, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			re, im := real(v[i]), imag(v[i])
+			s += re*re + im*im
+		}
+		return s
+	})
+}
+
+// Norm returns ||v||.
+func Norm(v []complex128, workers int) float64 {
+	return math.Sqrt(NormSq(v, workers))
+}
+
+// MaxAbs returns the largest |Re| or |Im| component magnitude in v; it is
+// the per-block scale computation of the half-precision encoder.
+func MaxAbs(v []complex128) float64 {
+	m := 0.0
+	for _, c := range v {
+		if a := math.Abs(real(c)); a > m {
+			m = a
+		}
+		if a := math.Abs(imag(c)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Single-precision variants used by the inner stage of the mixed-precision
+// solver. Reductions still accumulate in float64 per the paper.
+
+// ZeroC64 sets every element of v to zero.
+func ZeroC64(v []complex64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// AxpyC64 computes y[i] += a*x[i] in single precision. The complex
+// product is expanded into float32 components because the Go compiler
+// lowers complex64 multiplication through complex128.
+func AxpyC64(a complex64, x, y []complex64, workers int) {
+	if len(x) != len(y) {
+		panic("linalg: AxpyC64 length mismatch")
+	}
+	ar, ai := real(a), imag(a)
+	For(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xr, xi := real(x[i]), imag(x[i])
+			y[i] += complex(ar*xr-ai*xi, ar*xi+ai*xr)
+		}
+	})
+}
+
+// XpayC64 computes y[i] = x[i] + a*y[i] in single precision.
+func XpayC64(x []complex64, a complex64, y []complex64, workers int) {
+	if len(x) != len(y) {
+		panic("linalg: XpayC64 length mismatch")
+	}
+	ar, ai := real(a), imag(a)
+	For(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yr, yi := real(y[i]), imag(y[i])
+			y[i] = x[i] + complex(ar*yr-ai*yi, ar*yi+ai*yr)
+		}
+	})
+}
+
+// DotC64 returns <x, y> with double-precision accumulation.
+func DotC64(x, y []complex64, workers int) complex128 {
+	if len(x) != len(y) {
+		panic("linalg: DotC64 length mismatch")
+	}
+	return ReduceComplex128(len(x), workers, func(lo, hi int) complex128 {
+		var s complex128
+		for i := lo; i < hi; i++ {
+			s += complex(float64(real(x[i])), -float64(imag(x[i]))) *
+				complex(float64(real(y[i])), float64(imag(y[i])))
+		}
+		return s
+	})
+}
+
+// NormSqC64 returns ||v||^2 with double-precision accumulation.
+func NormSqC64(v []complex64, workers int) float64 {
+	return ReduceFloat64(len(v), workers, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			re, im := float64(real(v[i])), float64(imag(v[i]))
+			s += re*re + im*im
+		}
+		return s
+	})
+}
+
+// Demote converts a double-precision vector to single precision.
+func Demote(dst []complex64, src []complex128) {
+	if len(dst) != len(src) {
+		panic("linalg: Demote length mismatch")
+	}
+	for i, c := range src {
+		dst[i] = complex(float32(real(c)), float32(imag(c)))
+	}
+}
+
+// Promote converts a single-precision vector to double precision.
+func Promote(dst []complex128, src []complex64) {
+	if len(dst) != len(src) {
+		panic("linalg: Promote length mismatch")
+	}
+	for i, c := range src {
+		dst[i] = complex(float64(real(c)), float64(imag(c)))
+	}
+}

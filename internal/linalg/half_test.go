@@ -1,0 +1,130 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfRoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, block := 24*64, 24
+	v := randVec(rng, n)
+	h := NewHalfVector(n, block)
+	h.Encode(v)
+	d := make([]complex128, n)
+	h.Decode(d)
+	for b := 0; b < n/block; b++ {
+		blk := v[b*block : (b+1)*block]
+		m := MaxAbs(blk)
+		for i, c := range blk {
+			got := d[b*block+i]
+			// Componentwise absolute error bounded by half a quantum of
+			// the block scale (plus float32 scale rounding).
+			bound := m*RelError()*1.01 + 1e-7*m
+			if e := math.Abs(real(c) - real(got)); e > bound {
+				t.Fatalf("block %d elem %d re err %g > %g", b, i, e, bound)
+			}
+			if e := math.Abs(imag(c) - imag(got)); e > bound {
+				t.Fatalf("block %d elem %d im err %g > %g", b, i, e, bound)
+			}
+		}
+	}
+}
+
+func TestHalfZeroBlockIsExact(t *testing.T) {
+	n, block := 48, 24
+	v := make([]complex128, n)
+	for i := block; i < n; i++ {
+		v[i] = complex(float64(i), -1)
+	}
+	h := NewHalfVector(n, block)
+	h.Encode(v)
+	d := make([]complex128, n)
+	h.Decode(d)
+	for i := 0; i < block; i++ {
+		if d[i] != 0 {
+			t.Fatalf("zero block decoded non-zero at %d: %v", i, d[i])
+		}
+	}
+}
+
+func TestHalfMaxMagnitudeSaturatesRange(t *testing.T) {
+	// The block maximum must map to +-32767 exactly, so the full int16
+	// range is used (this is what makes fixed-point beat fp16 here).
+	v := []complex128{complex(2.5, 0), complex(-1.25, 0.5)}
+	h := NewHalfVector(2, 2)
+	h.Encode(v)
+	if h.Data[0] != halfMax {
+		t.Fatalf("max component quantized to %d, want %d", h.Data[0], halfMax)
+	}
+}
+
+func TestHalfRelativeVectorErrorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, block := 24*8, 24
+		v := randVec(rng, n)
+		h := NewHalfVector(n, block)
+		h.Encode(v)
+		d := make([]complex128, n)
+		h.Decode(d)
+		num, den := 0.0, 0.0
+		for i := range v {
+			e := v[i] - d[i]
+			num += real(e)*real(e) + imag(e)*imag(e)
+			den += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		// Relative L2 error far below what a reliable update must absorb.
+		return math.Sqrt(num/den) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHalfC64PathMatchesC128Path(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, block := 24*16, 24
+	v := randVec(rng, n)
+	v64 := make([]complex64, n)
+	Demote(v64, v)
+
+	h1 := NewHalfVector(n, block)
+	h1.Encode(v)
+	h2 := NewHalfVector(n, block)
+	h2.EncodeC64(v64)
+
+	d1 := make([]complex128, n)
+	h1.Decode(d1)
+	d2 := make([]complex64, n)
+	h2.DecodeC64(d2)
+	for i := range d1 {
+		diff := cmplx.Abs(d1[i] - complex(float64(real(d2[i])), float64(imag(d2[i]))))
+		if diff > 2e-4*(1+cmplx.Abs(d1[i])) {
+			t.Fatalf("paths disagree at %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}
+
+func TestHalfBytesAccounting(t *testing.T) {
+	h := NewHalfVector(240, 24)
+	// 240 complex = 480 int16 = 960 bytes, + 10 scales * 4 = 40 bytes.
+	if got := h.Bytes(); got != 1000 {
+		t.Fatalf("Bytes = %d, want 1000", got)
+	}
+	if h.Len() != 240 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestHalfRejectsBadBlockSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n not multiple of block")
+		}
+	}()
+	NewHalfVector(25, 24)
+}

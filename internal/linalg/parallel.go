@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used by the parallel kernels when the
+// caller passes workers <= 0. It defaults to GOMAXPROCS at package load.
+var DefaultWorkers = runtime.GOMAXPROCS(0)
+
+// For splits the half-open range [0, n) into contiguous chunks and invokes
+// body(lo, hi) on each chunk from its own goroutine. workers <= 0 selects
+// DefaultWorkers. For small n the call degenerates to a single serial
+// invocation, so callers never pay goroutine overhead on tiny lattices.
+func For(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 256 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				body(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForBlocked splits [0, n) into fixed-size blocks handed to a pool of
+// workers through a shared atomic cursor: the work-stealing analogue of a
+// GPU kernel's block/grid decomposition, and the second axis of the
+// autotuner's launch-parameter space (small blocks balance load on jittery
+// cores, large blocks minimize scheduling overhead). block <= 0 falls back
+// to the static chunking of For.
+func ForBlocked(n, workers, block int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if block <= 0 {
+		For(n, workers, body)
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	nBlocks := (n + block - 1) / block
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 || n < 256 {
+		body(0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(cursor.Add(1)) - 1
+				if b >= nBlocks {
+					return
+				}
+				lo := b * block
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 evaluates body over chunks of [0, n) in parallel, each chunk
+// returning a partial float64 sum, and combines the partials in chunk order
+// so the result is deterministic for a fixed worker count. All partial and
+// final accumulation happens in float64, matching the paper's convention
+// that reductions are always performed in double precision.
+func ReduceFloat64(n, workers int, body func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 256 {
+		return body(0, n)
+	}
+	partial := make([]float64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				partial[w] = body(lo, hi)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// ReduceComplex128 is ReduceFloat64 for complex partial sums, again combined
+// in deterministic chunk order with double-precision accumulation.
+func ReduceComplex128(n, workers int, body func(lo, hi int) complex128) complex128 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 256 {
+		return body(0, n)
+	}
+	partial := make([]complex128, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				partial[w] = body(lo, hi)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var sum complex128
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}

@@ -1,0 +1,157 @@
+package physics
+
+import (
+	"fmt"
+	"math"
+
+	"femtoverse/internal/linalg"
+)
+
+// Physical-point extrapolation: the paper's Section VI explains that the
+// production campaign runs "many ensembles, varying the lattice sizes and
+// other parameters" to control the systematic effects of discretization
+// and unphysical quark masses. The per-ensemble gA values are then
+// extrapolated to the continuum (a -> 0) and physical pion mass with a
+// chiral-continuum fit; this file implements the leading-order form used
+// by the collaboration's Nature analysis,
+//
+//	gA(eps_pi, a) = c0 + c1 * eps_pi^2 + c2 * (a / w0)^2,
+//
+// where eps_pi = m_pi / (4 pi F_pi) is the small chiral expansion
+// parameter.
+
+// EnsemblePoint is one ensemble's gA determination.
+type EnsemblePoint struct {
+	Label string
+	// EpsPi2 is eps_pi^2 = (m_pi / 4 pi F_pi)^2 for the ensemble.
+	EpsPi2 float64
+	// A2 is the squared lattice spacing in units of the scale (a/w0)^2.
+	A2 float64
+	// GA and Err are the ensemble's axial-coupling determination.
+	GA  float64
+	Err float64
+}
+
+// ExtrapolationResult is a chiral-continuum fit evaluated at the physical
+// point.
+type ExtrapolationResult struct {
+	GA         float64
+	Err        float64
+	Params     [3]float64 // c0, c1, c2
+	ParamErr   [3]float64
+	Chi2       float64
+	DOF        int
+	EpsPi2Phys float64
+}
+
+// Chi2PerDOF returns the reduced chi-square of the fit.
+func (r ExtrapolationResult) Chi2PerDOF() float64 {
+	if r.DOF <= 0 {
+		return math.NaN()
+	}
+	return r.Chi2 / float64(r.DOF)
+}
+
+// ExtrapolateGA performs the weighted linear chiral-continuum fit and
+// evaluates it at (epsPi2Phys, a = 0) with full parameter-covariance
+// error propagation. At least four points are required (three
+// parameters plus one degree of freedom).
+func ExtrapolateGA(points []EnsemblePoint, epsPi2Phys float64) (ExtrapolationResult, error) {
+	n := len(points)
+	if n < 4 {
+		return ExtrapolationResult{}, fmt.Errorf("physics: %d ensembles cannot constrain the 3-parameter extrapolation", n)
+	}
+	const k = 3
+	// The design must actually vary in both directions or the normal
+	// equations are singular up to rounding.
+	eps2s := map[float64]bool{}
+	a2s := map[float64]bool{}
+	for _, p := range points {
+		eps2s[p.EpsPi2] = true
+		a2s[p.A2] = true
+	}
+	if len(eps2s) < 2 || len(a2s) < 2 {
+		return ExtrapolationResult{}, fmt.Errorf("physics: ensemble grid spans %d pion masses and %d spacings; need >= 2 of each", len(eps2s), len(a2s))
+	}
+	// Design matrix rows: (1, eps_pi^2, a^2); weights 1/err^2.
+	xtwx := make([]float64, k*k)
+	xtwy := make([]float64, k)
+	for _, p := range points {
+		if p.Err <= 0 {
+			return ExtrapolationResult{}, fmt.Errorf("physics: ensemble %q has non-positive error", p.Label)
+		}
+		w := 1 / (p.Err * p.Err)
+		row := [k]float64{1, p.EpsPi2, p.A2}
+		for a := 0; a < k; a++ {
+			xtwy[a] += w * row[a] * p.GA
+			for b := 0; b < k; b++ {
+				xtwx[a*k+b] += w * row[a] * row[b]
+			}
+		}
+	}
+	cov, err := linalg.InvReal(k, xtwx)
+	if err != nil {
+		return ExtrapolationResult{}, fmt.Errorf("physics: degenerate ensemble set: %w", err)
+	}
+	var c [3]float64
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			c[a] += cov[a*k+b] * xtwy[b]
+		}
+	}
+	chi2 := 0.0
+	for _, p := range points {
+		pred := c[0] + c[1]*p.EpsPi2 + c[2]*p.A2
+		r := (p.GA - pred) / p.Err
+		chi2 += r * r
+	}
+	// Physical point: a = 0, eps_pi^2 = physical value.
+	phys := [k]float64{1, epsPi2Phys, 0}
+	variance := 0.0
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			variance += phys[a] * cov[a*k+b] * phys[b]
+		}
+	}
+	res := ExtrapolationResult{
+		GA:         c[0] + c[1]*epsPi2Phys,
+		Err:        math.Sqrt(variance),
+		Params:     c,
+		Chi2:       chi2,
+		DOF:        n - k,
+		EpsPi2Phys: epsPi2Phys,
+	}
+	for a := 0; a < k; a++ {
+		res.ParamErr[a] = math.Sqrt(cov[a*k+a])
+	}
+	return res, nil
+}
+
+// EpsPi2Physical is the physical-point chiral parameter
+// (m_pi / 4 pi F_pi)^2 with m_pi = 139.6 MeV, F_pi = 92.2 MeV.
+const EpsPi2Physical = 0.0145
+
+// CalLatEnsembleGrid returns the (eps_pi^2, a^2) grid of the CalLat
+// production campaign (a15/a12/a09 spacings at m_pi ~ 130, 220, 310,
+// 400 MeV), for building synthetic multi-ensemble studies. Values follow
+// the published ensemble tables to the precision this model needs.
+func CalLatEnsembleGrid() []EnsemblePoint {
+	type ens struct {
+		label string
+		eps2  float64
+		a2    float64
+	}
+	grid := []ens{
+		{"a15m400", 0.116, 0.205}, {"a15m310", 0.072, 0.205},
+		{"a15m220", 0.036, 0.205}, {"a15m130", 0.013, 0.205},
+		{"a12m400", 0.114, 0.121}, {"a12m310", 0.071, 0.121},
+		{"a12m220", 0.035, 0.121}, {"a12m130", 0.013, 0.121},
+		{"a09m400", 0.112, 0.063}, {"a09m310", 0.070, 0.063},
+		{"a09m220", 0.034, 0.063},
+	}
+	out := make([]EnsemblePoint, len(grid))
+	for i, e := range grid {
+		out[i] = EnsemblePoint{Label: e.label, EpsPi2: e.eps2, A2: e.a2}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func syntheticGrid(c0, c1, c2, noise float64, seed int64) []EnsemblePoint {
+	rng := rand.New(rand.NewSource(seed))
+	pts := CalLatEnsembleGrid()
+	for i := range pts {
+		truth := c0 + c1*pts[i].EpsPi2 + c2*pts[i].A2
+		pts[i].Err = noise
+		pts[i].GA = truth + noise*rng.NormFloat64()
+	}
+	return pts
+}
+
+func TestExtrapolationRecoversTruth(t *testing.T) {
+	// Truth chosen so gA(phys) = 1.271.
+	c1, c2 := -0.8, 0.18
+	c0 := 1.271 - c1*EpsPi2Physical
+	pts := syntheticGrid(c0, c1, c2, 0.008, 1)
+	res, err := ExtrapolateGA(pts, EpsPi2Physical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.GA-1.271) > 3*res.Err {
+		t.Fatalf("gA(phys) = %v +- %v, truth 1.271", res.GA, res.Err)
+	}
+	if math.Abs(res.Params[1]-c1) > 4*res.ParamErr[1] {
+		t.Fatalf("chiral slope %v +- %v, truth %v", res.Params[1], res.ParamErr[1], c1)
+	}
+	if math.Abs(res.Params[2]-c2) > 4*res.ParamErr[2] {
+		t.Fatalf("discretization slope %v +- %v, truth %v", res.Params[2], res.ParamErr[2], c2)
+	}
+	if r := res.Chi2PerDOF(); r > 3 {
+		t.Fatalf("chi2/dof = %v", r)
+	}
+	if res.DOF != len(pts)-3 {
+		t.Fatalf("dof %d", res.DOF)
+	}
+}
+
+func TestExtrapolationErrorShrinksWithBetterData(t *testing.T) {
+	c0 := 1.271 + 0.8*EpsPi2Physical
+	loose := syntheticGrid(c0, -0.8, 0.18, 0.02, 2)
+	tight := syntheticGrid(c0, -0.8, 0.18, 0.004, 3)
+	rl, err := ExtrapolateGA(loose, EpsPi2Physical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ExtrapolateGA(tight, EpsPi2Physical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Err >= rl.Err {
+		t.Fatalf("5x better per-ensemble data did not shrink the extrapolated error: %v vs %v", rt.Err, rl.Err)
+	}
+}
+
+func TestExtrapolationValidation(t *testing.T) {
+	pts := syntheticGrid(1.3, -0.8, 0.18, 0.01, 4)
+	if _, err := ExtrapolateGA(pts[:3], EpsPi2Physical); err == nil {
+		t.Fatal("3 points accepted for a 3-parameter fit")
+	}
+	bad := append([]EnsemblePoint(nil), pts...)
+	bad[0].Err = 0
+	if _, err := ExtrapolateGA(bad, EpsPi2Physical); err == nil {
+		t.Fatal("zero error accepted")
+	}
+	// Degenerate design (all points identical) must be rejected.
+	deg := make([]EnsemblePoint, 5)
+	for i := range deg {
+		deg[i] = EnsemblePoint{EpsPi2: 0.07, A2: 0.12, GA: 1.25, Err: 0.01}
+	}
+	if _, err := ExtrapolateGA(deg, EpsPi2Physical); err == nil {
+		t.Fatal("degenerate ensemble grid accepted")
+	}
+}
+
+func TestCalLatGridCoversThreeSpacingsAndFourMasses(t *testing.T) {
+	grid := CalLatEnsembleGrid()
+	if len(grid) != 11 {
+		t.Fatalf("%d ensembles", len(grid))
+	}
+	spacings := map[float64]bool{}
+	for _, p := range grid {
+		spacings[p.A2] = true
+	}
+	if len(spacings) != 3 {
+		t.Fatalf("%d lattice spacings", len(spacings))
+	}
+	// The grid includes near-physical pion masses (the m130 points).
+	hasPhysical := false
+	for _, p := range grid {
+		if p.EpsPi2 < 0.02 {
+			hasPhysical = true
+		}
+	}
+	if !hasPhysical {
+		t.Fatal("no near-physical ensembles in the grid")
+	}
+}

@@ -1,0 +1,165 @@
+package physics
+
+import (
+	"math"
+	"testing"
+
+	"femtoverse/internal/ensemble"
+)
+
+func TestNeutronLifetimeAtPDGCoupling(t *testing.T) {
+	// gA = 1.2755 reproduces the trapped-neutron lifetime ~879.5 s.
+	tau, err := NeutronLifetime(1.2755, 0)
+	if math.Abs(tau-879.5) > 1 {
+		t.Fatalf("tau = %v", tau)
+	}
+	// With zero gA error only the numerator uncertainty survives.
+	if math.Abs(err-LifetimeNumeratorErr/(1+3*1.2755*1.2755)) > 1e-12 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNeutronLifetimeErrorPropagation(t *testing.T) {
+	// A 1% gA error dominates: d tau/d gA = -tau * 6 gA / (1 + 3 gA^2).
+	gA, dgA := 1.271, 0.0127
+	tau, err := NeutronLifetime(gA, dgA)
+	den := 1 + 3*gA*gA
+	want := math.Hypot(1.0/den, LifetimeNumerator*6*gA/(den*den)*dgA)
+	if math.Abs(err-want) > 1e-12 {
+		t.Fatalf("err = %v want %v", err, want)
+	}
+	// Lifetime must decrease with increasing gA.
+	tau2, _ := NeutronLifetime(gA+0.01, dgA)
+	if tau2 >= tau {
+		t.Fatal("lifetime should fall with gA")
+	}
+}
+
+func TestExtractFHRecoversTruth(t *testing.T) {
+	p := ensemble.A09M310(784, 11)
+	c2, cfh, err := ensemble.GenerateFH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExtractFH(c2, cfh, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accuracy: within 3% absolute of the truth (the two-step fit carries
+	// a small fixed-gap systematic on top of the statistical error).
+	if math.Abs(res.GA-p.GA) > 0.04 {
+		t.Fatalf("gA = %v +- %v, truth %v", res.GA, res.Err, p.GA)
+	}
+	if res.Err <= 0 || res.Err > 0.05 {
+		t.Fatalf("implausible error %v", res.Err)
+	}
+	// The paper's claim: ~1% precision from the FH method at this sample
+	// size.
+	if res.Precision() > 1.5 {
+		t.Fatalf("FH precision %v%% too poor", res.Precision())
+	}
+	if len(res.Geff) != len(res.Subtracted) || len(res.Geff) == 0 {
+		t.Fatal("curve outputs missing")
+	}
+	// Excited-state subtraction must flatten the early points towards gA.
+	rawDev := math.Abs(res.Geff[1] - res.GA)
+	subDev := math.Abs(res.Subtracted[1] - res.GA)
+	if subDev > rawDev {
+		t.Fatalf("subtraction made t=1 worse: %g -> %g", rawDev, subDev)
+	}
+}
+
+func TestExtractFHValidatesRange(t *testing.T) {
+	p := ensemble.A09M310(50, 12)
+	c2, cfh, _ := ensemble.GenerateFH(p)
+	if _, err := ExtractFH(c2, cfh, 0, 2); err == nil {
+		t.Fatal("too-short range accepted")
+	}
+	if _, err := ExtractFH(c2, cfh, 0, p.T); err == nil {
+		t.Fatal("range beyond T accepted")
+	}
+	if _, err := ExtractFH(c2[:1], cfh[:1], 1, 8); err == nil {
+		t.Fatal("single config accepted")
+	}
+}
+
+func TestExtractTraditionalRecoversTruthWithWorsePrecision(t *testing.T) {
+	// The paper's headline: the FH method with N samples beats the
+	// traditional method with 10 N samples.
+	pFH := ensemble.A09M310(700, 13)
+	c2, cfh, err := ensemble.GenerateFH(pFH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, err := ExtractFH(c2, cfh, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pTr := ensemble.A09M310(7000, 14)
+	trad, err := ensemble.GenerateTraditional(pTr, []int{10, 12, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, pts, err := ExtractTraditional(trad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.GA-pTr.GA) > 0.06 {
+		t.Fatalf("traditional gA = %v +- %v", tr.GA, tr.Err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d traditional points", len(pts))
+	}
+	// FH with 10x fewer samples must still be more precise.
+	if fh.Err >= tr.Err {
+		t.Fatalf("FH error %v not better than traditional %v despite 10x fewer samples",
+			fh.Err, tr.Err)
+	}
+}
+
+func TestExtractTraditionalEmptyInput(t *testing.T) {
+	if _, _, err := ExtractTraditional(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestPrecisionMetric(t *testing.T) {
+	r := GAResult{GA: 1.27, Err: 0.0127}
+	if math.Abs(r.Precision()-1) > 1e-10 {
+		t.Fatalf("precision = %v", r.Precision())
+	}
+	if !math.IsInf(GAResult{}.Precision(), 1) {
+		t.Fatal("zero gA precision")
+	}
+}
+
+func TestExtractFHWindowAverage(t *testing.T) {
+	p := ensemble.A09M310(400, 31)
+	c2, cfh, err := ensemble.GenerateFH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, avg, err := ExtractFHWindowAverage(c2, cfh, []int{1, 2, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.GA-p.GA) > 0.05 {
+		t.Fatalf("averaged gA = %v +- %v", res.GA, res.Err)
+	}
+	// The combined error includes the model spread, so it is at least the
+	// dominant window's statistical error.
+	if res.Err < avg.StatErr {
+		t.Fatal("combined error below statistical component")
+	}
+	sum := 0.0
+	for _, w := range avg.Weights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	if _, _, err := ExtractFHWindowAverage(c2, cfh, nil, 10); err == nil {
+		t.Fatal("empty window list accepted")
+	}
+}

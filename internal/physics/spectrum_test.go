@@ -1,0 +1,90 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthCorrelators builds N noisy exponential correlators with correlated
+// fluctuations, as a real ensemble would produce.
+func synthCorrelators(n, tExt int, amp, mass, noise float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		common := rng.NormFloat64()
+		c := make([]float64, tExt)
+		for t := 0; t < tExt; t++ {
+			c[t] = amp * math.Exp(-mass*float64(t)) *
+				(1 + noise*(common+0.5*rng.NormFloat64()))
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func TestExtractMassRecoversTruth(t *testing.T) {
+	truth := 0.62
+	samples := synthCorrelators(300, 16, 2.5, truth, 0.02, 1)
+	res, err := ExtractMass(samples, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mass-truth) > 0.01 {
+		t.Fatalf("mass = %v +- %v, truth %v", res.Mass, res.Err, truth)
+	}
+	if res.Err <= 0 || res.Err > 0.05 {
+		t.Fatalf("error %v", res.Err)
+	}
+	// Effective-mass curve flat at the truth.
+	for tt := 2; tt <= 10; tt++ {
+		if math.Abs(res.EffMass[tt]-truth) > 0.05 {
+			t.Fatalf("m_eff(%d) = %v", tt, res.EffMass[tt])
+		}
+		if res.EffErr[tt] <= 0 {
+			t.Fatalf("no error at %d", tt)
+		}
+	}
+}
+
+func TestExtractMassValidation(t *testing.T) {
+	samples := synthCorrelators(10, 8, 1, 0.5, 0.01, 2)
+	if _, err := ExtractMass(samples[:1], 1, 6); err == nil {
+		t.Fatal("single config accepted")
+	}
+	if _, err := ExtractMass(samples, 5, 5); err == nil {
+		t.Fatal("degenerate window accepted")
+	}
+	if _, err := ExtractMass(samples, 0, 20); err == nil {
+		t.Fatal("window beyond T accepted")
+	}
+	// Negative correlator in window fails cleanly.
+	bad := synthCorrelators(10, 8, 1, 0.5, 0.01, 3)
+	for i := range bad {
+		bad[i][4] = -1
+	}
+	if _, err := ExtractMass(bad, 2, 6); err == nil {
+		t.Fatal("negative correlator accepted")
+	}
+}
+
+func TestNucleonPionRatio(t *testing.T) {
+	// M_N = 0.53, m_pi = 0.142: ratio 3.73 (the a09m310 point).
+	n := 400
+	nuc := synthCorrelators(n, 16, 1.0, 0.53, 0.02, 4)
+	pion := synthCorrelators(n, 16, 1.0, 0.142, 0.02, 5)
+	r, err, e := NucleonPionRatio(nuc, pion, 2, 10)
+	if e != nil {
+		t.Fatal(e)
+	}
+	want := 0.53 / 0.142
+	if math.Abs(r-want) > 0.15 {
+		t.Fatalf("ratio %v +- %v, want %v", r, err, want)
+	}
+	if err <= 0 {
+		t.Fatal("no error")
+	}
+	if _, _, e := NucleonPionRatio(nuc[:3], pion, 2, 10); e == nil {
+		t.Fatal("mismatched ensembles accepted")
+	}
+}

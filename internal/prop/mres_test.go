@@ -1,0 +1,78 @@
+package prop
+
+import (
+	"testing"
+
+	"femtoverse/internal/dirac"
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/solver"
+)
+
+func mresSolver(t *testing.T, cfg *gauge.Field, ls int) *QuarkSolver {
+	t.Helper()
+	m, err := dirac.NewMobius(cfg, dirac.MobiusParams{Ls: ls, M5: 1.4, B5: 1.25, C5: 0.25, M: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := dirac.NewMobiusEO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewQuarkSolver(eo, solver.Params{Tol: 1e-9, Precision: solver.Single})
+}
+
+// TestResidualMassShrinksWithLs is the defining property of the
+// domain-wall discretization: the residual chiral symmetry breaking,
+// measured by the midpoint pseudoscalar density, falls exponentially as
+// the fifth dimension grows - the reason the production runs pay for
+// Ls = 12-20.
+func TestResidualMassShrinksWithLs(t *testing.T) {
+	g := lattice.MustNew(4, 4, 4, 8)
+	cfg := gauge.NewWeak(g, 61, 0.3)
+	cfg.FlipTimeBoundary()
+	origin := [4]int{0, 0, 0, 0}
+
+	m4, err := mresSolver(t, cfg, 4).ResidualMass(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := mresSolver(t, cfg, 8).ResidualMass(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4 <= 0 || m8 <= 0 {
+		t.Fatalf("residual masses must be positive: %v %v", m4, m8)
+	}
+	if m8 >= m4/2 {
+		t.Fatalf("m_res not falling with Ls: Ls=4 gives %v, Ls=8 gives %v", m4, m8)
+	}
+	t.Logf("m_res: Ls=4 -> %.3e, Ls=8 -> %.3e (ratio %.2f)", m4, m8, m4/m8)
+}
+
+func TestResidualMassValidation(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 4)
+	cfg := gauge.NewUnit(g)
+	m, _ := dirac.NewMobius(cfg, dirac.MobiusParams{Ls: 2, M5: 1.4, B5: 1.25, C5: 0.25, M: 0.1})
+	eo, _ := dirac.NewMobiusEO(m)
+	qs := NewQuarkSolver(eo, solver.Params{Tol: 1e-8})
+	if _, err := qs.ResidualMass([4]int{0, 0, 0, 0}); err == nil {
+		t.Fatal("Ls=2 accepted for midpoint measurement")
+	}
+}
+
+func TestMidpointFieldShape(t *testing.T) {
+	ls, vol4 := 8, 24
+	psi5 := make([]complex128, ls*vol4)
+	for i := range psi5 {
+		psi5[i] = complex(float64(i), 0)
+	}
+	q := Midpoint4D(psi5, ls)
+	if len(q) != vol4 {
+		t.Fatalf("midpoint length %d", len(q))
+	}
+	// P+ components (0..5) from slice mid-1 = 3; P- (6..11) from slice 4.
+	if q[0] != psi5[3*vol4+0] || q[6] != psi5[4*vol4+6] {
+		t.Fatal("midpoint chirality assembly wrong")
+	}
+}

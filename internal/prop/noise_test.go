@@ -1,0 +1,112 @@
+package prop
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"femtoverse/internal/dirac"
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/linalg"
+	"femtoverse/internal/solver"
+)
+
+func TestNoiseSourcesUnitMagnitude(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 4)
+	rng := rand.New(rand.NewSource(1))
+	for _, src := range [][]complex128{Z2Source(g, rng), Z4Source(g, rng)} {
+		for i, v := range src {
+			if math.Abs(cmplx.Abs(v)-1) > 1e-15 {
+				t.Fatalf("component %d has magnitude %v", i, cmplx.Abs(v))
+			}
+		}
+	}
+	// Z2 is real; Z4 uses all four phases.
+	z2 := Z2Source(g, rng)
+	for _, v := range z2 {
+		if imag(v) != 0 {
+			t.Fatal("Z2 source has imaginary part")
+		}
+	}
+	z4 := Z4Source(g, rng)
+	seen := map[complex128]bool{}
+	for _, v := range z4 {
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("Z4 source uses %d phases", len(seen))
+	}
+}
+
+func TestNoiseIdentityProperty(t *testing.T) {
+	// (1/N) sum eta eta^dag -> identity: diagonal exactly 1 (unit
+	// magnitude), off-diagonal shrinking like 1/sqrt(N).
+	g := lattice.MustNew(2, 2, 2, 2)
+	rng := rand.New(rand.NewSource(2))
+	n := g.Vol * dirac.SpinorLen
+	nNoise := 600
+	// Track one fixed off-diagonal pair and the diagonal average.
+	var offAccum complex128
+	diag := 0.0
+	for k := 0; k < nNoise; k++ {
+		eta := Z4Source(g, rng)
+		offAccum += eta[3] * cmplx.Conj(eta[57])
+		diag += real(eta[10] * cmplx.Conj(eta[10]))
+	}
+	if math.Abs(diag/float64(nNoise)-1) > 1e-12 {
+		t.Fatal("diagonal not unity")
+	}
+	off := cmplx.Abs(offAccum) / float64(nNoise)
+	if off > 5/math.Sqrt(float64(nNoise)) {
+		t.Fatalf("off-diagonal %v too large for N=%d", off, nNoise)
+	}
+	_ = n
+}
+
+func TestStochasticTraceMatchesExact(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 2)
+	cfg := gauge.NewWeak(g, 3, 0.25)
+	cfg.FlipTimeBoundary()
+	m, err := dirac.NewMobius(cfg, dirac.MobiusParams{Ls: 4, M5: 1.4, B5: 1.25, C5: 0.25, M: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := dirac.NewMobiusEO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := NewQuarkSolver(eo, solver.Params{Tol: 1e-9, Precision: solver.Single})
+
+	gamma := linalg.Gamma(4) // gamma_5 trace, the residual-mass-style probe
+	exact, err := qs.ExactTrace(gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := qs.StochasticTrace(gamma, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 40 || est.Err <= 0 {
+		t.Fatalf("estimate metadata %+v", est)
+	}
+	if d := cmplx.Abs(est.Value - exact); d > 5*est.Err {
+		t.Fatalf("stochastic %v vs exact %v: %g > 5 x %g", est.Value, exact, d, est.Err)
+	}
+	// The error must be a sane fraction of the magnitude.
+	if est.Err > 0.5*cmplx.Abs(exact)+1 {
+		t.Fatalf("estimator variance implausible: %v vs |%v|", est.Err, exact)
+	}
+}
+
+func TestStochasticTraceValidation(t *testing.T) {
+	g := lattice.MustNew(2, 2, 2, 2)
+	cfg := gauge.NewUnit(g)
+	m, _ := dirac.NewMobius(cfg, dirac.MobiusParams{Ls: 4, M5: 1.4, B5: 1.25, C5: 0.25, M: 0.3})
+	eo, _ := dirac.NewMobiusEO(m)
+	qs := NewQuarkSolver(eo, solver.Params{Tol: 1e-8})
+	if _, err := qs.StochasticTrace(linalg.SpinIdentity(), 1, 5); err == nil {
+		t.Fatal("single noise vector accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package prop
+
+import (
+	"fmt"
+
+	"femtoverse/internal/autotune"
+	"femtoverse/internal/dirac"
+)
+
+// Kernel autotuning for the real solve path: like QUDA tuning its CUDA
+// launch geometry the first time a kernel meets a new problem shape, the
+// quark solver can brute-force the goroutine worker count of the
+// preconditioned operator application and cache the winner keyed on the
+// lattice volume.
+
+// schurTunable adapts the preconditioned operator to the autotuner.
+type schurTunable struct {
+	eo       *dirac.MobiusEO
+	src, dst []complex128
+}
+
+// Key implements autotune.Tunable.
+func (k *schurTunable) Key() autotune.Key {
+	g := k.eo.M.W.G
+	return autotune.Key{
+		Kernel: "mdwf-schur",
+		Volume: fmt.Sprintf("%dx%dx%dx%dx%d", g.Dims[0], g.Dims[1], g.Dims[2], g.Dims[3], k.eo.M.Ls),
+		Aux:    "prec=double",
+	}
+}
+
+// Candidates implements autotune.Tunable.
+func (k *schurTunable) Candidates() []autotune.LaunchParams { return autotune.DefaultCandidates() }
+
+// Flops implements autotune.Tunable.
+func (k *schurTunable) Flops() int64 { return k.eo.FlopsPerApply() }
+
+// PreTune implements autotune.Tunable (the apply writes only to scratch).
+func (k *schurTunable) PreTune() {}
+
+// PostTune implements autotune.Tunable.
+func (k *schurTunable) PostTune() {}
+
+// Run implements autotune.Tunable.
+func (k *schurTunable) Run(p autotune.LaunchParams) {
+	k.eo.M.W.Workers = p.Workers
+	k.eo.M.W.Block = p.Block
+	k.eo.Apply(k.dst, k.src)
+}
+
+// Tune searches the launch-parameter space of the preconditioned operator
+// once (cached in t thereafter) and leaves the operator configured with
+// the winning worker count. It returns the chosen parameters.
+func (qs *QuarkSolver) Tune(t *autotune.Tuner) autotune.LaunchParams {
+	k := &schurTunable{
+		eo:  qs.EO,
+		src: make([]complex128, qs.EO.HalfSize()),
+		dst: make([]complex128, qs.EO.HalfSize()),
+	}
+	// A representative non-trivial source.
+	for i := 0; i < len(k.src); i += 7 {
+		k.src[i] = complex(1, -0.5)
+	}
+	e := t.Tune(k)
+	qs.EO.M.W.Workers = e.Params.Workers
+	qs.EO.M.W.Block = e.Params.Block
+	return e.Params
+}

@@ -1,0 +1,70 @@
+package prop
+
+import (
+	"testing"
+
+	"femtoverse/internal/autotune"
+	"femtoverse/internal/dirac"
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/solver"
+)
+
+func TestQuarkSolverTuneConfiguresWorkers(t *testing.T) {
+	g := lattice.MustNew(4, 4, 4, 8)
+	cfg := gauge.NewWeak(g, 51, 0.2)
+	m, err := dirac.NewMobius(cfg, dirac.MobiusParams{Ls: 6, M5: 1.4, B5: 1.25, C5: 0.25, M: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := dirac.NewMobiusEO(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := NewQuarkSolver(eo, solver.Params{Tol: 1e-7, Precision: solver.Double})
+
+	tn := autotune.New()
+	tn.Reps = 1
+	p := qs.Tune(tn)
+	if p.Workers <= 0 {
+		t.Fatalf("tuned workers %d", p.Workers)
+	}
+	if eo.M.W.Workers != p.Workers {
+		t.Fatal("operator not configured with the winning workers")
+	}
+	if tn.Len() != 1 {
+		t.Fatalf("cache has %d entries", tn.Len())
+	}
+	// Second tune is a cache hit returning identical parameters.
+	p2 := qs.Tune(tn)
+	if p2 != p {
+		t.Fatalf("re-tune changed parameters: %+v vs %+v", p2, p)
+	}
+
+	// A solve still works (and is correct) with the tuned configuration.
+	b := PointSource(g, [4]int{0, 0, 0, 0}, 0, 0)
+	q, st, err := qs.Solve4D(b)
+	if err != nil || !st.Converged {
+		t.Fatalf("tuned solve failed: %v %+v", err, st)
+	}
+	if len(q) != g.Vol*dirac.SpinorLen {
+		t.Fatal("solution size")
+	}
+}
+
+func TestTuneKeyDistinguishesVolumes(t *testing.T) {
+	mk := func(x int) *QuarkSolver {
+		g := lattice.MustNew(x, 2, 2, 4)
+		cfg := gauge.NewUnit(g)
+		m, _ := dirac.NewMobius(cfg, dirac.MobiusParams{Ls: 4, M5: 1.4, B5: 1.25, C5: 0.25, M: 0.1})
+		eo, _ := dirac.NewMobiusEO(m)
+		return NewQuarkSolver(eo, solver.Params{Tol: 1e-6})
+	}
+	tn := autotune.New()
+	tn.Reps = 1
+	mk(2).Tune(tn)
+	mk(4).Tune(tn)
+	if tn.Len() != 2 {
+		t.Fatalf("volumes share a tune-cache key: %d entries", tn.Len())
+	}
+}

@@ -1,0 +1,129 @@
+package solver
+
+import (
+	"math"
+	"time"
+
+	"femtoverse/internal/linalg"
+)
+
+// BiCGStab solves D x = b directly on the non-Hermitian operator.
+// For Wilson-type operators it often halves the matvec count of CGNE,
+// but for the domain-wall operator its convergence is erratic - which is
+// exactly why the paper states that "the state-of-the-art technique is to
+// utilize conjugate gradient on the normal equations" for the Mobius
+// discretization. It is provided as the ablation baseline; ErrBreakdown
+// is a real possibility and callers should fall back to CGNE.
+func BiCGStab(op Linear, b []complex128, p Params) ([]complex128, Stats, error) {
+	p = p.withDefaults()
+	start := time.Now()
+	n := op.Size()
+	if len(b) != n {
+		panic("solver: BiCGStab rhs size mismatch")
+	}
+	w := p.Workers
+	st := Stats{Precision: Double}
+
+	bNorm := math.Sqrt(linalg.NormSq(b, w))
+	x := make([]complex128, n)
+	if bNorm == 0 {
+		st.Converged = true
+		st.Elapsed = time.Since(start)
+		return x, st, nil
+	}
+
+	r := append([]complex128(nil), b...) // r = b - A*0
+	rhat := append([]complex128(nil), r...)
+	v := make([]complex128, n)
+	pv := make([]complex128, n)
+	s := make([]complex128, n)
+	t := make([]complex128, n)
+
+	var rho, alpha, omega complex128 = 1, 1, 1
+	target := p.Tol * bNorm
+
+	for st.Iterations < p.MaxIter {
+		rhoNew := linalg.Dot(rhat, r, w)
+		if rhoNew == 0 {
+			st.Elapsed = time.Since(start)
+			st.TrueResidual = math.Sqrt(linalg.NormSq(r, w)) / bNorm
+			return x, st, ErrBreakdown
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		// p = r + beta*(p - omega*v)
+		linalg.Axpy(-omega, v, pv, w)
+		linalg.Xpay(r, beta, pv, w)
+		op.Apply(v, pv)
+		st.Flops += p.FlopsPerApply
+		st.Iterations++
+		den := linalg.Dot(rhat, v, w)
+		if den == 0 {
+			st.Elapsed = time.Since(start)
+			st.TrueResidual = math.Sqrt(linalg.NormSq(r, w)) / bNorm
+			return x, st, ErrBreakdown
+		}
+		alpha = rhoNew / den
+		linalg.AxpyZ(-alpha, v, r, s, w)
+		if sn := math.Sqrt(linalg.NormSq(s, w)); sn <= target {
+			linalg.Axpy(alpha, pv, x, w)
+			st.Converged = true
+			st.TrueResidual = trueRes(op, x, b, w, &st, p)
+			st.Elapsed = time.Since(start)
+			if st.TrueResidual > p.Tol {
+				st.Converged = false
+				// Continue iterating from the updated state.
+				linalg.Copy(r, s)
+				rho = rhoNew
+				continue
+			}
+			return x, st, nil
+		}
+		op.Apply(t, s)
+		st.Flops += p.FlopsPerApply
+		tt := linalg.NormSq(t, w)
+		if tt == 0 {
+			st.Elapsed = time.Since(start)
+			return x, st, ErrBreakdown
+		}
+		omega = linalg.Dot(t, s, w) / complex(tt, 0)
+		if omega == 0 {
+			st.Elapsed = time.Since(start)
+			return x, st, ErrBreakdown
+		}
+		linalg.Axpy(alpha, pv, x, w)
+		linalg.Axpy(omega, s, x, w)
+		linalg.AxpyZ(-omega, t, s, r, w)
+		rho = rhoNew
+
+		if rn := math.Sqrt(linalg.NormSq(r, w)); rn <= target {
+			res := trueRes(op, x, b, w, &st, p)
+			if res <= p.Tol {
+				st.Converged = true
+				st.TrueResidual = res
+				st.Elapsed = time.Since(start)
+				return x, st, nil
+			}
+			target *= 0.1
+		}
+	}
+	st.TrueResidual = trueRes(op, x, b, w, &st, p)
+	st.Converged = st.TrueResidual <= p.Tol
+	st.Elapsed = time.Since(start)
+	if !st.Converged {
+		return x, st, ErrMaxIter
+	}
+	return x, st, nil
+}
+
+func trueRes(op Linear, x, b []complex128, w int, st *Stats, p Params) float64 {
+	tmp := make([]complex128, len(b))
+	op.Apply(tmp, x)
+	st.Flops += p.FlopsPerApply
+	num, den := 0.0, 0.0
+	for i := range b {
+		e := tmp[i] - b[i]
+		num += real(e)*real(e) + imag(e)*imag(e)
+		den += real(b[i])*real(b[i]) + imag(b[i])*imag(b[i])
+	}
+	return math.Sqrt(num / den)
+}

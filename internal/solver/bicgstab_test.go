@@ -1,0 +1,79 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBiCGStabDiagonalExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 512
+	op := &diagOp{d: make([]complex128, n)}
+	for i := range op.d {
+		op.d[i] = complex(1+rng.Float64(), 0.2*rng.NormFloat64())
+	}
+	b := randRHS(rng, n)
+	x, st, err := BiCGStab(op, b, Params{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("stats %+v", st)
+	}
+	if res := relResidual(op, x, b); res > 1e-9 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestBiCGStabMatchesCGNEOnSchurSystem(t *testing.T) {
+	p := newTestEO(t, 23, 0.3)
+	rng := rand.New(rand.NewSource(22))
+	b := randRHS(rng, p.Size())
+
+	xc, stc, err := CGNE(p, b, Params{Tol: 1e-9, FlopsPerApply: p.FlopsPerApply()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, stb, err := BiCGStab(p, b, Params{Tol: 1e-9, FlopsPerApply: p.FlopsPerApply()})
+	if err != nil {
+		// Erratic convergence on domain-wall systems is documented
+		// behaviour; but at this heavy mass it should converge.
+		t.Fatalf("BiCGStab failed on a well-conditioned system: %v (%+v)", err, stb)
+	}
+	num, den := 0.0, 0.0
+	for i := range xc {
+		e := xc[i] - xb[i]
+		num += real(e)*real(e) + imag(e)*imag(e)
+		den += real(xc[i])*real(xc[i]) + imag(xc[i])*imag(xc[i])
+	}
+	if d := math.Sqrt(num / den); d > 1e-6 {
+		t.Fatalf("solutions differ by %g", d)
+	}
+	t.Logf("CGNE: %d iters (2 matvecs each); BiCGStab: %d iters (2 matvecs each)",
+		stc.Iterations, stb.Iterations)
+}
+
+func TestBiCGStabZeroRHS(t *testing.T) {
+	p := newTestEO(t, 25, 0.2)
+	b := make([]complex128, p.Size())
+	x, st, err := BiCGStab(p, b, Params{})
+	if err != nil || !st.Converged {
+		t.Fatalf("%v %+v", err, st)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+}
+
+func TestBiCGStabMaxIter(t *testing.T) {
+	p := newTestEO(t, 27, 0.05)
+	rng := rand.New(rand.NewSource(23))
+	b := randRHS(rng, p.Size())
+	_, st, err := BiCGStab(p, b, Params{Tol: 1e-13, MaxIter: 2})
+	if err == nil {
+		t.Fatalf("2 iterations cannot reach 1e-13: %+v", st)
+	}
+}

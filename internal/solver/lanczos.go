@@ -1,0 +1,320 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"femtoverse/internal/linalg"
+)
+
+// Low-mode deflation: at light quark masses the condition number of the
+// normal operator explodes and CG iteration counts with it. The standard
+// production remedy computes the lowest eigenpairs of D^dag D once per
+// configuration with a Lanczos process and projects them out of every
+// subsequent solve - dozens of right-hand sides (12 spin-color components
+// x sources x the FH re-solves) amortize the setup many times over.
+
+// EigenPair is a Ritz approximation to an eigenpair of the normal
+// operator.
+type EigenPair struct {
+	Value    float64
+	Vector   []complex128
+	Residual float64 // ||N v - lambda v||
+}
+
+// Lanczos runs m steps of the Lanczos process with full
+// reorthogonalization on the Hermitian positive-definite normal operator
+// N = D^dag D and returns the nEv lowest Ritz pairs. m must exceed nEv;
+// 2-3x is a sensible ratio. Plain Lanczos resolves the low end well only
+// when it is isolated from the bulk; for the dense spectra of real Dirac
+// normal operators use LanczosCheby.
+func Lanczos(op Linear, nEv, m int, seed int64, p Params) ([]EigenPair, Stats, error) {
+	return lanczosFiltered(op, nEv, m, seed, p, nil, false)
+}
+
+// LanczosCheby is the production eigensolver: Lanczos on the Chebyshev
+// polynomial filter T_degree(N) mapped so that eigenvalues below lcut are
+// amplified exponentially while the bulk [lcut, lmax] is suppressed into
+// [-1, 1]. The largest eigenvalue lmax is estimated internally by power
+// iteration; Ritz values and residuals are always computed against the
+// original operator.
+func LanczosCheby(op Linear, nEv, m, degree int, lcut float64, seed int64, p Params) ([]EigenPair, Stats, error) {
+	if degree < 1 || lcut <= 0 {
+		return nil, Stats{}, fmt.Errorf("solver: bad Chebyshev filter degree=%d lcut=%g", degree, lcut)
+	}
+	pp := p.withDefaults()
+	w := pp.Workers
+	n := op.Size()
+	// Power iteration for lmax (with margin).
+	v := make([]complex128, n)
+	s := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	for i := range v {
+		s = s*6364136223846793005 + 1442695040888963407
+		v[i] = complex(float64(int64(s>>11))/(1<<52)-1, 0)
+	}
+	tmp := make([]complex128, n)
+	work := make([]complex128, n)
+	lmax := 1.0
+	for it := 0; it < 20; it++ {
+		nv := math.Sqrt(linalg.NormSq(v, w))
+		linalg.Scale(complex(1/nv, 0), v, w)
+		op.Apply(tmp, v)
+		op.ApplyDagger(work, tmp)
+		lmax = real(linalg.Dot(v, work, w))
+		copy(v, work)
+	}
+	lmax *= 1.05
+	if lcut >= lmax {
+		return nil, Stats{}, fmt.Errorf("solver: lcut %g above spectrum top %g", lcut, lmax)
+	}
+	a, b := lcut, lmax
+	filter := func(dst, src []complex128, st *Stats) {
+		// dst = T_degree(M) src with M = (2N - (a+b)) / (b - a).
+		c1 := complex(2/(b-a), 0)
+		c2 := complex(-(a+b)/(b-a), 0)
+		tPrev := append([]complex128(nil), src...) // T_0 = src
+		// T_1 = M src.
+		op.Apply(tmp, src)
+		op.ApplyDagger(work, tmp)
+		st.Flops += 2 * pp.FlopsPerApply
+		tCur := make([]complex128, n)
+		for i := range tCur {
+			tCur[i] = c1*work[i] + c2*src[i]
+		}
+		for k := 2; k <= degree; k++ {
+			op.Apply(tmp, tCur)
+			op.ApplyDagger(work, tmp)
+			st.Flops += 2 * pp.FlopsPerApply
+			for i := range work {
+				next := 2*(c1*work[i]+c2*tCur[i]) - tPrev[i]
+				tPrev[i] = tCur[i]
+				tCur[i] = next
+			}
+		}
+		copy(dst, tCur)
+	}
+	return lanczosFiltered(op, nEv, m, seed, p, filter, true)
+}
+
+// lanczosFiltered is the shared Lanczos body: matvec through the filter
+// (nil = plain normal operator), Ritz selection by smallest plain /
+// largest filtered eigenvalue, true Rayleigh quotients for the output.
+func lanczosFiltered(op Linear, nEv, m int, seed int64, p Params,
+	filter func(dst, src []complex128, st *Stats), selectLargest bool) ([]EigenPair, Stats, error) {
+	p = p.withDefaults()
+	n := op.Size()
+	if nEv < 1 || m <= nEv {
+		return nil, Stats{}, fmt.Errorf("solver: need m > nEv >= 1, got m=%d nEv=%d", m, nEv)
+	}
+	if m > n {
+		m = n
+	}
+	w := p.Workers
+	st := Stats{Precision: Double}
+
+	// Krylov basis.
+	v := make([][]complex128, 0, m+1)
+	alpha := make([]float64, 0, m)
+	beta := make([]float64, 0, m) // beta[j] couples v[j] and v[j+1]
+
+	// Deterministic pseudo-random start vector.
+	v0 := make([]complex128, n)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range v0 {
+		s = s*6364136223846793005 + 1442695040888963407
+		re := float64(int64(s>>11))/(1<<52) - 1
+		s = s*6364136223846793005 + 1442695040888963407
+		im := float64(int64(s>>11))/(1<<52) - 1
+		v0[i] = complex(re, im)
+	}
+	norm := math.Sqrt(linalg.NormSq(v0, w))
+	linalg.Scale(complex(1/norm, 0), v0, w)
+	v = append(v, v0)
+
+	tmp := make([]complex128, n)
+	work := make([]complex128, n)
+	for j := 0; j < m; j++ {
+		// work = (filtered) N v[j].
+		if filter != nil {
+			filter(work, v[j], &st)
+		} else {
+			op.Apply(tmp, v[j])
+			op.ApplyDagger(work, tmp)
+			st.Flops += 2 * p.FlopsPerApply
+		}
+		st.Iterations++
+		if j > 0 {
+			linalg.Axpy(complex(-beta[j-1], 0), v[j-1], work, w)
+		}
+		a := real(linalg.Dot(v[j], work, w))
+		alpha = append(alpha, a)
+		linalg.Axpy(complex(-a, 0), v[j], work, w)
+		// Full reorthogonalization (twice is enough).
+		for pass := 0; pass < 2; pass++ {
+			for _, u := range v {
+				c := linalg.Dot(u, work, w)
+				linalg.Axpy(-c, u, work, w)
+			}
+		}
+		b := math.Sqrt(linalg.NormSq(work, w))
+		beta = append(beta, b)
+		if b < 1e-14 || j == m-1 {
+			break
+		}
+		next := append([]complex128(nil), work...)
+		linalg.Scale(complex(1/b, 0), next, w)
+		v = append(v, next)
+	}
+
+	k := len(alpha)
+	// Eigen-decomposition of the k x k tridiagonal via Jacobi rotations
+	// on the dense symmetric matrix (k is small).
+	a := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		a[i*k+i] = alpha[i]
+		if i+1 < k {
+			a[i*k+i+1] = beta[i]
+			a[(i+1)*k+i] = beta[i]
+		}
+	}
+	vals, vecs := jacobiEigen(k, a)
+
+	// Lowest nEv Ritz pairs.
+	if nEv > k {
+		nEv = k
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection sort (k is small): ascending for the plain operator,
+	// descending for the filter (amplified = low modes of N).
+	less := func(a, b float64) bool { return a < b }
+	if selectLargest {
+		less = func(a, b float64) bool { return a > b }
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < k; j++ {
+			if less(vals[idx[j]], vals[idx[best]]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	out := make([]EigenPair, 0, nEv)
+	for e := 0; e < nEv; e++ {
+		col := idx[e]
+		vec := make([]complex128, n)
+		for j := 0; j < k; j++ {
+			linalg.Axpy(complex(vecs[j*k+col], 0), v[j], vec, w)
+		}
+		nv := math.Sqrt(linalg.NormSq(vec, w))
+		linalg.Scale(complex(1/nv, 0), vec, w)
+		// Residual check.
+		op.Apply(tmp, vec)
+		op.ApplyDagger(work, tmp)
+		st.Flops += 2 * p.FlopsPerApply
+		lam := real(linalg.Dot(vec, work, w))
+		linalg.Axpy(complex(-lam, 0), vec, work, w)
+		out = append(out, EigenPair{
+			Value:    lam,
+			Vector:   vec,
+			Residual: math.Sqrt(linalg.NormSq(work, w)),
+		})
+	}
+	// Report ascending in the true eigenvalue regardless of how the
+	// subspace was selected.
+	for i := range out {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Value < out[best].Value {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out, st, nil
+}
+
+// jacobiEigen diagonalizes a dense symmetric matrix (row-major n x n)
+// with cyclic Jacobi rotations, returning eigenvalues and the column
+// eigenvector matrix. Destroys a.
+func jacobiEigen(n int, a []float64) ([]float64, []float64) {
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	for sweep := 0; sweep < 60; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a[i*n+j] * a[i*n+j]
+			}
+		}
+		if off < 1e-26 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				apq := a[i*n+j]
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				theta := (a[j*n+j] - a[i*n+i]) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					aik, ajk := a[i*n+k], a[j*n+k]
+					a[i*n+k] = c*aik - s*ajk
+					a[j*n+k] = s*aik + c*ajk
+				}
+				for k := 0; k < n; k++ {
+					aki, akj := a[k*n+i], a[k*n+j]
+					a[k*n+i] = c*aki - s*akj
+					a[k*n+j] = s*aki + c*akj
+				}
+				for k := 0; k < n; k++ {
+					vki, vkj := v[k*n+i], v[k*n+j]
+					v[k*n+i] = c*vki - s*vkj
+					v[k*n+j] = s*vki + c*vkj
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a[i*n+i]
+	}
+	return vals, v
+}
+
+// Deflate returns the low-mode initial guess
+// x0 = sum_i v_i <v_i, D^dag b> / lambda_i for the normal equations,
+// which removes the slowest CG components before the iteration starts.
+func Deflate(op Linear, b []complex128, modes []EigenPair, p Params) []complex128 {
+	p = p.withDefaults()
+	n := op.Size()
+	w := p.Workers
+	rhs := make([]complex128, n)
+	op.ApplyDagger(rhs, b)
+	x0 := make([]complex128, n)
+	for _, m := range modes {
+		if m.Value <= 0 {
+			continue
+		}
+		c := linalg.Dot(m.Vector, rhs, w) / complex(m.Value, 0)
+		linalg.Axpy(c, m.Vector, x0, w)
+	}
+	return x0
+}
+
+// CGNEDeflated solves D x = b seeding CG with the deflated guess.
+func CGNEDeflated(op Linear, b []complex128, modes []EigenPair, p Params) ([]complex128, Stats, error) {
+	x0 := Deflate(op, b, modes, p)
+	return CGNEFrom(op, b, x0, p)
+}

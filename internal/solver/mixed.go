@@ -1,0 +1,157 @@
+package solver
+
+import (
+	"math"
+	"time"
+
+	"femtoverse/internal/dirac"
+	"femtoverse/internal/linalg"
+)
+
+// CGNEMixed solves D x = b with the paper's production scheme: conjugate
+// gradient on the normal equations where the matrix applications and
+// vector updates run in a sloppy precision (single, or single compute
+// with 16-bit fixed-point storage rounding for Half), while reliable
+// updates - triggered when the sloppy residual has dropped by
+// ReliableDelta relative to its maximum since the last update - recompute
+// the group residual in full double precision and re-inject it, bounding
+// the accumulated rounding error. All reductions are double precision.
+func CGNEMixed(op Linear, sloppy Linear32, b []complex128, p Params) ([]complex128, Stats, error) {
+	p = p.withDefaults()
+	if p.Precision == Double || sloppy == nil {
+		return CGNE(op, b, p)
+	}
+	start := time.Now()
+	n := op.Size()
+	if len(b) != n || sloppy.Size() != n {
+		panic("solver: CGNEMixed size mismatch")
+	}
+	w := p.Workers
+	st := Stats{Precision: p.Precision}
+
+	bNorm := math.Sqrt(linalg.NormSq(b, w))
+	x := make([]complex128, n)
+	if bNorm == 0 {
+		st.Converged = true
+		st.Elapsed = time.Since(start)
+		return x, st, nil
+	}
+
+	// Double-precision outer state.
+	rhs := make([]complex128, n)
+	op.ApplyDagger(rhs, b)
+	st.Flops += p.FlopsPerApply
+	rD := append([]complex128(nil), rhs...) // true normal residual
+	tmpD := make([]complex128, n)
+	tmpD2 := make([]complex128, n)
+
+	// Sloppy state.
+	r := make([]complex64, n)
+	linalg.Demote(r, rD)
+	pv := append([]complex64(nil), r...)
+	ap := make([]complex64, n)
+	tmp := make([]complex64, n)
+	xs := make([]complex64, n) // sloppy solution accumulated since update
+
+	// Half-precision storage rounding for the matvec stream.
+	var hbuf *linalg.HalfVector
+	if p.Precision == Half {
+		hbuf = linalg.NewHalfVector(n, dirac.SpinorLen)
+	}
+	roundHalf := func(v []complex64) {
+		if hbuf == nil {
+			return
+		}
+		hbuf.EncodeC64(v)
+		hbuf.DecodeC64(v)
+	}
+
+	rr := linalg.NormSq(rD, w)
+	rhsNorm := math.Sqrt(rr)
+	neTarget := p.Tol * rhsNorm
+	maxSinceUpdate := math.Sqrt(rr)
+
+	trueResidual := func() float64 {
+		op.Apply(tmpD, x)
+		st.Flops += p.FlopsPerApply
+		d := linalg.ReduceFloat64(n, w, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				e := tmpD[i] - b[i]
+				s += real(e)*real(e) + imag(e)*imag(e)
+			}
+			return s
+		})
+		return math.Sqrt(d) / bNorm
+	}
+
+	// reliableUpdate folds the sloppy solution into x and recomputes the
+	// normal residual in double precision.
+	reliableUpdate := func() float64 {
+		linalg.Promote(tmpD, xs)
+		linalg.Axpy(1, tmpD, x, w)
+		linalg.ZeroC64(xs)
+		op.Apply(tmpD, x)
+		op.ApplyDagger(tmpD2, tmpD)
+		st.Flops += 2 * p.FlopsPerApply
+		linalg.Copy(rD, rhs)
+		linalg.Axpy(-1, tmpD2, rD, w)
+		linalg.Demote(r, rD)
+		st.ReliableUpdates++
+		return linalg.NormSq(rD, w)
+	}
+
+	for st.Iterations < p.MaxIter {
+		roundHalf(pv)
+		sloppy.Apply(tmp, pv)
+		sloppy.ApplyDagger(ap, tmp)
+		roundHalf(ap)
+		st.Flops += 2 * p.FlopsPerApply
+		st.Iterations++
+
+		pap := real(linalg.DotC64(pv, ap, w))
+		if pap <= 0 {
+			st.TrueResidual = trueResidual()
+			st.Elapsed = time.Since(start)
+			return x, st, ErrBreakdown
+		}
+		alpha := rr / pap
+		a32 := complex(float32(alpha), 0)
+		linalg.AxpyC64(a32, pv, xs, w)
+		linalg.AxpyC64(-a32, ap, r, w)
+		rrNew := linalg.NormSqC64(r, w)
+		rNorm := math.Sqrt(rrNew)
+
+		if rNorm < p.ReliableDelta*maxSinceUpdate || rNorm <= neTarget {
+			rrNew = reliableUpdate()
+			rNorm = math.Sqrt(rrNew)
+			maxSinceUpdate = rNorm
+			if rNorm <= neTarget {
+				if res := trueResidual(); res <= p.Tol {
+					st.Converged = true
+					st.TrueResidual = res
+					st.Elapsed = time.Since(start)
+					return x, st, nil
+				}
+				neTarget *= 0.1
+			}
+		} else if rNorm > maxSinceUpdate {
+			maxSinceUpdate = rNorm
+		}
+
+		beta := complex(float32(rrNew/rr), 0)
+		linalg.XpayC64(r, beta, pv, w)
+		rr = rrNew
+	}
+
+	// Final fold-in of whatever the sloppy stage accumulated.
+	linalg.Promote(tmpD, xs)
+	linalg.Axpy(1, tmpD, x, w)
+	st.TrueResidual = trueResidual()
+	st.Converged = st.TrueResidual <= p.Tol
+	st.Elapsed = time.Since(start)
+	if !st.Converged {
+		return x, st, ErrMaxIter
+	}
+	return x, st, nil
+}

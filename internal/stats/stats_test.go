@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); math.Abs(v-2.5) > 1e-14 {
+		t.Fatalf("variance = %v", v)
+	}
+	if se := StdErr(xs); math.Abs(se-math.Sqrt(2.5/5)) > 1e-14 {
+		t.Fatalf("stderr = %v", se)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestJackknifeOfMeanMatchesStdErr(t *testing.T) {
+	// For f = identity on scalars, jackknife error equals standard error.
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	samples := make([][]float64, n)
+	flat := make([]float64, n)
+	for i := range samples {
+		x := rng.NormFloat64()
+		samples[i] = []float64{x}
+		flat[i] = x
+	}
+	val, err := Jackknife(samples, func(m []float64) float64 { return m[0] })
+	if math.Abs(val-Mean(flat)) > 1e-12 {
+		t.Fatalf("jackknife mean %v vs %v", val, Mean(flat))
+	}
+	if math.Abs(err-StdErr(flat)) > 1e-10 {
+		t.Fatalf("jackknife err %v vs stderr %v", err, StdErr(flat))
+	}
+}
+
+func TestJackknifeNonlinearBiasSmall(t *testing.T) {
+	// f = square of the mean; jackknife must give a sensible error that
+	// shrinks with N.
+	rng := rand.New(rand.NewSource(2))
+	mk := func(n int) [][]float64 {
+		s := make([][]float64, n)
+		for i := range s {
+			s[i] = []float64{2 + 0.3*rng.NormFloat64()}
+		}
+		return s
+	}
+	_, err100 := Jackknife(mk(100), func(m []float64) float64 { return m[0] * m[0] })
+	_, err10000 := Jackknife(mk(10000), func(m []float64) float64 { return m[0] * m[0] })
+	if err10000 >= err100 {
+		t.Fatalf("jackknife error did not shrink: %v vs %v", err100, err10000)
+	}
+}
+
+func TestJackknifeVecShapes(t *testing.T) {
+	samples := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	val, errs := JackknifeVec(samples, func(m []float64) []float64 {
+		return []float64{m[0] + m[1]}
+	})
+	if len(val) != 1 || len(errs) != 1 {
+		t.Fatal("shape wrong")
+	}
+	if math.Abs(val[0]-7) > 1e-14 {
+		t.Fatalf("val = %v", val[0])
+	}
+	if errs[0] <= 0 {
+		t.Fatal("error must be positive for varying samples")
+	}
+}
+
+func TestBootstrapAgreesWithJackknifeOnGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 300
+	samples := make([][]float64, n)
+	for i := range samples {
+		samples[i] = []float64{rng.NormFloat64()}
+	}
+	_, jkErr := Jackknife(samples, func(m []float64) float64 { return m[0] })
+	_, bsErr := Bootstrap(rand.New(rand.NewSource(4)), samples, 500,
+		func(m []float64) float64 { return m[0] })
+	if math.Abs(jkErr-bsErr) > 0.3*jkErr {
+		t.Fatalf("jackknife %v vs bootstrap %v", jkErr, bsErr)
+	}
+}
+
+func TestCovarianceDiagonalMatchesStdErrSquared(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 400
+	samples := make([][]float64, n)
+	flat0 := make([]float64, n)
+	for i := range samples {
+		a := rng.NormFloat64()
+		b := 0.5*a + rng.NormFloat64() // correlated pair
+		samples[i] = []float64{a, b}
+		flat0[i] = a
+	}
+	cov := Covariance(samples)
+	se2 := StdErr(flat0) * StdErr(flat0)
+	if math.Abs(cov[0]-se2) > 1e-10 {
+		t.Fatalf("cov[0][0] = %v, se^2 = %v", cov[0], se2)
+	}
+	// Off-diagonal must be positive (we built positive correlation) and
+	// symmetric.
+	if cov[1] <= 0 || math.Abs(cov[1]-cov[2]) > 1e-15 {
+		t.Fatalf("off-diagonal wrong: %v vs %v", cov[1], cov[2])
+	}
+}
+
+func TestBinReducesLengthAndPreservesMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := Bin(xs, 2)
+	if len(b) != 4 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if math.Abs(Mean(b)-Mean(xs)) > 1e-14 {
+		t.Fatal("binning changed the mean")
+	}
+	// Partial bin dropped.
+	if len(Bin(xs[:7], 2)) != 3 {
+		t.Fatal("partial bin kept")
+	}
+}
+
+func TestAutocorrWhiteNoiseIsHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	tau := IntegratedAutocorrTime(xs)
+	if math.Abs(tau-0.5) > 0.1 {
+		t.Fatalf("white-noise tau = %v", tau)
+	}
+}
+
+func TestAutocorrAR1IsLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 20000)
+	rho := 0.9
+	x := 0.0
+	for i := range xs {
+		x = rho*x + rng.NormFloat64()
+		xs[i] = x
+	}
+	tau := IntegratedAutocorrTime(xs)
+	// Theoretical tau_int for AR(1): 0.5*(1+rho)/(1-rho) = 9.5.
+	if tau < 4 || tau > 20 {
+		t.Fatalf("AR(1) tau = %v, expected near 9.5", tau)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.NSamples != 7 {
+		t.Fatalf("n = %d", h.NSamples)
+	}
+	if c := h.BinCenter(0); math.Abs(c-0.5) > 1e-14 {
+		t.Fatalf("center = %v", c)
+	}
+	if m := h.Mode(); math.Abs(m-0.5) > 1e-14 {
+		t.Fatalf("mode = %v", m)
+	}
+}
+
+func TestHistogramRejectsBadRange(t *testing.T) {
+	if _, err := NewHistogram(5, 5, 10); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 1); p != 5 {
+		t.Fatalf("p1 = %v", p)
+	}
+	if p := Percentile(xs, 0.5); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestJackknifePropertyMeanInvariance(t *testing.T) {
+	// The jackknife estimate of any linear functional equals the
+	// functional of the mean.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		samples := make([][]float64, n)
+		for i := range samples {
+			samples[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		val, _ := Jackknife(samples, func(m []float64) float64 { return 2*m[0] - 3*m[1] })
+		mean := MeanVec(samples)
+		want := 2*mean[0] - 3*mean[1]
+		return math.Abs(val-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
