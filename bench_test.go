@@ -13,6 +13,7 @@ package femtoverse
 // in minutes; cmd/latbench regenerates the full-statistics versions.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -193,7 +194,7 @@ func benchSolve(b *testing.B, prec solver.Precision) {
 	b.ResetTimer()
 	var last solver.Stats
 	for i := 0; i < b.N; i++ {
-		_, st, err := solver.CGNEMixed(eo, sloppy, rhs, par)
+		_, st, err := solver.CGNEMixed(context.Background(), eo, sloppy, rhs, par)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -394,14 +395,14 @@ func BenchmarkBiCGStabVsCGNE(b *testing.B) {
 	}
 	b.Run("cgne", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := solver.CGNE(eo, rhs, solver.Params{Tol: 1e-8}); err != nil {
+			if _, _, err := solver.CGNE(context.Background(), eo, rhs, solver.Params{Tol: 1e-8}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("bicgstab", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := solver.BiCGStab(eo, rhs, solver.Params{Tol: 1e-8}); err != nil {
+			if _, _, err := solver.BiCGStab(context.Background(), eo, rhs, solver.Params{Tol: 1e-8}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -424,7 +425,7 @@ func BenchmarkLanczosCheby(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := solver.LanczosCheby(eo, 8, 32, 24, 1.0, int64(i), solver.Params{}); err != nil {
+		if _, _, err := solver.LanczosCheby(context.Background(), eo, 8, 32, 24, 1.0, int64(i), solver.Params{}); err != nil {
 			b.Fatal(err)
 		}
 	}

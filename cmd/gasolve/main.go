@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,8 +16,16 @@ import (
 	"femtoverse/internal/core"
 	"femtoverse/internal/dirac"
 	"femtoverse/internal/hio"
+	jobrt "femtoverse/internal/runtime"
 	"femtoverse/internal/solver"
 )
+
+// printReport prints the runtime's utilization report when one exists.
+func printReport(rep *jobrt.Report) {
+	if rep != nil {
+		fmt.Println(rep)
+	}
+}
 
 func main() {
 	var (
@@ -31,11 +40,12 @@ func main() {
 		seed       = flag.Int64("seed", 11, "RNG seed")
 		checkpoint = flag.String("checkpoint", "", "campaign checkpoint file: resume if it exists, save after each batch")
 		batch      = flag.Int("batch", 2, "configurations to measure per invocation in checkpoint mode")
+		workers    = flag.Int("workers", 0, "solve configurations concurrently on this many workers (0 = sequential); results are bit-for-bit identical either way")
 	)
 	flag.Parse()
 
 	if *checkpoint != "" {
-		if err := runCheckpointed(*checkpoint, *batch, core.RealConfig{
+		if err := runCheckpointed(*checkpoint, *batch, *workers, core.RealConfig{
 			Dims:        [4]int{*l, *l, *l, *t},
 			Params:      dirac.MobiusParams{Ls: *ls, M5: 1.4, B5: 1.25, C5: 0.25, M: *mass},
 			NConfigs:    *nCfg,
@@ -81,7 +91,15 @@ func main() {
 	}
 	fmt.Printf("running real FH pipeline on %v x Ls=%d, %d configurations...\n",
 		cfg.Dims, cfg.Params.Ls, cfg.NConfigs)
-	res, err := core.RunReal(cfg)
+	var res *core.RealResult
+	var err error
+	if *workers > 0 {
+		var rep *jobrt.Report
+		res, rep, err = core.RunRealConcurrent(context.Background(), cfg, *workers)
+		printReport(rep)
+	} else {
+		res, err = core.RunReal(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 		os.Exit(1)
@@ -96,7 +114,7 @@ func main() {
 // runCheckpointed resumes (or starts) a persistent campaign, measures one
 // batch, saves, and reports progress - the pattern a real allocation-by-
 // allocation campaign uses.
-func runCheckpointed(path string, batch int, spec core.RealConfig) error {
+func runCheckpointed(path string, batch, workers int, spec core.RealConfig) error {
 	var camp *core.Campaign
 	if file, err := hio.Load(path); err == nil {
 		camp, err = core.LoadCampaign(file.Root())
@@ -108,7 +126,15 @@ func runCheckpointed(path string, batch int, spec core.RealConfig) error {
 		camp = core.NewCampaign(spec)
 		fmt.Printf("new campaign: %d configurations planned\n", spec.NConfigs)
 	}
-	n, err := camp.RunBatch(batch)
+	var n int
+	var err error
+	if workers > 0 {
+		var rep *jobrt.Report
+		n, rep, err = camp.RunBatchConcurrent(context.Background(), batch, workers)
+		printReport(rep)
+	} else {
+		n, err = camp.RunBatch(batch)
+	}
 	if err != nil {
 		return err
 	}

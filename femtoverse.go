@@ -23,6 +23,7 @@
 package femtoverse
 
 import (
+	"context"
 	"io"
 
 	"femtoverse/internal/autotune"
@@ -45,6 +46,7 @@ import (
 	"femtoverse/internal/perfmodel"
 	"femtoverse/internal/physics"
 	"femtoverse/internal/prop"
+	jobrt "femtoverse/internal/runtime"
 	"femtoverse/internal/solver"
 	"femtoverse/internal/stats"
 	"femtoverse/internal/workflow"
@@ -114,18 +116,26 @@ func NewMobiusEO(m *Mobius) (*MobiusEO, error) { return dirac.NewMobiusEO(m) }
 // Solve runs the production mixed-precision CGNE on the preconditioned
 // system D x = b and returns the solution.
 func Solve(eo *MobiusEO, b []complex128, p SolverParams) ([]complex128, SolverStats, error) {
+	return SolveContext(context.Background(), eo, b, p)
+}
+
+// SolveContext is Solve under a context: cancellation or deadline expiry
+// aborts the CG iteration mid-solve and returns the partial solution with
+// a wrapped context error. The job runtime uses this to enforce per-task
+// timeouts.
+func SolveContext(ctx context.Context, eo *MobiusEO, b []complex128, p SolverParams) ([]complex128, SolverStats, error) {
 	var sloppy solver.Linear32
 	if p.Precision != solver.Double {
 		sloppy = dirac.NewMobiusEO32(eo)
 	}
-	return solver.CGNEMixed(eo, sloppy, b, p)
+	return solver.CGNEMixed(ctx, eo, sloppy, b, p)
 }
 
 // SolveBiCGStab runs the BiCGStab ablation baseline directly on the
 // non-Hermitian system (expect many more iterations on domain-wall
 // operators; that is the point).
 func SolveBiCGStab(eo *MobiusEO, b []complex128, p SolverParams) ([]complex128, SolverStats, error) {
-	return solver.BiCGStab(eo, b, p)
+	return solver.BiCGStab(context.Background(), eo, b, p)
 }
 
 // EigenPair is a Ritz approximation to a normal-operator eigenpair.
@@ -135,12 +145,12 @@ type EigenPair = solver.EigenPair
 // Chebyshev-filtered Lanczos process (m Krylov steps, polynomial degree,
 // bulk cutoff lcut), the setup step of deflated production solves.
 func LowModes(eo *MobiusEO, nEv, m, degree int, lcut float64, seed int64, p SolverParams) ([]EigenPair, SolverStats, error) {
-	return solver.LanczosCheby(eo, nEv, m, degree, lcut, seed, p)
+	return solver.LanczosCheby(context.Background(), eo, nEv, m, degree, lcut, seed, p)
 }
 
 // SolveDeflated runs CGNE seeded with the low-mode guess.
 func SolveDeflated(eo *MobiusEO, b []complex128, modes []EigenPair, p SolverParams) ([]complex128, SolverStats, error) {
-	return solver.CGNEDeflated(eo, b, modes, p)
+	return solver.CGNEDeflated(context.Background(), eo, b, modes, p)
 }
 
 // DistributedWilson is the Wilson operator executed with the paper's
@@ -355,6 +365,52 @@ func NewMpiJM(p MpiJMParams) SchedPolicy { return mpijm.New(p) }
 // SimulateCluster runs tasks under a policy on a simulated allocation.
 func SimulateCluster(cfg ClusterConfig, tasks []ClusterTask, p SchedPolicy) (ClusterReport, error) {
 	return cluster.Run(cfg, tasks, p)
+}
+
+// Execution runtime: the live job manager (mpi_jm on goroutines) that
+// schedules real solve and contraction tasks with dependency tracking,
+// EASY backfilling, per-task timeouts and bounded retry.
+type (
+	// JobPool is the concurrent job-execution pool.
+	JobPool = jobrt.Pool
+	// JobTask is one schedulable unit of real work.
+	JobTask = jobrt.Task
+	// JobConfig shapes a pool: worker-class widths, queue depth, retry
+	// and timeout policy, failure injection.
+	JobConfig = jobrt.Config
+	// JobResult pairs a finished task with its value and lifecycle record.
+	JobResult = jobrt.Result
+	// JobReport summarises a pool run in the simulator's vocabulary.
+	JobReport = jobrt.Report
+	// JobClass selects the worker class a task runs on.
+	JobClass = jobrt.Class
+	// JobMetrics is one task's lifecycle record.
+	JobMetrics = jobrt.TaskMetrics
+)
+
+// Job worker classes: solve tasks model the GPU partition, contraction
+// tasks the co-scheduled host cores.
+const (
+	SolveTask    = jobrt.Solve
+	ContractTask = jobrt.Contract
+)
+
+// NewJobPool starts a job pool; Submit tasks, then Wait.
+func NewJobPool(ctx context.Context, cfg JobConfig) (*JobPool, error) {
+	return jobrt.New(ctx, cfg)
+}
+
+// RunJobs executes a fixed task set on a fresh pool and returns the
+// results in submission order with the utilization report.
+func RunJobs(ctx context.Context, cfg JobConfig, tasks []JobTask) ([]JobResult, JobReport, error) {
+	return jobrt.Run(ctx, cfg, tasks)
+}
+
+// RunRealPipelineConcurrent is RunRealPipeline on the job runtime:
+// bit-for-bit the same physics, computed with `workers` configurations
+// in flight, plus the runtime's utilization report.
+func RunRealPipelineConcurrent(ctx context.Context, cfg RealPipelineConfig, workers int) (*RealPipelineResult, *JobReport, error) {
+	return core.RunRealConcurrent(ctx, cfg, workers)
 }
 
 // Workflow and I/O.

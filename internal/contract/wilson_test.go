@@ -1,6 +1,7 @@
 package contract
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestWilsonFermionPion(t *testing.T) {
 	for spin := 0; spin < 4; spin++ {
 		for color := 0; color < 3; color++ {
 			b := prop.PointSource(g, [4]int{0, 0, 0, 0}, spin, color)
-			x, st, err := solver.CGNE(w, b, solver.Params{Tol: 1e-9})
+			x, st, err := solver.CGNE(context.Background(), w, b, solver.Params{Tol: 1e-9})
 			if err != nil || !st.Converged {
 				t.Fatalf("Wilson solve (%d,%d): %v %+v", spin, color, err, st)
 			}
@@ -56,7 +57,7 @@ func TestWilsonFermionPion(t *testing.T) {
 	for spin := 0; spin < 4; spin++ {
 		for color := 0; color < 3; color++ {
 			b := prop.PointSource(g, [4]int{0, 0, 0, 0}, spin, color)
-			x, st, err := solver.CGNE(heavy, b, solver.Params{Tol: 1e-9})
+			x, st, err := solver.CGNE(context.Background(), heavy, b, solver.Params{Tol: 1e-9})
 			if err != nil || !st.Converged {
 				t.Fatalf("heavy Wilson solve: %v %+v", err, st)
 			}

@@ -1,15 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"femtoverse/internal/contract"
-	"femtoverse/internal/dirac"
 	"femtoverse/internal/gauge"
 	"femtoverse/internal/hio"
 	"femtoverse/internal/lattice"
-	"femtoverse/internal/linalg"
-	"femtoverse/internal/prop"
 	"femtoverse/internal/solver"
 	"femtoverse/internal/stats"
 )
@@ -56,33 +54,16 @@ func (c *Campaign) RunBatch(n int) (int, error) {
 	}
 	configs := gauge.Ensemble(g, c.Spec.Seed, c.Spec.Beta, c.Spec.NConfigs,
 		c.Spec.ThermSweeps, c.Spec.GapSweeps)
-	axial := linalg.AxialGamma()
 	done := 0
 	for i := 0; i < c.Spec.NConfigs && done < n; i++ {
 		if _, ok := c.C2[i]; ok {
 			continue
 		}
-		u := configs[i]
-		u.FlipTimeBoundary()
-		m, err := dirac.NewMobius(u, c.Spec.Params)
-		if err != nil {
-			return done, err
-		}
-		eo, err := dirac.NewMobiusEO(m)
-		if err != nil {
-			return done, err
-		}
-		qs := prop.NewQuarkSolver(eo, solver.Params{Tol: c.Spec.Tol, Precision: c.Spec.Prec})
-		base, err := qs.ComputePoint([4]int{0, 0, 0, 0})
+		p, err := solveConfig(context.Background(), c.Spec, configs[i])
 		if err != nil {
 			return done, fmt.Errorf("core: config %d: %w", i, err)
 		}
-		fh, err := qs.FHPropagator(base, axial)
-		if err != nil {
-			return done, fmt.Errorf("core: config %d FH: %w", i, err)
-		}
-		c.C2[i] = contract.Real(contract.Proton2pt(base, base, 0))
-		c.CFH[i] = contract.Real(contract.ProtonFH3pt(base, base, fh, fh, 0))
+		c.C2[i], c.CFH[i] = contractConfig(p)
 		done++
 	}
 	return done, nil

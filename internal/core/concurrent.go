@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"femtoverse/internal/contract"
+	"femtoverse/internal/dirac"
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/linalg"
+	"femtoverse/internal/prop"
+	jobrt "femtoverse/internal/runtime"
+	"femtoverse/internal/solver"
+	"femtoverse/internal/stats"
+)
+
+// configProps holds the solved propagators of one gauge configuration,
+// handed from a solve task to its dependent contraction task.
+type configProps struct {
+	base, fh *prop.Propagator
+}
+
+// solveConfig runs the full solve stage for one configuration: boundary
+// flip, operator construction, 12 forward solves and 12 FH solves. It is
+// the single compute path shared by the sequential and concurrent
+// drivers, which is what makes their outputs bit-for-bit comparable.
+func solveConfig(ctx context.Context, cfg RealConfig, u *gauge.Field) (*configProps, error) {
+	u.FlipTimeBoundary()
+	m, err := dirac.NewMobius(u, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	eo, err := dirac.NewMobiusEO(m)
+	if err != nil {
+		return nil, err
+	}
+	qs := prop.NewQuarkSolver(eo, solver.Params{Tol: cfg.Tol, Precision: cfg.Prec})
+	base, err := qs.ComputePointCtx(ctx, [4]int{0, 0, 0, 0})
+	if err != nil {
+		return nil, err
+	}
+	fh, err := qs.FHPropagatorCtx(ctx, base, linalg.AxialGamma())
+	if err != nil {
+		return nil, err
+	}
+	return &configProps{base: base, fh: fh}, nil
+}
+
+// contractConfig runs the contraction stage: the proton two-point and FH
+// three-point correlators from one configuration's propagators.
+func contractConfig(p *configProps) (c2, cfh []float64) {
+	c2 = contract.Real(contract.Proton2pt(p.base, p.base, 0))
+	cfh = contract.Real(contract.ProtonFH3pt(p.base, p.base, p.fh, p.fh, 0))
+	return c2, cfh
+}
+
+// RunBatchConcurrent is RunBatch executed on the job runtime: up to n
+// outstanding configurations are solved concurrently on `workers`
+// solve workers, with the contraction of each configuration scheduled as
+// a dependent task on the contraction worker class as soon as its solve
+// finishes - the mpi_jm co-scheduling pattern. The result is bit-for-bit
+// identical to the sequential RunBatch at any worker count, because the
+// per-configuration compute path is shared and configurations are
+// independent. Returns how many configurations completed and the
+// runtime's utilization report.
+func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int, *jobrt.Report, error) {
+	if n <= 0 || c.Complete() {
+		return 0, nil, nil
+	}
+	g, err := lattice.New(c.Spec.Dims)
+	if err != nil {
+		return 0, nil, err
+	}
+	configs := gauge.Ensemble(g, c.Spec.Seed, c.Spec.Beta, c.Spec.NConfigs,
+		c.Spec.ThermSweeps, c.Spec.GapSweeps)
+
+	// Outstanding configurations in order, up to the batch size.
+	var picked []int
+	for i := 0; i < c.Spec.NConfigs && len(picked) < n; i++ {
+		if _, ok := c.C2[i]; !ok {
+			picked = append(picked, i)
+		}
+	}
+	if len(picked) == 0 {
+		return 0, nil, nil
+	}
+
+	// props[k] is written by solve task 2k and read by contraction task
+	// 2k+1; the dependency edge sequences the accesses through the pool.
+	props := make([]*configProps, len(picked))
+	corr := make([][2][]float64, len(picked))
+	tasks := make([]jobrt.Task, 0, 2*len(picked))
+	for k, i := range picked {
+		k, i, u := k, i, configs[i]
+		tasks = append(tasks, jobrt.Task{
+			ID:    2 * k,
+			Name:  fmt.Sprintf("solve cfg%04d", i),
+			Class: jobrt.Solve,
+			Cost:  1,
+			Run: func(tctx context.Context) (interface{}, error) {
+				p, err := solveConfig(tctx, c.Spec, u)
+				if err != nil {
+					return nil, fmt.Errorf("core: config %d: %w", i, err)
+				}
+				props[k] = p
+				return nil, nil
+			},
+		}, jobrt.Task{
+			ID:        2*k + 1,
+			Name:      fmt.Sprintf("contract cfg%04d", i),
+			Class:     jobrt.Contract,
+			Cost:      0.05,
+			DependsOn: []int{2 * k},
+			Run: func(tctx context.Context) (interface{}, error) {
+				c2, cfh := contractConfig(props[k])
+				corr[k] = [2][]float64{c2, cfh}
+				props[k] = nil // propagators are large; release promptly
+				return nil, nil
+			},
+		})
+	}
+
+	cw := workers / 2
+	if cw < 1 {
+		cw = 1
+	}
+	_, rep, runErr := jobrt.Run(ctx, jobrt.Config{
+		SolveWorkers:    workers,
+		ContractWorkers: cw,
+	}, tasks)
+
+	// Record whatever completed, even if some configuration failed.
+	done := 0
+	for k, i := range picked {
+		if corr[k][0] == nil {
+			continue
+		}
+		c.C2[i] = corr[k][0]
+		c.CFH[i] = corr[k][1]
+		done++
+	}
+	return done, &rep, runErr
+}
+
+// RunRealConcurrent is RunReal on the job runtime: the same pipeline and
+// the same result, computed with `workers` configurations in flight, plus
+// the runtime's utilization report.
+func RunRealConcurrent(ctx context.Context, cfg RealConfig, workers int) (*RealResult, *jobrt.Report, error) {
+	camp := NewCampaign(cfg)
+	done, rep, err := camp.RunBatchConcurrent(ctx, cfg.NConfigs, workers)
+	if err != nil {
+		return nil, rep, err
+	}
+	if done < cfg.NConfigs {
+		return nil, rep, fmt.Errorf("core: %d of %d configurations completed", done, cfg.NConfigs)
+	}
+	res := &RealResult{SolvesPerConfig: 24}
+	for i := 0; i < cfg.NConfigs; i++ {
+		res.C2 = append(res.C2, camp.C2[i])
+		res.CFH = append(res.CFH, camp.CFH[i])
+	}
+	tExt := cfg.Dims[3]
+	joined := make([][]float64, len(res.C2))
+	for i := range joined {
+		v := make([]float64, 2*tExt)
+		copy(v[:tExt], res.C2[i])
+		copy(v[tExt:], res.CFH[i])
+		joined[i] = v
+	}
+	res.Geff, res.GeffErr = stats.JackknifeVec(joined, func(mean []float64) []float64 {
+		return contract.EffectiveGA(mean[tExt:], mean[:tExt])
+	})
+	return res, rep, nil
+}

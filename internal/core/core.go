@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"femtoverse/internal/contract"
@@ -21,9 +22,7 @@ import (
 	"femtoverse/internal/ensemble"
 	"femtoverse/internal/gauge"
 	"femtoverse/internal/lattice"
-	"femtoverse/internal/linalg"
 	"femtoverse/internal/physics"
-	"femtoverse/internal/prop"
 	"femtoverse/internal/solver"
 	"femtoverse/internal/stats"
 )
@@ -132,30 +131,14 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 	}
 	configs := gauge.Ensemble(g, cfg.Seed, cfg.Beta, cfg.NConfigs, cfg.ThermSweeps, cfg.GapSweeps)
 	res := &RealResult{SolvesPerConfig: 24}
-	axial := linalg.AxialGamma()
 	tExt := g.T()
 
 	for _, u := range configs {
-		u.FlipTimeBoundary()
-		m, err := dirac.NewMobius(u, cfg.Params)
+		p, err := solveConfig(context.Background(), cfg, u)
 		if err != nil {
 			return nil, err
 		}
-		eo, err := dirac.NewMobiusEO(m)
-		if err != nil {
-			return nil, err
-		}
-		qs := prop.NewQuarkSolver(eo, solver.Params{Tol: cfg.Tol, Precision: cfg.Prec})
-		base, err := qs.ComputePoint([4]int{0, 0, 0, 0})
-		if err != nil {
-			return nil, err
-		}
-		fhProp, err := qs.FHPropagator(base, axial)
-		if err != nil {
-			return nil, err
-		}
-		c2 := contract.Real(contract.Proton2pt(base, base, 0))
-		c3 := contract.Real(contract.ProtonFH3pt(base, base, fhProp, fhProp, 0))
+		c2, c3 := contractConfig(p)
 		res.C2 = append(res.C2, c2)
 		res.CFH = append(res.CFH, c3)
 	}

@@ -1,6 +1,7 @@
 package domain
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -94,7 +95,7 @@ func TestSolverRunsOnDistributedOperator(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(3))
 	b := randField(rng, d.Size())
-	x, st, err := solver.CGNE(d, b, solver.Params{Tol: 1e-9})
+	x, st, err := solver.CGNE(context.Background(), d, b, solver.Params{Tol: 1e-9})
 	if err != nil || !st.Converged {
 		t.Fatalf("distributed solve: %v %+v", err, st)
 	}

@@ -1,6 +1,7 @@
 package prop
 
 import (
+	"context"
 	"fmt"
 
 	"femtoverse/internal/dirac"
@@ -122,7 +123,7 @@ func ComputePerturbed(m *dirac.Mobius, lambda float64, gamma linalg.SpinMatrix,
 	for spin := 0; spin < 4; spin++ {
 		for color := 0; color < 3; color++ {
 			b5 := Inject5D(PointSource(g, x0, spin, color), m.Ls)
-			x, st, err := solver.CGNE(op, b5, par)
+			x, st, err := solver.CGNE(context.Background(), op, b5, par)
 			if err != nil {
 				return nil, fmt.Errorf("prop: perturbed solve (%d,%d): %w", spin, color, err)
 			}

@@ -8,6 +8,7 @@
 package prop
 
 import (
+	"context"
 	"fmt"
 
 	"femtoverse/internal/dirac"
@@ -167,12 +168,19 @@ func NewQuarkSolver(eo *dirac.MobiusEO, par solver.Params) *QuarkSolver {
 // full five-dimensional solution (the midpoint slices carry the residual
 // chiral-symmetry-breaking diagnostics).
 func (qs *QuarkSolver) Solve5D(b4 []complex128) ([]complex128, solver.Stats, error) {
+	return qs.Solve5DCtx(context.Background(), b4)
+}
+
+// Solve5DCtx is Solve5D under a context: a cancelled or expired ctx
+// aborts the inner CG mid-iteration, which is how the job runtime stops
+// a timed-out or superseded propagator solve.
+func (qs *QuarkSolver) Solve5DCtx(ctx context.Context, b4 []complex128) ([]complex128, solver.Stats, error) {
 	if len(b4) != qs.EO.M.W.G.Vol*dirac.SpinorLen {
 		panic("prop: Solve5D source size mismatch")
 	}
 	b5 := Inject5D(b4, qs.EO.M.Ls)
 	bhat, etaOdd := qs.EO.PrepareSource(b5)
-	xe, st, err := solver.CGNEMixed(qs.EO, qs.Sloppy, bhat, qs.Par)
+	xe, st, err := solver.CGNEMixed(ctx, qs.EO, qs.Sloppy, bhat, qs.Par)
 	qs.TotalIterations += st.Iterations
 	qs.TotalFlops += st.Flops
 	qs.Solves++
@@ -185,7 +193,12 @@ func (qs *QuarkSolver) Solve5D(b4 []complex128) ([]complex128, solver.Stats, err
 // Solve4D solves the domain-wall system for a 4-D source and returns the
 // projected 4-D quark field.
 func (qs *QuarkSolver) Solve4D(b4 []complex128) ([]complex128, solver.Stats, error) {
-	psi5, st, err := qs.Solve5D(b4)
+	return qs.Solve4DCtx(context.Background(), b4)
+}
+
+// Solve4DCtx is Solve4D under a context.
+func (qs *QuarkSolver) Solve4DCtx(ctx context.Context, b4 []complex128) ([]complex128, solver.Stats, error) {
+	psi5, st, err := qs.Solve5DCtx(ctx, b4)
 	if err != nil {
 		return nil, st, err
 	}
@@ -262,11 +275,17 @@ func (qs *QuarkSolver) ResidualMass(x0 [4]int) (float64, error) {
 // Compute solves all 12 components for the given source generator and
 // assembles the propagator.
 func (qs *QuarkSolver) Compute(source func(spin, color int) []complex128) (*Propagator, error) {
+	return qs.ComputeCtx(context.Background(), source)
+}
+
+// ComputeCtx is Compute under a context; cancellation aborts between (or
+// inside) component solves.
+func (qs *QuarkSolver) ComputeCtx(ctx context.Context, source func(spin, color int) []complex128) (*Propagator, error) {
 	p := NewPropagator(qs.EO.M.W.G)
 	for spin := 0; spin < 4; spin++ {
 		for color := 0; color < 3; color++ {
 			j := spin*3 + color
-			q, _, err := qs.Solve4D(source(spin, color))
+			q, _, err := qs.Solve4DCtx(ctx, source(spin, color))
 			if err != nil {
 				return nil, fmt.Errorf("prop: component (s=%d,c=%d): %w", spin, color, err)
 			}
@@ -278,8 +297,13 @@ func (qs *QuarkSolver) Compute(source func(spin, color int) []complex128) (*Prop
 
 // ComputePoint is Compute with a point source at x0.
 func (qs *QuarkSolver) ComputePoint(x0 [4]int) (*Propagator, error) {
+	return qs.ComputePointCtx(context.Background(), x0)
+}
+
+// ComputePointCtx is ComputePoint under a context.
+func (qs *QuarkSolver) ComputePointCtx(ctx context.Context, x0 [4]int) (*Propagator, error) {
 	g := qs.EO.M.W.G
-	return qs.Compute(func(spin, color int) []complex128 {
+	return qs.ComputeCtx(ctx, func(spin, color int) []complex128 {
 		return PointSource(g, x0, spin, color)
 	})
 }
@@ -294,11 +318,16 @@ func (qs *QuarkSolver) ComputePoint(x0 [4]int) (*Propagator, error) {
 // source-sink separations for the cost of one, which is the paper's
 // exponential improvement in time-to-solution.
 func (qs *QuarkSolver) FHPropagator(base *Propagator, gamma linalg.SpinMatrix) (*Propagator, error) {
+	return qs.FHPropagatorCtx(context.Background(), base, gamma)
+}
+
+// FHPropagatorCtx is FHPropagator under a context.
+func (qs *QuarkSolver) FHPropagatorCtx(ctx context.Context, base *Propagator, gamma linalg.SpinMatrix) (*Propagator, error) {
 	fh := NewPropagator(base.G)
 	seq := make([]complex128, base.G.Vol*dirac.SpinorLen)
 	for j := 0; j < NComp; j++ {
 		SpinMul(seq, base.Col[j], gamma)
-		q, _, err := qs.Solve4D(seq)
+		q, _, err := qs.Solve4DCtx(ctx, seq)
 		if err != nil {
 			return nil, fmt.Errorf("prop: FH component %d: %w", j, err)
 		}

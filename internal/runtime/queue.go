@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"sort"
+	"time"
+)
+
+// release is a running task's predicted slot release, the planning input
+// of the backfill scheduler. Estimates come from Task.Cost; they steer
+// scheduling only and never affect correctness.
+type release struct {
+	at    time.Time
+	slots int
+}
+
+// reservationTime returns the earliest instant at which need slots can be
+// free, given free slots now and the running tasks' predicted releases.
+// The boolean is false when even draining every running task cannot
+// satisfy the request.
+func reservationTime(now time.Time, free, need int, running []release) (time.Time, bool) {
+	if need <= free {
+		return now, true
+	}
+	rs := append([]release(nil), running...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].at.Before(rs[j].at) })
+	avail := free
+	for _, r := range rs {
+		avail += r.slots
+		if avail >= need {
+			at := r.at
+			if at.Before(now) {
+				at = now
+			}
+			return at, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// backfillOK implements EASY backfilling: when the queue head (headSlots
+// wide) does not fit the free slots, a smaller candidate may start in the
+// gap only if it cannot delay the head's reservation - either it is
+// predicted to finish before the head could start anyway, or the slots it
+// occupies are not among those the head needs at its reservation time.
+// This is the mpi_jm behaviour of Fig. 5: small tasks drain into the
+// holes left while a large lump request waits for nodes.
+func backfillOK(now time.Time, free, headSlots, candSlots int, candCost time.Duration, running []release) bool {
+	if candSlots > free {
+		return false
+	}
+	resAt, ok := reservationTime(now, free, headSlots, running)
+	if !ok {
+		// The head can never run (should be rejected at submit); do not
+		// let it block smaller work forever.
+		return true
+	}
+	if !now.Add(candCost).After(resAt) {
+		return true
+	}
+	// The candidate is predicted to still hold its slots at the
+	// reservation: admit it only if the head is satisfiable regardless.
+	avail := free - candSlots
+	for _, r := range running {
+		if !r.at.After(resAt) {
+			avail += r.slots
+		}
+	}
+	return avail >= headSlots
+}

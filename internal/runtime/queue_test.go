@@ -1,0 +1,78 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func at(sec float64) time.Time { return t0.Add(time.Duration(sec * float64(time.Second))) }
+
+func TestReservationTime(t *testing.T) {
+	running := []release{
+		{at: at(5), slots: 2},
+		{at: at(2), slots: 1},
+		{at: at(9), slots: 4},
+	}
+	// Fits now: reservation is immediate.
+	if got, ok := reservationTime(t0, 3, 3, running); !ok || !got.Equal(t0) {
+		t.Fatalf("immediate fit: %v %v", got, ok)
+	}
+	// Needs the first release.
+	if got, ok := reservationTime(t0, 1, 2, running); !ok || !got.Equal(at(2)) {
+		t.Fatalf("one release: %v %v", got, ok)
+	}
+	// Needs two releases (releases considered in time order).
+	if got, ok := reservationTime(t0, 1, 4, running); !ok || !got.Equal(at(5)) {
+		t.Fatalf("two releases: %v %v", got, ok)
+	}
+	// Unsatisfiable even after every release.
+	if _, ok := reservationTime(t0, 0, 100, running); ok {
+		t.Fatal("unsatisfiable request satisfied")
+	}
+	// A release predicted in the past clamps to now.
+	if got, ok := reservationTime(at(3), 0, 1, []release{{at: at(2), slots: 1}}); !ok || !got.Equal(at(3)) {
+		t.Fatalf("past release not clamped: %v %v", got, ok)
+	}
+}
+
+func TestBackfillShortTaskFitsUnderReservation(t *testing.T) {
+	// 4-slot class: 3 slots busy until t=10, head wants all 4.
+	running := []release{{at: at(10), slots: 3}}
+	// A 1-slot task predicted to finish by t=10 may backfill...
+	if !backfillOK(t0, 1, 4, 1, 5*time.Second, running) {
+		t.Fatal("short filler rejected")
+	}
+	// ...but one predicted to outlive the reservation would delay the
+	// 4-slot head and must wait.
+	if backfillOK(t0, 1, 4, 1, 20*time.Second, running) {
+		t.Fatal("long filler admitted; it delays the head")
+	}
+	// A candidate wider than the free slots never fits.
+	if backfillOK(t0, 1, 4, 2, time.Second, running) {
+		t.Fatal("over-wide filler admitted")
+	}
+}
+
+func TestBackfillSlotsNotNeededByHead(t *testing.T) {
+	// 8-slot class: 4 busy until t=10, 4 free, head wants 6. At the
+	// reservation (t=10) there are 8 slots; a long 2-slot filler still
+	// leaves 6, so it cannot delay the head.
+	running := []release{{at: at(10), slots: 4}}
+	if !backfillOK(t0, 4, 6, 2, time.Hour, running) {
+		t.Fatal("harmless long filler rejected")
+	}
+	// A 3-slot long filler would leave only 5 < 6 at the reservation.
+	if backfillOK(t0, 4, 6, 3, time.Hour, running) {
+		t.Fatal("head-delaying filler admitted")
+	}
+}
+
+func TestBackfillUnsatisfiableHeadDoesNotBlockQueue(t *testing.T) {
+	// Head wider than the class (rejected at Submit in practice): the
+	// planner must not wedge smaller work behind it.
+	if !backfillOK(t0, 2, 100, 1, time.Second, nil) {
+		t.Fatal("queue wedged behind an unsatisfiable head")
+	}
+}

@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TaskMetrics is the per-task lifecycle record the job manager keeps for
+// every task it executed: the live analogue of cluster.TaskStat.
+type TaskMetrics struct {
+	ID    int
+	Name  string
+	Class Class
+	Slots int
+	// Attempts counts executions: 1 means the task succeeded (or failed
+	// terminally) on its first run, larger values mean retries happened.
+	Attempts int
+	// QueueWait is the time from submission to the first execution start.
+	QueueWait time.Duration
+	// Run is the total execution time over all attempts.
+	Run time.Duration
+	// Workers lists the worker slots of the task's class that ran the
+	// task (len == Slots). Empty for tasks that never started.
+	Workers []int
+	// Backfilled marks a task started out of order through a hole left by
+	// a wider task waiting at the head of the queue.
+	Backfilled bool
+}
+
+// Report summarises a pool run with the same vocabulary as the
+// discrete-event simulator's cluster.Report, so the real executor and the
+// model can be cross-checked against each other.
+type Report struct {
+	SolveWorkers    int
+	ContractWorkers int
+	// Wall is the busy window: first task start to last task end
+	// (the simulator's makespan minus startup).
+	Wall time.Duration
+	// Tasks counts submitted tasks; Succeeded + Failed == Tasks.
+	Tasks     int
+	Succeeded int
+	Failed    int
+	// FailedAttempts counts failed executions (injected failures,
+	// timeouts, task errors) including ones that were retried; the
+	// analogue of cluster.Report.Failures.
+	FailedAttempts int
+	// Backfills counts out-of-order starts through EASY backfilling.
+	Backfills int
+	// SolveBusy / ContractBusy integrate busy worker-seconds per class.
+	SolveBusy    time.Duration
+	ContractBusy time.Duration
+	// SolveUtil / ContractUtil are busy fractions of the class's workers
+	// over the busy window: the paper's utilization metric (Fig. 6).
+	SolveUtil    float64
+	ContractUtil float64
+	// Queue-wait statistics over all started tasks.
+	MeanQueueWait time.Duration
+	MaxQueueWait  time.Duration
+	// PerTask holds every task's lifecycle record in submission order.
+	PerTask []TaskMetrics
+}
+
+// IdleFraction returns 1 - SolveUtil, the bundling-waste metric the paper
+// quotes for the solve (GPU) partition.
+func (r Report) IdleFraction() float64 { return 1 - r.SolveUtil }
+
+// Util returns the utilization of one worker class.
+func (r Report) Util(c Class) float64 {
+	if c == Solve {
+		return r.SolveUtil
+	}
+	return r.ContractUtil
+}
+
+// String renders a human-readable summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime: %d tasks (%d ok, %d failed) on %d solve + %d contract workers\n",
+		r.Tasks, r.Succeeded, r.Failed, r.SolveWorkers, r.ContractWorkers)
+	fmt.Fprintf(&b, "  wall %v, solve util %.1f%%, contract util %.1f%%\n",
+		r.Wall.Round(time.Millisecond), 100*r.SolveUtil, 100*r.ContractUtil)
+	fmt.Fprintf(&b, "  %d backfills, %d failed attempts, queue wait mean %v max %v",
+		r.Backfills, r.FailedAttempts,
+		r.MeanQueueWait.Round(time.Microsecond), r.MaxQueueWait.Round(time.Microsecond))
+	return b.String()
+}

@@ -1,0 +1,734 @@
+// Package runtime is the paper's mpi_jm job manager ported from
+// simulation to real concurrent execution: where internal/cluster and
+// internal/mpijm *model* how thousands of independent solves and
+// contractions share an allocation, this package *is* the scheduler - it
+// runs them, on goroutines, with the same structure:
+//
+//   - two worker classes sized from the host CPU count, a solve class
+//     (the GPU analogue, wide tasks holding several slots like a 16-GPU
+//     propagator job) and a contract class (the CPU analogue), so
+//     contractions co-schedule under in-flight solves exactly as mpi_jm
+//     overlays CPU tasks on the host cores of GPU-busy nodes (§VII);
+//   - a dependency-aware ready queue in submission order with EASY
+//     backfilling: when a wide task waits at the head for slots to drain,
+//     smaller tasks start in the holes only if they cannot delay the
+//     head's reservation;
+//   - bounded admission with backpressure (Submit blocks while the
+//     runnable backlog is full), per-task context cancellation and
+//     timeouts, and bounded retry with exponential backoff over injected
+//     or real task failures - the live version of the failure model in
+//     cluster/failure_test.go;
+//   - per-task lifecycle metrics rolled into a Report whose utilization
+//     accounting matches cluster.Report, so the simulator's predictions
+//     and the real executor can be cross-checked against each other.
+//
+// Results are returned in submission order regardless of completion
+// order, so a campaign's physics output is independent of scheduling.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	goruntime "runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Class is a worker class: the runtime analogue of cluster.TaskKind.
+type Class int
+
+const (
+	// Solve is the GPU-analog class running the heavy Dirac solves.
+	Solve Class = iota
+	// Contract is the CPU-analog class running contractions and I/O,
+	// co-scheduled under in-flight solves.
+	Contract
+
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Solve:
+		return "solve"
+	case Contract:
+		return "contract"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ErrInjected is the synthetic failure injected by Config.FailureRate,
+// the live analogue of the simulator's node-crash draw.
+var ErrInjected = errors.New("runtime: injected task failure")
+
+// Task is one schedulable unit of work.
+type Task struct {
+	// ID identifies the task; it must be unique within a pool and is the
+	// namespace of DependsOn.
+	ID   int
+	Name string
+	// Class selects the worker class.
+	Class Class
+	// Slots is how many workers of the class the task occupies while
+	// running (the analogue of a job's GPU count); 0 means 1.
+	Slots int
+	// Cost is the estimated duration in seconds used for backfill
+	// planning only; 0 means Config.DefaultCost. Estimates never affect
+	// correctness, only schedule quality.
+	Cost float64
+	// DependsOn lists task IDs that must complete successfully before
+	// this task starts. A failed dependency fails the task.
+	DependsOn []int
+	// Timeout bounds one execution attempt (0 = Config.Timeout).
+	Timeout time.Duration
+	// Retries overrides Config.MaxRetries for this task: 0 uses the pool
+	// default, a negative value disables retries.
+	Retries int
+	// Run does the work. It must honour ctx: a cancelled or timed-out
+	// task should stop mid-computation (the solver's CGNE loop does).
+	Run func(ctx context.Context) (interface{}, error)
+}
+
+// Result is a finished task: its return value, final error, and
+// lifecycle metrics.
+type Result struct {
+	Task    Task
+	Value   interface{}
+	Err     error
+	Metrics TaskMetrics
+}
+
+// Config shapes a pool. The zero value is usable: worker counts are
+// sized from the host CPU count.
+type Config struct {
+	// SolveWorkers is the solve-class width (default: NumCPU, every
+	// hardware thread doubles as one GPU analogue).
+	SolveWorkers int
+	// ContractWorkers is the contract-class width (default: a quarter of
+	// the solve width, the host cores mpi_jm overlays work onto).
+	ContractWorkers int
+	// QueueDepth bounds the runnable backlog (ready + running tasks):
+	// Submit blocks - backpressure - while it is full. Default
+	// 4*(SolveWorkers+ContractWorkers).
+	QueueDepth int
+	// MaxRetries is the default bound on re-executions after a failed
+	// attempt (default 0: no retries).
+	MaxRetries int
+	// RetryBackoff is the first retry delay, doubled per retry
+	// (default 2ms).
+	RetryBackoff time.Duration
+	// Timeout bounds each execution attempt (0 = none).
+	Timeout time.Duration
+	// DefaultCost is the planning estimate in seconds for tasks with
+	// Cost 0 (default 1).
+	DefaultCost float64
+	// FailureRate injects a per-execution failure probability, the live
+	// mirror of cluster.Config.FailureRate; Seed makes the draw
+	// deterministic.
+	FailureRate float64
+	Seed        int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SolveWorkers <= 0 {
+		c.SolveWorkers = goruntime.NumCPU()
+	}
+	if c.ContractWorkers <= 0 {
+		c.ContractWorkers = (c.SolveWorkers + 3) / 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * (c.SolveWorkers + c.ContractWorkers)
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.DefaultCost <= 0 {
+		c.DefaultCost = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FailureRate < 0 || c.FailureRate >= 1 {
+		return fmt.Errorf("runtime: FailureRate %g outside [0,1)", c.FailureRate)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("runtime: negative MaxRetries %d", c.MaxRetries)
+	}
+	return nil
+}
+
+type jobState int
+
+const (
+	jobBlocked jobState = iota
+	jobReady
+	jobRunning
+	jobDone
+)
+
+type job struct {
+	t          Task
+	seq        int // submission index
+	state      jobState
+	depsLeft   int
+	dependents []*job
+
+	submitted  time.Time
+	started    time.Time // first execution start
+	estEnd     time.Time // predicted release while running
+	slots      int
+	workers    []int
+	attempts   int
+	backfilled bool
+	runTotal   time.Duration
+
+	value interface{}
+	err   error
+}
+
+// Pool is the executing job manager. Create with New, feed with Submit,
+// then Close and Wait for the results and the utilization Report.
+type Pool struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	room *sync.Cond // signalled when the runnable backlog shrinks
+	idle *sync.Cond // signalled when tasks finish
+
+	jobs    map[int]*job
+	order   []*job
+	waiters map[int][]*job // dep ID not yet submitted -> dependents
+
+	ready       [numClasses][]*job
+	free        [numClasses]int
+	freeWorkers [numClasses][]int
+	runningSet  map[*job]struct{}
+
+	unfinished int
+	closed     bool
+	rng        *rand.Rand
+
+	firstStart     time.Time
+	lastEnd        time.Time
+	busy           [numClasses]time.Duration
+	failedAttempts int
+	backfills      int
+}
+
+// New creates a pool. Cancelling ctx aborts in-flight tasks (their Run
+// contexts are children of it) and fails everything not yet finished.
+func New(ctx context.Context, cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	p := &Pool{
+		cfg:        cfg,
+		ctx:        pctx,
+		cancel:     cancel,
+		jobs:       map[int]*job{},
+		waiters:    map[int][]*job{},
+		runningSet: map[*job]struct{}{},
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x6a6d)), // "jm"
+	}
+	p.room = sync.NewCond(&p.mu)
+	p.idle = sync.NewCond(&p.mu)
+	p.free[Solve] = cfg.SolveWorkers
+	p.free[Contract] = cfg.ContractWorkers
+	for i := 0; i < cfg.SolveWorkers; i++ {
+		p.freeWorkers[Solve] = append(p.freeWorkers[Solve], i)
+	}
+	for i := 0; i < cfg.ContractWorkers; i++ {
+		p.freeWorkers[Contract] = append(p.freeWorkers[Contract], i)
+	}
+	// Wake blocked Submit/Wait callers when the pool is cancelled.
+	go func() {
+		<-pctx.Done()
+		p.mu.Lock()
+		p.room.Broadcast()
+		p.idle.Broadcast()
+		p.mu.Unlock()
+	}()
+	return p, nil
+}
+
+func (p *Pool) classWidth(c Class) int {
+	if c == Solve {
+		return p.cfg.SolveWorkers
+	}
+	return p.cfg.ContractWorkers
+}
+
+func (p *Pool) runnableLocked() int {
+	n := len(p.runningSet)
+	for c := Class(0); c < numClasses; c++ {
+		n += len(p.ready[c])
+	}
+	return n
+}
+
+// Submit enqueues a task. It blocks while the runnable backlog is at
+// QueueDepth (backpressure); dependencies may reference tasks submitted
+// earlier or - as long as backpressure permits - later.
+func (p *Pool) Submit(t Task) error {
+	if t.Run == nil {
+		return errors.New("runtime: task without Run")
+	}
+	if t.Class != Solve && t.Class != Contract {
+		return fmt.Errorf("runtime: task %d has unknown class %d", t.ID, int(t.Class))
+	}
+	if t.Slots <= 0 {
+		t.Slots = 1
+	}
+	if w := p.classWidth(t.Class); t.Slots > w {
+		return fmt.Errorf("runtime: task %d needs %d slots but class %v has %d workers",
+			t.ID, t.Slots, t.Class, w)
+	}
+	for _, dep := range t.DependsOn {
+		if dep == t.ID {
+			return fmt.Errorf("runtime: task %d depends on itself", t.ID)
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.closed && p.ctx.Err() == nil && p.runnableLocked() >= p.cfg.QueueDepth {
+		p.room.Wait()
+	}
+	if p.closed {
+		return errors.New("runtime: submit on closed pool")
+	}
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
+	if _, dup := p.jobs[t.ID]; dup {
+		return fmt.Errorf("runtime: duplicate task ID %d", t.ID)
+	}
+
+	j := &job{t: t, seq: len(p.order), slots: t.Slots, submitted: time.Now()}
+	p.jobs[t.ID] = j
+	p.order = append(p.order, j)
+	p.unfinished++
+
+	var depErr error
+	for _, dep := range t.DependsOn {
+		if d, ok := p.jobs[dep]; ok {
+			if d.state == jobDone {
+				if d.err != nil && depErr == nil {
+					depErr = fmt.Errorf("runtime: dependency %d (%s) failed: %w", d.t.ID, d.t.Name, d.err)
+				}
+				continue
+			}
+			d.dependents = append(d.dependents, j)
+			j.depsLeft++
+		} else {
+			p.waiters[dep] = append(p.waiters[dep], j)
+			j.depsLeft++
+		}
+	}
+	// Earlier submissions waiting for this ID.
+	if ws := p.waiters[t.ID]; len(ws) > 0 {
+		j.dependents = append(j.dependents, ws...)
+		delete(p.waiters, t.ID)
+	}
+	if depErr != nil {
+		p.finishLocked(j, nil, depErr, false)
+		return nil
+	}
+	if j.depsLeft == 0 {
+		p.enqueueLocked(j)
+	}
+	p.dispatchLocked()
+	return nil
+}
+
+// enqueueLocked inserts a job into its class's ready queue, keeping the
+// queue in submission order so head-of-line semantics are deterministic.
+func (p *Pool) enqueueLocked(j *job) {
+	j.state = jobReady
+	q := p.ready[j.t.Class]
+	i := sort.Search(len(q), func(k int) bool { return q[k].seq > j.seq })
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = j
+	p.ready[j.t.Class] = q
+}
+
+// Close declares the submission stream complete. Tasks blocked on
+// dependencies that were never submitted fail immediately.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.failDanglingLocked()
+	p.idle.Broadcast()
+}
+
+// failDanglingLocked fails every job waiting on a dependency ID that can
+// no longer arrive.
+func (p *Pool) failDanglingLocked() {
+	for id, ws := range p.waiters {
+		for _, j := range ws {
+			if j.state == jobBlocked && j.err == nil {
+				j.err = fmt.Errorf("runtime: task %d depends on task %d, which was never submitted",
+					j.t.ID, id)
+			}
+		}
+	}
+	p.waiters = map[int][]*job{}
+	for _, j := range p.order {
+		if j.state == jobBlocked && j.err != nil {
+			p.finishLocked(j, nil, j.err, false)
+		}
+	}
+}
+
+// Wait blocks until every submitted task has finished (Close must have
+// been called, or the context cancelled) and returns the results in
+// submission order, the utilization report, and the first task error in
+// submission order, if any. The pool is dead afterwards.
+func (p *Pool) Wait() ([]Result, Report, error) {
+	p.mu.Lock()
+	for {
+		if p.ctx.Err() != nil {
+			// Cancelled: nothing new starts; fail everything not running.
+			p.closed = true
+			p.drainCancelledLocked()
+			if len(p.runningSet) == 0 && p.unfinished == 0 {
+				break
+			}
+		} else if p.closed {
+			if p.unfinished == 0 {
+				break
+			}
+			if len(p.runningSet) == 0 && p.readyEmptyLocked() {
+				// The remaining blocked tasks form a dependency cycle.
+				for _, j := range p.order {
+					if j.state == jobBlocked {
+						p.finishLocked(j, nil,
+							fmt.Errorf("runtime: task %d blocked by a dependency cycle", j.t.ID), false)
+					}
+				}
+				continue
+			}
+		}
+		p.idle.Wait()
+	}
+	results, rep := p.collectLocked()
+	p.mu.Unlock()
+	p.cancel()
+
+	var firstErr error
+	for _, r := range results {
+		if r.Err != nil {
+			firstErr = fmt.Errorf("runtime: task %d (%s): %w", r.Task.ID, r.Task.Name, r.Err)
+			break
+		}
+	}
+	return results, rep, firstErr
+}
+
+func (p *Pool) readyEmptyLocked() bool {
+	for c := Class(0); c < numClasses; c++ {
+		if len(p.ready[c]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drainCancelledLocked fails every ready or blocked job after the pool
+// context was cancelled.
+func (p *Pool) drainCancelledLocked() {
+	err := p.ctx.Err()
+	for c := Class(0); c < numClasses; c++ {
+		q := p.ready[c]
+		p.ready[c] = nil
+		for _, j := range q {
+			j.state = jobBlocked // finishLocked path for never-started jobs
+			p.finishLocked(j, nil, err, false)
+		}
+	}
+	for _, j := range p.order {
+		if j.state == jobBlocked {
+			p.finishLocked(j, nil, err, false)
+		}
+	}
+}
+
+// Run executes a batch: submit every task in order, close, wait. Task
+// dependencies must stay within the batch; like cluster.Run, dangling
+// references are rejected up front.
+func Run(ctx context.Context, cfg Config, tasks []Task) ([]Result, Report, error) {
+	ids := make(map[int]bool, len(tasks))
+	for _, t := range tasks {
+		if ids[t.ID] {
+			return nil, Report{}, fmt.Errorf("runtime: duplicate task ID %d", t.ID)
+		}
+		ids[t.ID] = true
+	}
+	for _, t := range tasks {
+		for _, dep := range t.DependsOn {
+			if !ids[dep] {
+				return nil, Report{}, fmt.Errorf("runtime: task %d depends on unknown task %d", t.ID, dep)
+			}
+		}
+	}
+	p, err := New(ctx, cfg)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	for _, t := range tasks {
+		if err := p.Submit(t); err != nil {
+			p.Close()
+			p.Wait()
+			return nil, Report{}, err
+		}
+	}
+	p.Close()
+	return p.Wait()
+}
+
+func (p *Pool) costOf(j *job) time.Duration {
+	c := j.t.Cost
+	if c <= 0 {
+		c = p.cfg.DefaultCost
+	}
+	return time.Duration(c * float64(time.Second))
+}
+
+// dispatchLocked starts every task the schedule admits right now.
+func (p *Pool) dispatchLocked() {
+	if p.ctx.Err() != nil {
+		return
+	}
+	for c := Class(0); c < numClasses; c++ {
+		for p.dispatchOneLocked(c) {
+		}
+	}
+}
+
+// dispatchOneLocked starts at most one task of the class: the queue head
+// if it fits, otherwise the first admissible backfill candidate.
+func (p *Pool) dispatchOneLocked(cls Class) bool {
+	q := p.ready[cls]
+	if len(q) == 0 {
+		return false
+	}
+	now := time.Now()
+	head := q[0]
+	if head.slots <= p.free[cls] {
+		p.ready[cls] = q[1:]
+		p.startLocked(head, now, false)
+		return true
+	}
+	running := p.releasesLocked(cls)
+	for i, j := range q[1:] {
+		if j.slots > p.free[cls] {
+			continue
+		}
+		if backfillOK(now, p.free[cls], head.slots, j.slots, p.costOf(j), running) {
+			p.ready[cls] = append(q[:i+1:i+1], q[i+2:]...)
+			p.startLocked(j, now, true)
+			return true
+		}
+	}
+	return false
+}
+
+// releasesLocked lists the predicted slot releases of the class's
+// running tasks.
+func (p *Pool) releasesLocked(cls Class) []release {
+	var rs []release
+	for j := range p.runningSet {
+		if j.t.Class == cls {
+			rs = append(rs, release{at: j.estEnd, slots: j.slots})
+		}
+	}
+	return rs
+}
+
+func (p *Pool) startLocked(j *job, now time.Time, backfilled bool) {
+	cls := j.t.Class
+	p.free[cls] -= j.slots
+	j.workers = append([]int(nil), p.freeWorkers[cls][:j.slots]...)
+	p.freeWorkers[cls] = p.freeWorkers[cls][j.slots:]
+	j.state = jobRunning
+	j.started = now
+	j.estEnd = now.Add(p.costOf(j))
+	j.backfilled = backfilled
+	if backfilled {
+		p.backfills++
+	}
+	if p.firstStart.IsZero() || now.Before(p.firstStart) {
+		p.firstStart = now
+	}
+	p.runningSet[j] = struct{}{}
+	go p.execute(j)
+}
+
+// execute runs a job's attempts outside the lock, with per-attempt
+// timeout and bounded exponential-backoff retry.
+func (p *Pool) execute(j *job) {
+	maxRetries := p.cfg.MaxRetries
+	if j.t.Retries > 0 {
+		maxRetries = j.t.Retries
+	} else if j.t.Retries < 0 {
+		maxRetries = 0
+	}
+	backoff := p.cfg.RetryBackoff
+	var value interface{}
+	var err error
+	for {
+		runCtx := p.ctx
+		cancel := context.CancelFunc(func() {})
+		timeout := j.t.Timeout
+		if timeout == 0 {
+			timeout = p.cfg.Timeout
+		}
+		if timeout > 0 {
+			runCtx, cancel = context.WithTimeout(p.ctx, timeout)
+		}
+		t0 := time.Now()
+		value, err = j.t.Run(runCtx)
+		cancel()
+		dt := time.Since(t0)
+
+		p.mu.Lock()
+		j.attempts++
+		j.runTotal += dt
+		p.busy[j.t.Class] += time.Duration(j.slots) * dt
+		if err == nil && p.cfg.FailureRate > 0 && p.rng.Float64() < p.cfg.FailureRate {
+			err = ErrInjected
+		}
+		if err != nil {
+			p.failedAttempts++
+		}
+		retry := err != nil && j.attempts <= maxRetries && p.ctx.Err() == nil
+		p.mu.Unlock()
+
+		if !retry {
+			break
+		}
+		select {
+		case <-time.After(backoff):
+		case <-p.ctx.Done():
+		}
+		if p.ctx.Err() != nil {
+			break
+		}
+		backoff *= 2
+	}
+	p.mu.Lock()
+	p.finishLocked(j, value, err, true)
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// finishLocked retires a job: releases its slots, records the result,
+// unblocks (or, on error, cascades failure to) its dependents.
+func (p *Pool) finishLocked(j *job, value interface{}, err error, wasRunning bool) {
+	if j.state == jobDone {
+		return
+	}
+	now := time.Now()
+	if wasRunning {
+		cls := j.t.Class
+		p.free[cls] += j.slots
+		p.freeWorkers[cls] = append(p.freeWorkers[cls], j.workers...)
+		delete(p.runningSet, j)
+		if now.After(p.lastEnd) {
+			p.lastEnd = now
+		}
+	}
+	j.state = jobDone
+	j.value = value
+	j.err = err
+	p.unfinished--
+	for _, d := range j.dependents {
+		if d.state != jobBlocked {
+			continue
+		}
+		if err != nil {
+			if d.err == nil {
+				d.err = fmt.Errorf("runtime: dependency %d (%s) failed: %w", j.t.ID, j.t.Name, err)
+			}
+			p.finishLocked(d, nil, d.err, false)
+			continue
+		}
+		d.depsLeft--
+		if d.depsLeft == 0 {
+			p.enqueueLocked(d)
+		}
+	}
+	p.room.Broadcast()
+	p.idle.Broadcast()
+}
+
+// collectLocked assembles the submission-ordered results and the report.
+func (p *Pool) collectLocked() ([]Result, Report) {
+	rep := Report{
+		SolveWorkers:    p.cfg.SolveWorkers,
+		ContractWorkers: p.cfg.ContractWorkers,
+		Tasks:           len(p.order),
+		FailedAttempts:  p.failedAttempts,
+		Backfills:       p.backfills,
+		SolveBusy:       p.busy[Solve],
+		ContractBusy:    p.busy[Contract],
+	}
+	results := make([]Result, len(p.order))
+	started := 0
+	var waitSum time.Duration
+	for i, j := range p.order {
+		m := TaskMetrics{
+			ID:         j.t.ID,
+			Name:       j.t.Name,
+			Class:      j.t.Class,
+			Slots:      j.slots,
+			Attempts:   j.attempts,
+			Run:        j.runTotal,
+			Workers:    j.workers,
+			Backfilled: j.backfilled,
+		}
+		if !j.started.IsZero() {
+			m.QueueWait = j.started.Sub(j.submitted)
+			started++
+			waitSum += m.QueueWait
+			if m.QueueWait > rep.MaxQueueWait {
+				rep.MaxQueueWait = m.QueueWait
+			}
+		}
+		if j.err != nil {
+			rep.Failed++
+		} else {
+			rep.Succeeded++
+		}
+		results[i] = Result{Task: j.t, Value: j.value, Err: j.err, Metrics: m}
+		rep.PerTask = append(rep.PerTask, m)
+	}
+	if started > 0 {
+		rep.MeanQueueWait = waitSum / time.Duration(started)
+	}
+	if !p.firstStart.IsZero() && p.lastEnd.After(p.firstStart) {
+		rep.Wall = p.lastEnd.Sub(p.firstStart)
+		rep.SolveUtil = float64(p.busy[Solve]) / (float64(p.cfg.SolveWorkers) * float64(rep.Wall))
+		rep.ContractUtil = float64(p.busy[Contract]) / (float64(p.cfg.ContractWorkers) * float64(rep.Wall))
+	}
+	return results, rep
+}

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -14,7 +16,8 @@ import (
 // utilize conjugate gradient on the normal equations" for the Mobius
 // discretization. It is provided as the ablation baseline; ErrBreakdown
 // is a real possibility and callers should fall back to CGNE.
-func BiCGStab(op Linear, b []complex128, p Params) ([]complex128, Stats, error) {
+// The context is checked once per iteration, as in CGNE.
+func BiCGStab(ctx context.Context, op Linear, b []complex128, p Params) ([]complex128, Stats, error) {
 	p = p.withDefaults()
 	start := time.Now()
 	n := op.Size()
@@ -43,6 +46,10 @@ func BiCGStab(op Linear, b []complex128, p Params) ([]complex128, Stats, error) 
 	target := p.Tol * bNorm
 
 	for st.Iterations < p.MaxIter {
+		if err := interrupted(ctx); err != nil {
+			st.Elapsed = time.Since(start)
+			return x, st, fmt.Errorf("solver: interrupted after %d iterations: %w", st.Iterations, err)
+		}
 		rhoNew := linalg.Dot(rhat, r, w)
 		if rhoNew == 0 {
 			st.Elapsed = time.Since(start)

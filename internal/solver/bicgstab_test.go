@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ func TestBiCGStabDiagonalExact(t *testing.T) {
 		op.d[i] = complex(1+rng.Float64(), 0.2*rng.NormFloat64())
 	}
 	b := randRHS(rng, n)
-	x, st, err := BiCGStab(op, b, Params{Tol: 1e-10})
+	x, st, err := BiCGStab(context.Background(), op, b, Params{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,11 +32,11 @@ func TestBiCGStabMatchesCGNEOnSchurSystem(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	b := randRHS(rng, p.Size())
 
-	xc, stc, err := CGNE(p, b, Params{Tol: 1e-9, FlopsPerApply: p.FlopsPerApply()})
+	xc, stc, err := CGNE(context.Background(), p, b, Params{Tol: 1e-9, FlopsPerApply: p.FlopsPerApply()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	xb, stb, err := BiCGStab(p, b, Params{Tol: 1e-9, FlopsPerApply: p.FlopsPerApply()})
+	xb, stb, err := BiCGStab(context.Background(), p, b, Params{Tol: 1e-9, FlopsPerApply: p.FlopsPerApply()})
 	if err != nil {
 		// Erratic convergence on domain-wall systems is documented
 		// behaviour; but at this heavy mass it should converge.
@@ -57,7 +58,7 @@ func TestBiCGStabMatchesCGNEOnSchurSystem(t *testing.T) {
 func TestBiCGStabZeroRHS(t *testing.T) {
 	p := newTestEO(t, 25, 0.2)
 	b := make([]complex128, p.Size())
-	x, st, err := BiCGStab(p, b, Params{})
+	x, st, err := BiCGStab(context.Background(), p, b, Params{})
 	if err != nil || !st.Converged {
 		t.Fatalf("%v %+v", err, st)
 	}
@@ -72,7 +73,7 @@ func TestBiCGStabMaxIter(t *testing.T) {
 	p := newTestEO(t, 27, 0.05)
 	rng := rand.New(rand.NewSource(23))
 	b := randRHS(rng, p.Size())
-	_, st, err := BiCGStab(p, b, Params{Tol: 1e-13, MaxIter: 2})
+	_, st, err := BiCGStab(context.Background(), p, b, Params{Tol: 1e-13, MaxIter: 2})
 	if err == nil {
 		t.Fatalf("2 iterations cannot reach 1e-13: %+v", st)
 	}

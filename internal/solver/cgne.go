@@ -1,24 +1,38 @@
 package solver
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 
 	"femtoverse/internal/linalg"
 )
 
+// interrupted reports the context's error, tolerating a nil context so
+// that sequential callers may pass context.Background() or nil alike.
+func interrupted(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // CGNE solves D x = b for a general invertible operator by running
 // conjugate gradient on the Hermitian positive-definite normal equations
 // D^dag D x = D^dag b, entirely in double precision. Convergence is
 // declared on the *true* residual ||b - D x|| / ||b||, verified explicitly
-// whenever the normal-equation residual suggests convergence.
-func CGNE(op Linear, b []complex128, p Params) ([]complex128, Stats, error) {
-	return CGNEFrom(op, b, nil, p)
+// whenever the normal-equation residual suggests convergence. The context
+// is checked once per iteration: a cancelled or expired ctx aborts the
+// solve mid-iteration and returns the partial solution with a wrapped
+// ctx error.
+func CGNE(ctx context.Context, op Linear, b []complex128, p Params) ([]complex128, Stats, error) {
+	return CGNEFrom(ctx, op, b, nil, p)
 }
 
 // CGNEFrom is CGNE with an initial guess x0 (nil means zero); deflated
 // solves seed it with the low-mode contribution.
-func CGNEFrom(op Linear, b, x0 []complex128, p Params) ([]complex128, Stats, error) {
+func CGNEFrom(ctx context.Context, op Linear, b, x0 []complex128, p Params) ([]complex128, Stats, error) {
 	p = p.withDefaults()
 	start := time.Now()
 	n := op.Size()
@@ -79,6 +93,10 @@ func CGNEFrom(op Linear, b, x0 []complex128, p Params) ([]complex128, Stats, err
 	}
 
 	for st.Iterations < p.MaxIter {
+		if err := interrupted(ctx); err != nil {
+			st.Elapsed = time.Since(start)
+			return x, st, fmt.Errorf("solver: interrupted after %d iterations: %w", st.Iterations, err)
+		}
 		// ap = N p = D^dag D p.
 		op.Apply(tmp, pv)
 		op.ApplyDagger(ap, tmp)

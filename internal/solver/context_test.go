@@ -1,0 +1,96 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// A pre-cancelled context must abort the solve before the first
+// iteration and surface context.Canceled through the wrapped error.
+func TestCGNECancelledContextAborts(t *testing.T) {
+	n := 256
+	op := &diagOp{d: make([]complex128, n)}
+	rng := rand.New(rand.NewSource(5))
+	for i := range op.d {
+		op.d[i] = complex(1+rng.Float64(), 0.1*rng.NormFloat64())
+	}
+	b := randRHS(rng, n)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := CGNE(ctx, op, b, Params{Tol: 1e-12})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if st.Iterations != 0 {
+		t.Fatalf("iterated %d times under a cancelled context", st.Iterations)
+	}
+	if st.Converged {
+		t.Fatal("claimed convergence after cancellation")
+	}
+}
+
+// Cancelling mid-solve stops the iteration at the point of cancellation:
+// the operator counts its applications, and the count must freeze well
+// short of what full convergence needs.
+func TestCGNEMixedCancelMidSolve(t *testing.T) {
+	n := 512
+	rng := rand.New(rand.NewSource(7))
+	op := &diagOp{d: make([]complex128, n)}
+	for i := range op.d {
+		// Wide spectrum so CG needs many iterations.
+		op.d[i] = complex(0.01+rng.Float64()*100, 0)
+	}
+	b := randRHS(rng, n)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stopAt := 5
+	hooked := &applyCounter{Linear: op, cancel: cancel, after: stopAt}
+	_, st, err := CGNE(ctx, hooked, b, Params{Tol: 1e-14, MaxIter: 100000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// One iteration beyond the hook may complete (the check runs at the
+	// top of the loop), but it must not run anywhere near MaxIter.
+	if st.Iterations > stopAt+1 {
+		t.Fatalf("ran %d iterations after cancellation at %d", st.Iterations, stopAt)
+	}
+}
+
+// The mixed-precision path must also honour the context.
+func TestCGNEMixedNilContext(t *testing.T) {
+	n := 64
+	rng := rand.New(rand.NewSource(9))
+	op := &diagOp{d: make([]complex128, n)}
+	for i := range op.d {
+		op.d[i] = complex(1+rng.Float64(), 0)
+	}
+	b := randRHS(rng, n)
+	// nil is accepted and means "never cancelled".
+	x, st, err := CGNE(nil, op, b, Params{Tol: 1e-10})
+	if err != nil || !st.Converged {
+		t.Fatalf("nil-context solve failed: %v", err)
+	}
+	if len(x) != n {
+		t.Fatalf("solution length %d", len(x))
+	}
+}
+
+// applyCounter wraps a Linear and cancels a context after a fixed number
+// of operator applications.
+type applyCounter struct {
+	Linear
+	cancel context.CancelFunc
+	after  int
+	count  int
+}
+
+func (a *applyCounter) Apply(dst, src []complex128) {
+	a.count++
+	if a.count == a.after {
+		a.cancel()
+	}
+	a.Linear.Apply(dst, src)
+}

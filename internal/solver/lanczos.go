@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,9 +28,10 @@ type EigenPair struct {
 // N = D^dag D and returns the nEv lowest Ritz pairs. m must exceed nEv;
 // 2-3x is a sensible ratio. Plain Lanczos resolves the low end well only
 // when it is isolated from the bulk; for the dense spectra of real Dirac
-// normal operators use LanczosCheby.
-func Lanczos(op Linear, nEv, m int, seed int64, p Params) ([]EigenPair, Stats, error) {
-	return lanczosFiltered(op, nEv, m, seed, p, nil, false)
+// normal operators use LanczosCheby. The context is checked once per
+// Lanczos step.
+func Lanczos(ctx context.Context, op Linear, nEv, m int, seed int64, p Params) ([]EigenPair, Stats, error) {
+	return lanczosFiltered(ctx, op, nEv, m, seed, p, nil, false)
 }
 
 // LanczosCheby is the production eigensolver: Lanczos on the Chebyshev
@@ -38,7 +40,7 @@ func Lanczos(op Linear, nEv, m int, seed int64, p Params) ([]EigenPair, Stats, e
 // [-1, 1]. The largest eigenvalue lmax is estimated internally by power
 // iteration; Ritz values and residuals are always computed against the
 // original operator.
-func LanczosCheby(op Linear, nEv, m, degree int, lcut float64, seed int64, p Params) ([]EigenPair, Stats, error) {
+func LanczosCheby(ctx context.Context, op Linear, nEv, m, degree int, lcut float64, seed int64, p Params) ([]EigenPair, Stats, error) {
 	if degree < 1 || lcut <= 0 {
 		return nil, Stats{}, fmt.Errorf("solver: bad Chebyshev filter degree=%d lcut=%g", degree, lcut)
 	}
@@ -93,13 +95,13 @@ func LanczosCheby(op Linear, nEv, m, degree int, lcut float64, seed int64, p Par
 		}
 		copy(dst, tCur)
 	}
-	return lanczosFiltered(op, nEv, m, seed, p, filter, true)
+	return lanczosFiltered(ctx, op, nEv, m, seed, p, filter, true)
 }
 
 // lanczosFiltered is the shared Lanczos body: matvec through the filter
 // (nil = plain normal operator), Ritz selection by smallest plain /
 // largest filtered eigenvalue, true Rayleigh quotients for the output.
-func lanczosFiltered(op Linear, nEv, m int, seed int64, p Params,
+func lanczosFiltered(ctx context.Context, op Linear, nEv, m int, seed int64, p Params,
 	filter func(dst, src []complex128, st *Stats), selectLargest bool) ([]EigenPair, Stats, error) {
 	p = p.withDefaults()
 	n := op.Size()
@@ -134,6 +136,9 @@ func lanczosFiltered(op Linear, nEv, m int, seed int64, p Params,
 	tmp := make([]complex128, n)
 	work := make([]complex128, n)
 	for j := 0; j < m; j++ {
+		if err := interrupted(ctx); err != nil {
+			return nil, st, fmt.Errorf("solver: interrupted after %d Lanczos steps: %w", st.Iterations, err)
+		}
 		// work = (filtered) N v[j].
 		if filter != nil {
 			filter(work, v[j], &st)
@@ -314,7 +319,7 @@ func Deflate(op Linear, b []complex128, modes []EigenPair, p Params) []complex12
 }
 
 // CGNEDeflated solves D x = b seeding CG with the deflated guess.
-func CGNEDeflated(op Linear, b []complex128, modes []EigenPair, p Params) ([]complex128, Stats, error) {
+func CGNEDeflated(ctx context.Context, op Linear, b []complex128, modes []EigenPair, p Params) ([]complex128, Stats, error) {
 	x0 := Deflate(op, b, modes, p)
-	return CGNEFrom(op, b, x0, p)
+	return CGNEFrom(ctx, op, b, x0, p)
 }

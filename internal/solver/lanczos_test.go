@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -19,7 +20,7 @@ func TestLanczosExactOnDiagonalOperator(t *testing.T) {
 		want[i] = v * v
 	}
 	sort.Float64s(want)
-	modes, st, err := LanczosCheby(op, 6, 40, 24, 0.5, 7, Params{})
+	modes, st, err := LanczosCheby(context.Background(), op, 6, 40, 24, 0.5, 7, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestLanczosChebyOnSchurOperator(t *testing.T) {
 	// filter must deliver tight low Ritz pairs of the real normal
 	// operator.
 	p := newTestEO(t, 31, 0.05)
-	modes, _, err := LanczosCheby(p, 8, 40, 30, 1.0, 3, Params{FlopsPerApply: p.FlopsPerApply()})
+	modes, _, err := LanczosCheby(context.Background(), p, 8, 40, 30, 1.0, 3, Params{FlopsPerApply: p.FlopsPerApply()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestPlainLanczosOnIsolatedSpectrum(t *testing.T) {
 			op.d[i] = complex(2+rng.Float64(), 0)
 		}
 	}
-	modes, _, err := Lanczos(op, 4, 60, 13, Params{})
+	modes, _, err := Lanczos(context.Background(), op, 4, 60, 13, Params{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestDeflationReducesIterations(t *testing.T) {
 	b := randRHS(rng, n)
 	par := Params{Tol: 1e-10}
 
-	_, plain, err := CGNE(op, b, par)
+	_, plain, err := CGNE(context.Background(), op, b, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestDeflationReducesIterations(t *testing.T) {
 		di := real(op.d[i])
 		modes[i] = EigenPair{Value: di * di, Vector: vec}
 	}
-	xDef, defl, err := CGNEDeflated(op, b, modes, par)
+	xDef, defl, err := CGNEDeflated(context.Background(), op, b, modes, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +154,11 @@ func TestDeflatedSolveCorrectOnSchurOperator(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
 	b := randRHS(rng, p.Size())
 	par := Params{Tol: 1e-8, FlopsPerApply: p.FlopsPerApply()}
-	modes, _, err := Lanczos(p, 8, 32, 9, par)
+	modes, _, err := Lanczos(context.Background(), p, 8, 32, 9, par)
 	if err != nil {
 		t.Fatal(err)
 	}
-	x, st, err := CGNEDeflated(p, b, modes, par)
+	x, st, err := CGNEDeflated(context.Background(), p, b, modes, par)
 	if err != nil || !st.Converged {
 		t.Fatalf("deflated solve failed: %v %+v", err, st)
 	}
@@ -171,11 +172,11 @@ func TestCGNEFromRespectsGuess(t *testing.T) {
 	p := newTestEO(t, 35, 0.3)
 	rng := rand.New(rand.NewSource(6))
 	b := randRHS(rng, p.Size())
-	x, _, err := CGNE(p, b, Params{Tol: 1e-10})
+	x, _, err := CGNE(context.Background(), p, b, Params{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, st, err := CGNEFrom(p, b, x, Params{Tol: 1e-8})
+	_, st, err := CGNEFrom(context.Background(), p, b, x, Params{Tol: 1e-8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,10 +187,10 @@ func TestCGNEFromRespectsGuess(t *testing.T) {
 
 func TestLanczosValidation(t *testing.T) {
 	p := newTestEO(t, 37, 0.2)
-	if _, _, err := Lanczos(p, 0, 10, 1, Params{}); err == nil {
+	if _, _, err := Lanczos(context.Background(), p, 0, 10, 1, Params{}); err == nil {
 		t.Fatal("nEv = 0 accepted")
 	}
-	if _, _, err := Lanczos(p, 10, 10, 1, Params{}); err == nil {
+	if _, _, err := Lanczos(context.Background(), p, 10, 10, 1, Params{}); err == nil {
 		t.Fatal("m = nEv accepted")
 	}
 }

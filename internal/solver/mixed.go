@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -16,10 +18,11 @@ import (
 // ReliableDelta relative to its maximum since the last update - recompute
 // the group residual in full double precision and re-inject it, bounding
 // the accumulated rounding error. All reductions are double precision.
-func CGNEMixed(op Linear, sloppy Linear32, b []complex128, p Params) ([]complex128, Stats, error) {
+// The context is checked once per iteration, as in CGNE.
+func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, p Params) ([]complex128, Stats, error) {
 	p = p.withDefaults()
 	if p.Precision == Double || sloppy == nil {
-		return CGNE(op, b, p)
+		return CGNE(ctx, op, b, p)
 	}
 	start := time.Now()
 	n := op.Size()
@@ -102,6 +105,14 @@ func CGNEMixed(op Linear, sloppy Linear32, b []complex128, p Params) ([]complex1
 	}
 
 	for st.Iterations < p.MaxIter {
+		if err := interrupted(ctx); err != nil {
+			// Fold in the sloppy accumulation so the partial solution is
+			// the best iterate reached, then abort.
+			linalg.Promote(tmpD, xs)
+			linalg.Axpy(1, tmpD, x, w)
+			st.Elapsed = time.Since(start)
+			return x, st, fmt.Errorf("solver: interrupted after %d iterations: %w", st.Iterations, err)
+		}
 		roundHalf(pv)
 		sloppy.Apply(tmp, pv)
 		sloppy.ApplyDagger(ap, tmp)

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/cmplx"
@@ -72,7 +73,7 @@ func TestCGNEDiagonalExact(t *testing.T) {
 		op.d[i] = complex(1+rng.Float64(), rng.NormFloat64()*0.1)
 	}
 	b := randRHS(rng, n)
-	x, st, err := CGNE(op, b, Params{Tol: 1e-10})
+	x, st, err := CGNE(context.Background(), op, b, Params{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestCGNEMobiusConverges(t *testing.T) {
 	p := newTestEO(t, 3, 0.2)
 	rng := rand.New(rand.NewSource(2))
 	b := randRHS(rng, p.Size())
-	x, st, err := CGNE(p, b, Params{Tol: 1e-8, FlopsPerApply: p.FlopsPerApply()})
+	x, st, err := CGNE(context.Background(), p, b, Params{Tol: 1e-8, FlopsPerApply: p.FlopsPerApply()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFullSolveThroughSchurPipeline(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	eta := randRHS(rng, p.M.Size())
 	bhat, etaOdd := p.PrepareSource(eta)
-	xe, st, err := CGNE(p, bhat, Params{Tol: 1e-9})
+	xe, st, err := CGNE(context.Background(), p, bhat, Params{Tol: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +141,11 @@ func TestMixedSingleMatchesDouble(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	b := randRHS(rng, p.Size())
 
-	xd, _, err := CGNE(p, b, Params{Tol: 1e-9})
+	xd, _, err := CGNE(context.Background(), p, b, Params{Tol: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	xm, st, err := CGNEMixed(p, sl, b, Params{Tol: 1e-9, Precision: Single})
+	xm, st, err := CGNEMixed(context.Background(), p, sl, b, Params{Tol: 1e-9, Precision: Single})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestMixedHalfConverges(t *testing.T) {
 	sl := dirac.NewMobiusEO32(p)
 	rng := rand.New(rand.NewSource(5))
 	b := randRHS(rng, p.Size())
-	x, st, err := CGNEMixed(p, sl, b, Params{Tol: 1e-7, Precision: Half})
+	x, st, err := CGNEMixed(context.Background(), p, sl, b, Params{Tol: 1e-7, Precision: Half})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestMixedFallsBackToDoubleWhenRequested(t *testing.T) {
 	p := newTestEO(t, 11, 0.2)
 	rng := rand.New(rand.NewSource(6))
 	b := randRHS(rng, p.Size())
-	x, st, err := CGNEMixed(p, nil, b, Params{Tol: 1e-8, Precision: Double})
+	x, st, err := CGNEMixed(context.Background(), p, nil, b, Params{Tol: 1e-8, Precision: Double})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestMaxIterReported(t *testing.T) {
 	p := newTestEO(t, 13, 0.05)
 	rng := rand.New(rand.NewSource(7))
 	b := randRHS(rng, p.Size())
-	_, st, err := CGNE(p, b, Params{Tol: 1e-12, MaxIter: 3})
+	_, st, err := CGNE(context.Background(), p, b, Params{Tol: 1e-12, MaxIter: 3})
 	if !errors.Is(err, ErrMaxIter) {
 		t.Fatalf("want ErrMaxIter, got %v (stats %+v)", err, st)
 	}
@@ -217,7 +218,7 @@ func TestMaxIterReported(t *testing.T) {
 func TestZeroRHSGivesZeroSolution(t *testing.T) {
 	p := newTestEO(t, 15, 0.2)
 	b := make([]complex128, p.Size())
-	x, st, err := CGNE(p, b, Params{})
+	x, st, err := CGNE(context.Background(), p, b, Params{})
 	if err != nil || !st.Converged {
 		t.Fatalf("err=%v stats=%+v", err, st)
 	}
@@ -234,11 +235,11 @@ func TestSolverLinearityInRHS(t *testing.T) {
 	b := randRHS(rng, p.Size())
 	b2 := make([]complex128, len(b))
 	linalg.AxpyZ(1, b, b, b2, 0)
-	x1, _, err := CGNE(p, b, Params{Tol: 1e-10})
+	x1, _, err := CGNE(context.Background(), p, b, Params{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	x2, _, err := CGNE(p, b2, Params{Tol: 1e-10})
+	x2, _, err := CGNE(context.Background(), p, b2, Params{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestPreconditioningAblation(t *testing.T) {
 
 	// Preconditioned path.
 	bhat, etaOdd := p.PrepareSource(eta)
-	xe, stPre, err := CGNE(p, bhat, Params{Tol: 1e-8, FlopsPerApply: p.FlopsPerApply()})
+	xe, stPre, err := CGNE(context.Background(), p, bhat, Params{Tol: 1e-8, FlopsPerApply: p.FlopsPerApply()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestPreconditioningAblation(t *testing.T) {
 
 	// Unpreconditioned path on the same system.
 	fullFlops := full.Flops()
-	xFull, stFull, err := CGNE(full, eta, Params{Tol: 1e-8, FlopsPerApply: fullFlops})
+	xFull, stFull, err := CGNE(context.Background(), full, eta, Params{Tol: 1e-8, FlopsPerApply: fullFlops})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,55 @@
+package workflow
+
+import (
+	"context"
+	"testing"
+)
+
+// The concurrent pipeline must reproduce the sequential pipeline's
+// correlators bit for bit and its accounting exactly; only the measured
+// Budget (wall-clock timings) may differ.
+func TestRunRealConcurrentMatchesSequential(t *testing.T) {
+	cfg := DefaultRealConfig()
+	cfg.Dims = [4]int{2, 2, 2, 4}
+	cfg.Params.Ls = 4
+	cfg.NConfigs = 3
+	cfg.ThermSweeps = 3
+	cfg.GapSweeps = 1
+
+	ref, err := RunReal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 3} {
+		got, rep, err := RunRealConcurrent(context.Background(), cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep == nil || rep.Succeeded != 3*cfg.NConfigs || rep.Failed != 0 {
+			t.Fatalf("workers=%d report: %+v", workers, rep)
+		}
+		if got.Solves != ref.Solves || got.Iterations != ref.Iterations ||
+			got.Flops != ref.Flops || got.IOBytes != ref.IOBytes {
+			t.Fatalf("workers=%d accounting differs: %+v vs %+v", workers, got, ref)
+		}
+		if len(got.Pion) != len(ref.Pion) || len(got.Proton) != len(ref.Proton) {
+			t.Fatalf("workers=%d correlator counts differ", workers)
+		}
+		for i := range ref.Pion {
+			for tt := range ref.Pion[i] {
+				if got.Pion[i][tt] != ref.Pion[i][tt] {
+					t.Fatalf("workers=%d pion differs at cfg %d t=%d", workers, i, tt)
+				}
+			}
+			for tt := range ref.Proton[i] {
+				if got.Proton[i][tt] != ref.Proton[i][tt] {
+					t.Fatalf("workers=%d proton differs at cfg %d t=%d", workers, i, tt)
+				}
+			}
+		}
+		if got.Budget.Total() <= 0 {
+			t.Fatalf("workers=%d: empty budget", workers)
+		}
+	}
+}
