@@ -1,8 +1,14 @@
 #!/bin/sh
-# CI gate: vet, build, and the full test suite under the race detector.
-# The job runtime (internal/runtime) and every concurrent driver must be
-# data-race-free; -race is the contract, not an option.
+# CI gate: vet (stock passes plus the femtolint contract passes), build,
+# and the full test suite under the race detector. The job runtime
+# (internal/runtime) and every concurrent driver must be data-race-free;
+# -race is the contract, not an option. femtolint enforces the repo's
+# determinism, cancellation, and hot-path contracts (see DESIGN.md
+# "Static analysis"); a violation anywhere in the tree fails CI.
 set -eux
 go vet ./...
+go build -o "$PWD/femtolint.bin" ./cmd/femtolint
+trap 'rm -f "$PWD/femtolint.bin"' EXIT
+go vet -vettool="$PWD/femtolint.bin" ./...
 go build ./...
 go test -race ./...

@@ -1,0 +1,162 @@
+// Command femtolint runs the project's static-analysis suite
+// (internal/analysis): ctxcancel, detrange, globalrand, hotalloc and
+// errdrop, the machine-checked forms of the determinism, cancellation and
+// hot-path contracts.
+//
+// Two modes share one binary:
+//
+//	femtolint [packages]           # standalone; defaults to ./...
+//	go vet -vettool=femtolint ...  # driven by cmd/go (what ci.sh does)
+//
+// Standalone mode simply re-executes `go vet -vettool=<self>` so that both
+// modes analyze exactly what the build graph compiles, with cmd/go doing
+// the loading, caching, and export-data plumbing. The vettool protocol
+// itself (-V=full handshake, vet.cfg units) is implemented in
+// internal/analysis.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"femtoverse/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// selected tracks -<analyzer> flags; if any is set true, only those
+	// analyzers run (the x/tools multichecker convention).
+	selected := make(map[string]bool)
+	rest := args[:0:0]
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			if err := analysis.PrintVersion(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+				return 1
+			}
+			return 0
+		case arg == "-flags" || arg == "--flags":
+			// cmd/go probes the tool's flag set as JSON before it will
+			// drive it (cmd/go/internal/vet/vetflag.go).
+			return printFlagsJSON()
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			usage()
+			return 0
+		case parseAnalyzerFlag(arg, selected):
+		default:
+			rest = append(rest, arg)
+		}
+	}
+	args = rest
+	enabled := analysis.All()
+	if len(selected) > 0 {
+		enabled = enabled[:0:0]
+		for _, a := range analysis.All() {
+			if selected[a.Name] {
+				enabled = append(enabled, a)
+			}
+		}
+	}
+
+	// cmd/go invokes the tool as `femtolint [flags] <objdir>/vet.cfg`.
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		return analysis.RunVetCfg(args[len(args)-1], enabled)
+	}
+
+	// Standalone: delegate loading to the go command.
+	patterns := args
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "femtolint: unknown flag %s\n", p)
+			usage()
+			return 1
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseAnalyzerFlag consumes -<name>, -<name>=true or -<name>=false for a
+// known analyzer, recording the selection; it reports whether arg was one.
+func parseAnalyzerFlag(arg string, selected map[string]bool) bool {
+	if !strings.HasPrefix(arg, "-") {
+		return false
+	}
+	name := strings.TrimLeft(arg, "-")
+	val := true
+	if i := strings.IndexByte(name, '='); i >= 0 {
+		val = name[i+1:] == "true" || name[i+1:] == "1"
+		name = name[:i]
+	}
+	for _, a := range analysis.All() {
+		if a.Name == name {
+			if val {
+				selected[name] = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func printFlagsJSON() int {
+	type flagDesc struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	descs := make([]flagDesc, 0, len(analysis.All()))
+	for _, a := range analysis.All() {
+		descs = append(descs, flagDesc{Name: a.Name, Bool: true, Usage: "enable only the " + a.Name + " analyzer: " + a.Doc})
+	}
+	out, err := json.Marshal(descs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+		return 1
+	}
+	fmt.Println(string(out))
+	return 0
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: femtolint [packages]
+
+Runs the femtoverse static-analysis suite over the named packages
+(default ./...) by re-executing "go vet -vettool=femtolint".
+
+Analyzers:
+`)
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprint(os.Stderr, `
+Suppress a single diagnostic with a justified directive on the flagged
+line or the line above:
+
+	//femtolint:ignore <analyzer> <reason>
+`)
+}

@@ -1,0 +1,184 @@
+// Package analysistest runs femtolint analyzers over fixture packages and
+// checks their diagnostics against expectations embedded in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library alone.
+//
+// A fixture directory holds one package's worth of .go files. Expected
+// diagnostics are declared with trailing comments:
+//
+//	rand.Float64() // want "global math/rand"
+//
+// Each `want "re"` is a regular expression that must match the message of
+// exactly one diagnostic reported on that line; diagnostics with no
+// matching want, and wants with no matching diagnostic, fail the test.
+// Because the driver applies //femtolint:ignore suppression before
+// diagnostics reach the harness, fixtures also express "this line is
+// suppressed" simply by carrying a directive and no want.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"femtoverse/internal/analysis"
+)
+
+// sharedFset and sharedImporter are reused across Run calls: the source
+// importer re-typechecks imported standard-library packages from GOROOT
+// source, which is far too slow to repeat per fixture.
+var (
+	loadMu         sync.Mutex
+	sharedFset     = token.NewFileSet()
+	sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// Run loads the fixture package in dir under the package path pkgPath,
+// executes the analyzers through the femtolint driver (suppression
+// included), and enforces the // want expectations.
+//
+// pkgPath matters: analyzers such as hotalloc restrict themselves to
+// particular import-path suffixes, so a hotalloc fixture should be loaded
+// as e.g. "fixture/internal/dirac".
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	files, diags := load(t, dir, pkgPath, analyzers)
+	wants := collectWants(t, sharedFset, files)
+	for _, d := range diags {
+		posn := sharedFset.Position(d.Pos)
+		if !consumeWant(wants, posn, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", posn, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+// RunExpectNone loads the fixture like Run but requires the analyzers to
+// stay silent, disregarding any // want comments. It exists for fixtures
+// that are deliberately re-loaded under a context where an analyzer must
+// not fire at all — e.g. the hotalloc fixture under a cold import path.
+func RunExpectNone(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	_, diags := load(t, dir, pkgPath, analyzers)
+	for _, d := range diags {
+		t.Errorf("%s: unexpected diagnostic: %s (%s)", sharedFset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// load parses and typechecks the fixture package and runs the analyzers
+// through the driver. Callers must hold loadMu.
+func load(t *testing.T, dir, pkgPath string, analyzers []*analysis.Analyzer) ([]*ast.File, []analysis.Diagnostic) {
+	t.Helper()
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewInfo()
+	cfg := types.Config{Importer: sharedImporter}
+	pkg, err := cfg.Check(pkgPath, sharedFset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: typechecking %s: %v", dir, err)
+	}
+
+	diags, err := analysis.Run(&analysis.Target{Fset: sharedFset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		t.Fatalf("analysistest: running analyzers on %s: %v", dir, err)
+	}
+	return files, diags
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses `// want "re" ["re" ...]` comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want") {
+					continue
+				}
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, q[1], err)
+					}
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func consumeWant(wants []*want, posn token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture .go files in %s", dir)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"femtoverse/internal/analysis"
+	"femtoverse/internal/analysis/analysistest"
+)
+
+// Each fixture package holds positive hits (// want lines), clean idioms
+// the analyzer must exempt, and a //femtolint:ignore suppression whose
+// line carries no want — so a suppression failure shows up as an
+// unexpected diagnostic.
+
+func TestCtxCancel(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxcancel", "fixture/ctxcancel", analysis.CtxCancel)
+}
+
+func TestDetRange(t *testing.T) {
+	analysistest.Run(t, "testdata/detrange", "fixture/detrange", analysis.DetRange)
+}
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata/globalrand", "fixture/globalrand", analysis.GlobalRand)
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata/errdrop", "fixture/errdrop", analysis.ErrDrop)
+}
+
+// TestHotAlloc loads the fixture under an import path with a hot suffix;
+// TestHotAllocColdPackage re-loads the identical file under a cold path,
+// where the analyzer must not fire at all.
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/hotalloc", "fixture/internal/dirac", analysis.HotAlloc)
+}
+
+func TestHotAllocColdPackage(t *testing.T) {
+	analysistest.RunExpectNone(t, "testdata/hotalloc", "fixture/coldpath", analysis.HotAlloc)
+}
+
+// TestAllOnCleanFixtures cross-checks that no analyzer fires on another
+// analyzer's clean cases beyond what its own want lines declare — i.e.
+// the full battery agrees with the per-analyzer expectations on the
+// globalrand fixture, whose wants all belong to globalrand.
+func TestAllOnGlobalRandFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/globalrand", "fixture/globalrand", analysis.All()...)
+}

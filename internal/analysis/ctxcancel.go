@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxCancel enforces the PR 1 solver contract, generalized: any function
+// that accepts a context.Context and contains a for loop must consult the
+// context inside that loop — by calling ctx.Err(), selecting on
+// ctx.Done(), or passing the context into a callee that does. A solve that
+// cannot be aborted mid-iteration holds its node hostage for the full
+// 25k-iteration cap, which is exactly the behaviour mpi_jm-style
+// backfilling cannot tolerate.
+//
+// Range loops are exempt: they are bounded by the data they traverse.
+// A for loop whose body lexically references any value of type
+// context.Context (the parameter itself, or a derived context) counts as
+// consulting it.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc:  "for loops in context-taking functions must consult the context so cancellation can interrupt them",
+	Run:  runCtxCancel,
+}
+
+func runCtxCancel(pass *Pass) error {
+	flagged := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					ctxCheckFunc(pass, fn.Type, fn.Body, fn.Name.Name, flagged)
+				}
+			case *ast.FuncLit:
+				ctxCheckFunc(pass, fn.Type, fn.Body, "function literal", flagged)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxCheckFunc flags for loops in body that never consult a context,
+// provided ftype declares a context.Context parameter. Two structural
+// exemptions keep the contract at the right granularity:
+//
+//   - nested function literals that do not themselves take a context are
+//     separate functions (usually hot kernels invoked by a caller that
+//     owns the cancellation check) and are skipped here; they are checked
+//     on their own if they declare a ctx parameter;
+//   - a loop nested inside a loop that already consults the context is
+//     exempt: cancelling at the granularity of one outer iteration is the
+//     contract, and per-inner-iteration checks would put branches in the
+//     flop path.
+//
+// The flagged set dedupes loops seen through both an enclosing FuncDecl
+// and a nested FuncLit that each take a context.
+func ctxCheckFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt, name string, flagged map[ast.Node]bool) {
+	if !takesContext(pass, ftype) {
+		return
+	}
+	var visit func(n ast.Node, covered bool)
+	visit = func(n ast.Node, covered bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return true
+			}
+			switch inner := m.(type) {
+			case *ast.FuncLit:
+				return false // analyzed separately iff it takes a ctx
+			case *ast.ForStmt:
+				ok := referencesContext(pass, inner)
+				if !ok && !covered && !flagged[inner] {
+					flagged[inner] = true
+					pass.Reportf(inner.For,
+						"for loop in %s never consults its context; check ctx.Err()/ctx.Done() (or pass ctx to the loop body) so cancellation can interrupt the iteration", name)
+				}
+				visit(inner, covered || ok)
+				return false
+			case *ast.RangeStmt:
+				// Range loops are bounded and never flagged, but an
+				// inner for loop under a ctx-consulting range is covered.
+				visit(inner, covered || referencesContext(pass, inner))
+				return false
+			}
+			return true
+		})
+	}
+	visit(body, false)
+}
+
+func takesContext(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// referencesContext reports whether any identifier inside the loop
+// (including its condition and post statement) denotes a value of type
+// context.Context.
+func referencesContext(pass *Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

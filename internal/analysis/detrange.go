@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetRange guards bit-for-bit reproducibility: ranging over a map visits
+// keys in a randomized order, so a map-range body that appends to an outer
+// slice, accumulates floating-point (or complex) values, sends on a
+// channel, or emits output/tasks produces run-to-run-different results.
+// The blessed pattern is the hio.sortedKeys idiom — collect the keys,
+// sort, then iterate the sorted slice — which the analyzer recognizes and
+// exempts: a map-range whose only effect is appending keys/values into a
+// slice that the same function subsequently passes to sort.* or slices.*.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "map iteration order must not feed ordered output, float accumulation, or task emission; sort the keys first",
+	Run:  runDetRange,
+}
+
+// emissionMethods are method/function names whose call inside a map-range
+// body emits something externally visible in iteration order.
+var emissionMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Submit": true, "Enqueue": true,
+}
+
+func runDetRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				detRangeCheckFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func detRangeCheckFunc(pass *Pass, funcBody *ast.BlockStmt) {
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		// Nested function literals are visited on their own by
+		// runDetRange, with their own body as the idiom-search scope.
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != funcBody {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if rangeVarsBlank(rs) {
+			// Neither key nor value is bound, so the body cannot depend
+			// on which element the iteration is visiting.
+			return true
+		}
+		if sink := orderSensitiveSink(pass, rs, funcBody); sink != "" {
+			pass.Reportf(rs.For,
+				"map iteration order feeds %s, which makes the result depend on Go's randomized map order; collect and sort the keys first (hio.sortedKeys idiom)", sink)
+		}
+		return true
+	})
+}
+
+func rangeVarsBlank(rs *ast.RangeStmt) bool {
+	bound := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		id, ok := e.(*ast.Ident)
+		return !ok || id.Name != "_"
+	}
+	return !bound(rs.Key) && !bound(rs.Value)
+}
+
+// orderSensitiveSink scans the range body for an effect whose outcome
+// depends on iteration order and names the first one found. An append
+// into an outer slice is exempt when the same function later passes that
+// slice to sort.* or slices.* — the hio.sortedKeys idiom, generalized to
+// any collect-then-sort pattern — because sorting erases the insertion
+// order.
+func orderSensitiveSink(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ASSIGN, token.DEFINE:
+				for i, rhs := range s.Rhs {
+					if i < len(s.Lhs) && isAppendCall(pass, rhs) &&
+						declaredOutside(pass.TypesInfo, s.Lhs[i], rs.Pos(), rs.End()) &&
+						!collectedForSorting(pass, s.Lhs[i], rs, funcBody) {
+						sink = "an append to a slice declared outside the loop"
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(s.Lhs) == 1 && isInexactNumeric(pass.TypesInfo.TypeOf(s.Lhs[0])) &&
+					declaredOutside(pass.TypesInfo, s.Lhs[0], rs.Pos(), rs.End()) {
+					sink = "a floating-point accumulation (rounding differs per order)"
+				}
+			}
+		case *ast.SendStmt:
+			sink = "a channel send"
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && emissionMethods[sel.Sel.Name] {
+				sink = "output or task emission (" + sel.Sel.Name + ")"
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+func isAppendCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isInexactNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// collectedForSorting reports whether the append destination lhs is a
+// plain variable that the enclosing function subsequently sorts.
+func collectedForSorting(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	return obj != nil && sortedAfter(pass, obj, rs, funcBody)
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after the
+// range statement within the same function body.
+func sortedAfter(pass *Pass, obj types.Object, rs *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkgName.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags silently discarded errors in non-test code: assignments of
+// an error-typed value to the blank identifier, and expression-statement
+// calls whose results (which include an error) are never bound at all. A
+// campaign that shrugs off an I/O or solve error produces a silently
+// truncated ensemble, which is worse than a crash — the statistics look
+// fine and are wrong.
+//
+// A small set of can't-realistically-fail sinks is exempt: fmt printing to
+// stdout/stderr, and the Write/WriteString/... methods of bytes.Buffer and
+// strings.Builder (documented to always return a nil error).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "errors must be handled: no `_ =` error discards or unchecked error-returning calls outside tests",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				errDropCheckAssign(pass, s)
+			case *ast.ExprStmt:
+				errDropCheckExprStmt(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func errDropCheckAssign(pass *Pass, s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := blankOperandType(pass, s, i)
+		if !isErrorType(t) {
+			continue
+		}
+		rhs := s.Rhs[0]
+		if len(s.Rhs) > 1 && i < len(s.Rhs) {
+			rhs = s.Rhs[i]
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && exemptCall(pass, call) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "error discarded with _; handle it, propagate it, or suppress with a justified //femtolint:ignore")
+	}
+}
+
+// blankOperandType resolves the type flowing into s.Lhs[i], handling both
+// the one-call-many-results form and the pairwise form.
+func blankOperandType(pass *Pass, s *ast.AssignStmt, i int) types.Type {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		tuple, ok := pass.TypesInfo.TypeOf(s.Rhs[0]).(*types.Tuple)
+		if !ok || i >= tuple.Len() {
+			return nil
+		}
+		return tuple.At(i).Type()
+	}
+	if i < len(s.Rhs) {
+		return pass.TypesInfo.TypeOf(s.Rhs[i])
+	}
+	return nil
+}
+
+func errDropCheckExprStmt(pass *Pass, s *ast.ExprStmt) {
+	call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsValue() {
+		return // conversion or builtin, not a call that can fail
+	}
+	if !resultsIncludeError(pass.TypesInfo.TypeOf(call)) {
+		return
+	}
+	if exemptCall(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call returns an error that is never checked; assign and handle it (or suppress with a justified //femtolint:ignore)")
+}
+
+func resultsIncludeError(t types.Type) bool {
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// exemptCall whitelists conventional never-fails sinks.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	callee := calleeFunc(pass, call)
+	if callee == nil {
+		return false
+	}
+	if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+		// bytes.Buffer and strings.Builder document a guaranteed nil
+		// error from their Write*/ReadFrom-style methods.
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := types.Unalias(rt).(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if full == "bytes.Buffer" || full == "strings.Builder" {
+				return true
+			}
+		}
+		return false
+	}
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		name := callee.Name()
+		if strings.HasPrefix(name, "Print") {
+			return true // stdout: diagnostics-only, failure unactionable
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			// Fprint's error is the writer's; stderr/stdout and the
+			// in-memory builders cannot meaningfully fail.
+			return isStdStream(pass, call.Args[0]) ||
+				isInfallibleWriter(pass.TypesInfo.TypeOf(call.Args[0]))
+		}
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether t is *bytes.Buffer or
+// *strings.Builder, whose Write methods are documented to return nil
+// errors always.
+func isInfallibleWriter(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "bytes.Buffer" || full == "strings.Builder"
+}
+
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}

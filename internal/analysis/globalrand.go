@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the process-global math/rand source in non-test code.
+// The paper's analysis (and this tree's tier-1 reproducibility tests)
+// depend on every stochastic ingredient — gauge updates, HMC momenta,
+// stochastic sources, failure injection — being replayable from an
+// explicit seed. Package-level rand.Float64/rand.Intn/... draw from a
+// shared, possibly re-seeded source, so two runs with the same nominal
+// seeds interleave differently the moment goroutine scheduling changes.
+// Randomness must flow from a seeded *rand.Rand threaded through the call
+// graph, as internal/gauge and internal/runtime do. Constructors that
+// build such generators (rand.New, rand.NewSource, rand.NewZipf) stay
+// legal.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "package-level math/rand functions break seeded determinism; thread an explicit *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed are math/rand package-level functions that construct
+// explicit generators rather than drawing from the global source.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors, should the tree ever migrate.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			pkg := fn.Pkg()
+			if pkg == nil {
+				return true
+			}
+			if p := pkg.Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if globalRandAllowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"use of global math/rand source (rand.%s) breaks seeded determinism; draw from an explicit *rand.Rand (rand.New(rand.NewSource(seed)))", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

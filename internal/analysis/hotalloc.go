@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc polices the hot kernels. The dirac/solver/linalg/contract
+// packages carry essentially all of the flop budget (the paper's workload
+// is >95% solver time), and an allocation inside a nested loop there turns
+// into garbage pressure proportional to lattice volume × iterations.
+// The pass flags make(...), append(...), and slice/map composite literals
+// that sit under two or more enclosing loops in those packages — i.e. in
+// the innermost levels of a loop nest — where buffers must be hoisted and
+// reused.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no make/append/map allocation in the innermost loops of the hot packages (dirac, solver, linalg, contract)",
+	Run:  runHotAlloc,
+}
+
+// hotPkgs are the import-path suffixes of the flop-dominated packages.
+var hotPkgs = []string{
+	"internal/dirac",
+	"internal/solver",
+	"internal/linalg",
+	"internal/contract",
+}
+
+func isHotPackage(path string) bool {
+	for _, s := range hotPkgs {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	if !isHotPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				hotWalk(pass, fd.Body, 0)
+			}
+		}
+	}
+	return nil
+}
+
+// hotWalk recurses through n counting enclosing loops; allocations at loop
+// depth >= 2 are in the innermost levels of a nest and get flagged.
+// Function literals do not reset the depth: a closure created or invoked
+// inside a hot loop allocates on that loop's cadence.
+func hotWalk(pass *Pass, n ast.Node, depth int) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil || m == n {
+			return true
+		}
+		switch stmt := m.(type) {
+		case *ast.ForStmt:
+			hotWalk(pass, stmt, depth+1)
+			return false
+		case *ast.RangeStmt:
+			hotWalk(pass, stmt, depth+1)
+			return false
+		}
+		if depth < 2 {
+			return true
+		}
+		switch e := m.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						pass.Reportf(e.Pos(), "make inside a depth-%d hot loop; hoist the buffer out of the iteration path and reuse it", depth)
+					case "append":
+						pass.Reportf(e.Pos(), "append inside a depth-%d hot loop; preallocate the slice outside the loop nest", depth)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(e); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(e.Pos(), "slice/map composite literal inside a depth-%d hot loop; hoist the allocation out of the iteration path", depth)
+				}
+			}
+		}
+		return true
+	})
+}

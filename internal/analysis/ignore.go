@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreMarker introduces a suppression directive. The full form is
+//
+//	//femtolint:ignore <analyzer> <reason>
+//
+// and it silences diagnostics from exactly that analyzer on the directive's
+// own line and on the line immediately below it (so the directive can sit
+// either at the end of the flagged line or on its own line above).
+const ignoreMarker = "femtolint:ignore"
+
+// driverName attributes diagnostics produced by the driver itself
+// (malformed suppression directives) rather than by one of the passes.
+const driverName = "femtolint"
+
+type ignoreDirective struct {
+	pos      token.Pos
+	line     int
+	file     string
+	analyzer string
+}
+
+// collectIgnores scans all comments for femtolint:ignore directives.
+// Malformed directives — a missing analyzer name, an unknown analyzer, or
+// no reason — are themselves reported as diagnostics: a suppression without
+// a recorded justification is exactly the silent contract erosion femtolint
+// exists to prevent.
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]ignoreDirective, []Diagnostic) {
+	var directives []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignoreMarker) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignoreMarker))
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: driverName,
+						Message: "malformed femtolint:ignore: want \"//femtolint:ignore <analyzer> <reason>\""})
+				case !known[fields[0]]:
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: driverName,
+						Message: "femtolint:ignore names unknown analyzer " + quote(fields[0])})
+				case len(fields) < 2:
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: driverName,
+						Message: "femtolint:ignore " + fields[0] + " needs a reason"})
+				default:
+					posn := fset.Position(c.Pos())
+					directives = append(directives, ignoreDirective{
+						pos:      c.Pos(),
+						line:     posn.Line,
+						file:     posn.Filename,
+						analyzer: fields[0],
+					})
+				}
+			}
+		}
+	}
+	return directives, bad
+}
+
+// suppressed reports whether d is silenced by one of the directives.
+func suppressed(fset *token.FileSet, d Diagnostic, directives []ignoreDirective) bool {
+	posn := fset.Position(d.Pos)
+	for _, dir := range directives {
+		if dir.analyzer != d.Analyzer || dir.file != posn.Filename {
+			continue
+		}
+		if dir.line == posn.Line || dir.line == posn.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func quote(s string) string { return "\"" + s + "\"" }

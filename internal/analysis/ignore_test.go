@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// ignoreSrc carries one well-formed directive (line 12) and three
+// malformed ones: no fields, an unknown analyzer, and a missing reason.
+const ignoreSrc = `package p
+
+//femtolint:ignore
+func a() {}
+
+//femtolint:ignore nosuchpass reason here
+func b() {}
+
+//femtolint:ignore ctxcancel
+func c() {}
+
+//femtolint:ignore ctxcancel the loop is bounded by construction
+func d() {}
+
+func e() {}
+`
+
+func parseIgnoreSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignore_fixture.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestCollectIgnores(t *testing.T) {
+	fset, f := parseIgnoreSrc(t)
+	known := map[string]bool{"ctxcancel": true}
+	directives, bad := collectIgnores(fset, []*ast.File{f}, known)
+
+	if len(directives) != 1 {
+		t.Fatalf("got %d directives, want 1: %+v", len(directives), directives)
+	}
+	if d := directives[0]; d.analyzer != "ctxcancel" || d.line != 12 || d.file != "ignore_fixture.go" {
+		t.Errorf("directive = %+v, want ctxcancel at ignore_fixture.go:12", d)
+	}
+
+	if len(bad) != 3 {
+		t.Fatalf("got %d bad-directive diagnostics, want 3: %+v", len(bad), bad)
+	}
+	for _, d := range bad {
+		if d.Analyzer != "femtolint" {
+			t.Errorf("bad directive attributed to %q, want driver name \"femtolint\"", d.Analyzer)
+		}
+	}
+	for i, frag := range []string{"malformed", "unknown analyzer", "needs a reason"} {
+		if !strings.Contains(bad[i].Message, frag) {
+			t.Errorf("bad[%d] = %q, want it to mention %q", i, bad[i].Message, frag)
+		}
+	}
+}
+
+func TestSuppressed(t *testing.T) {
+	fset, f := parseIgnoreSrc(t)
+	directives, _ := collectIgnores(fset, []*ast.File{f}, map[string]bool{"ctxcancel": true})
+	tf := fset.File(f.Pos())
+
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+	cases := []struct {
+		name     string
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"same line", "ctxcancel", 12, true},
+		{"line below", "ctxcancel", 13, true},
+		{"two lines below", "ctxcancel", 14, false},
+		{"line above directive", "ctxcancel", 11, false},
+		{"other analyzer", "errdrop", 13, false},
+	}
+	for _, c := range cases {
+		d := Diagnostic{Pos: at(c.line), Analyzer: c.analyzer}
+		if got := suppressed(fset, d, directives); got != c.want {
+			t.Errorf("%s: suppressed = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSuppressedOtherFile(t *testing.T) {
+	fset, f := parseIgnoreSrc(t)
+	directives, _ := collectIgnores(fset, []*ast.File{f}, map[string]bool{"ctxcancel": true})
+
+	other := fset.AddFile("elsewhere.go", -1, 100)
+	other.SetLinesForContent([]byte(strings.Repeat("x\n", 50)))
+	d := Diagnostic{Pos: other.LineStart(12), Analyzer: "ctxcancel"}
+	if suppressed(fset, d, directives) {
+		t.Error("directive suppressed a diagnostic in a different file")
+	}
+}

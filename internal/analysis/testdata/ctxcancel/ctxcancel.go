@@ -1,0 +1,123 @@
+// Fixture for the ctxcancel analyzer: for loops inside context-taking
+// functions must consult the context.
+package fixture
+
+import "context"
+
+// unchecked is the canonical violation: the iteration cap is the only way
+// out of the loop, so cancellation cannot interrupt a running solve.
+func unchecked(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want "never consults its context"
+		total += i
+	}
+	return total
+}
+
+// checked consults ctx.Err once per iteration.
+func checked(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectDone consults the context through its Done channel.
+func selectDone(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// delegated passes the context to a callee inside the loop, which is the
+// other sanctioned way to keep an iteration interruptible.
+func delegated(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := step(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(ctx context.Context, i int) error { return ctx.Err() }
+
+// innerCovered: the outer loop checks the context, so the bounded inner
+// loop is cancelled at outer-iteration granularity — the contract — and a
+// per-inner-iteration branch would sit in the flop path.
+func innerCovered(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for j := 0; j < 8; j++ {
+			_ = i * j
+		}
+	}
+	return nil
+}
+
+// kernelClosure: a nested function literal without its own ctx parameter
+// is a separate (kernel) function; the enclosing range loop owns the
+// cancellation check.
+func kernelClosure(ctx context.Context, xs []float64) float64 {
+	sum := 0.0
+	reduce := func(v []float64) float64 {
+		s := 0.0
+		for i := 0; i < len(v); i++ {
+			s += v[i]
+		}
+		return s
+	}
+	for _, x := range xs {
+		if ctx.Err() != nil {
+			break
+		}
+		sum += reduce([]float64{x})
+	}
+	return sum
+}
+
+// A function literal that takes its own context is held to the contract.
+var _ = func(ctx context.Context) {
+	for { // want "for loop in function literal never consults its context"
+		break
+	}
+}
+
+// rangeOnly: range loops are bounded by the data they traverse and are
+// never flagged.
+func rangeOnly(ctx context.Context, xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// noContext takes no context, so no contract applies.
+func noContext(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		t += i
+	}
+	return t
+}
+
+// suppressedLoop documents why its loop is exempt; the directive on the
+// line above silences the diagnostic.
+func suppressedLoop(ctx context.Context, n int) int {
+	t := 0
+	//femtolint:ignore ctxcancel fixture: bounded warm-up loop, caller owns cancellation
+	for i := 0; i < n; i++ {
+		t += i
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+// Fixture for the detrange analyzer: map iteration order must not feed
+// ordered output, floating-point accumulation, or emission.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// appendSink builds an ordered slice straight out of map-range order.
+func appendSink(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want "append to a slice declared outside"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sortedKeys is the blessed idiom: collect, sort, then iterate. The sort
+// after the range erases the insertion order, so the append is exempt.
+func sortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// floatAccum sums floats in map order; rounding makes the result differ
+// run to run in the last bits.
+func floatAccum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "floating-point accumulation"
+		total += v
+	}
+	return total
+}
+
+// intAccum is exact in any order and therefore clean.
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// emit prints in map order.
+func emit(m map[string]int) {
+	for k, v := range m { // want "output or task emission"
+		fmt.Println(k, v)
+	}
+}
+
+// send delivers values on a channel in map order.
+func send(m map[int]int, ch chan<- int) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+// blankRange binds neither key nor value, so the body cannot depend on
+// which element the iteration is visiting.
+func blankRange(m map[int]int, ch chan<- int) {
+	for range m {
+		ch <- 0
+	}
+}
+
+// localAppend collects into a slice declared inside the loop body; its
+// lifetime is one iteration, so order cannot leak out through it.
+func localAppend(m map[int]int) int {
+	n := 0
+	for k, v := range m {
+		pair := []int{}
+		pair = append(pair, k, v)
+		n += len(pair)
+	}
+	return n
+}
+
+// suppressedEmit documents why the emission is order-insensitive.
+func suppressedEmit(m map[string]int) {
+	//femtolint:ignore detrange fixture: debug dump, consumers do not parse the order
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,65 @@
+// Fixture for the errdrop analyzer: no silent error discards outside
+// tests.
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func fail() error { return errBoom }
+
+func failPair() (int, error) { return 0, errBoom }
+
+func discardAssign() {
+	_ = fail() // want "error discarded with _"
+}
+
+func discardPair() int {
+	v, _ := failPair() // want "error discarded with _"
+	return v
+}
+
+func uncheckedCall() {
+	fail() // want "error that is never checked"
+}
+
+// handled is the expected shape; discarding the non-error half of a pair
+// is fine.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := failPair()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// exemptSinks exercise the documented never-fails writers.
+func exemptSinks(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("status")
+	fmt.Fprintf(os.Stderr, "n=%d\n", 1)
+	fmt.Fprintf(sb, "n=%d\n", 2)
+	buf.WriteString("x")
+	sb.WriteString("y")
+}
+
+// deferred: defer is a visible decision, not a silent drop, and is left
+// alone.
+func deferred(f interface{ Close() error }) {
+	defer f.Close()
+}
+
+// suppressedDrain records why the discard is safe.
+func suppressedDrain() {
+	//femtolint:ignore errdrop fixture: best-effort cleanup, failure leaves nothing to do
+	_ = fail()
+}

@@ -1,0 +1,30 @@
+// Fixture for the globalrand analyzer: no draws from the shared
+// math/rand source; ensembles must come from explicit seeded generators.
+package fixture
+
+import "math/rand"
+
+// bad draws from the process-global source, whose state is shared and
+// auto-seeded — the ensemble is irreproducible.
+func bad() float64 {
+	return rand.Float64() // want "global math/rand source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// good builds an explicit generator from a seed; constructor calls and
+// methods on the resulting *rand.Rand are fine.
+func good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// suppressedDraw records why a global draw is tolerable here.
+func suppressedDraw() int {
+	//femtolint:ignore globalrand fixture: scheduling jitter only, never enters physics output
+	return rand.Intn(10)
+}

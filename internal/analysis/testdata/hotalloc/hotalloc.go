@@ -1,0 +1,83 @@
+// Fixture for the hotalloc analyzer. The loader presents this package
+// under an import path ending in internal/dirac, so the hot-package gate
+// is open; the same file loaded under a cold path must produce nothing.
+package fixture
+
+// deepMake allocates at every level; only the depth-2 allocation is in
+// the innermost levels of the nest.
+func deepMake(n int) [][]float64 {
+	out := make([][]float64, 0, n*n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			buf := make([]float64, 4) // want "make inside a depth-2 hot loop"
+			buf[0] = float64(i + j)
+			row[j] = buf[0]
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func deepAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out = append(out, i*j) // want "append inside a depth-2 hot loop"
+		}
+	}
+	return out
+}
+
+func deepLiteral(n int) int {
+	t := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pair := []int{i, j} // want "composite literal inside a depth-2 hot loop"
+			t += pair[0]
+		}
+	}
+	return t
+}
+
+// closureAlloc: function literals do not reset the depth — a closure
+// running inside the nest allocates on the nest's cadence.
+func closureAlloc(n int, apply func([]float64)) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			func() {
+				scratch := make([]float64, 2) // want "make inside a depth-2 hot loop"
+				scratch[0] = float64(i * j)
+				apply(scratch)
+			}()
+		}
+	}
+}
+
+// hoisted is the blessed shape: one buffer allocated outside the nest and
+// reused every iteration.
+func hoisted(n int) float64 {
+	buf := make([]float64, 4)
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			buf[0] = float64(i + j)
+			s += buf[0]
+		}
+	}
+	return s
+}
+
+// suppressedMake documents a cold path inside a hot nest.
+func suppressedMake(n int) float64 {
+	s := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			//femtolint:ignore hotalloc fixture: cold diagnostic path, runs at most once
+			tmp := make([]float64, 1)
+			tmp[0] = float64(i + j)
+			s += tmp[0]
+		}
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file implements the `go vet -vettool` driver protocol (the role
+// x/tools calls a "unitchecker") on the standard library alone:
+//
+//  1. cmd/go probes `femtolint -V=full` once to obtain a build ID for its
+//     action cache; the reply must be `<name> version devel ...
+//     buildID=<hex>` (see cmd/go/internal/work/buildid.go, toolID).
+//  2. For every package in the build graph cmd/go then invokes
+//     `femtolint <objdir>/vet.cfg`, where vet.cfg is a JSON vetConfig
+//     describing one compilation unit: its Go files, the export-data file
+//     of every dependency, and an output path for "vetx" facts.
+//  3. The tool type-checks the unit against the dependencies' export data,
+//     runs its analyzers, prints diagnostics to stderr as
+//     `file:line:col: message`, writes the (for femtolint: empty) facts
+//     file, and exits 2 when it found anything, 0 otherwise.
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements the -V=full handshake. The buildID must change
+// whenever the binary does, or cmd/go's action cache would keep serving
+// vet results from an older femtolint; hashing the executable gives that.
+func PrintVersion(w io.Writer) error {
+	name := "femtolint"
+	hash := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			hash = fmt.Sprintf("%x", sum[:12])
+			name = filepath.Base(exe)
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s version devel femtolint buildID=%s\n", name, hash)
+	return err
+}
+
+// RunVetCfg processes one vet.cfg compilation unit, reporting diagnostics
+// to stderr. It returns the process exit code: 0 clean, 1 operational
+// failure, 2 diagnostics found.
+func RunVetCfg(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "femtolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// femtolint keeps no cross-package facts, so the vetx output exists
+	// only to satisfy the protocol; cmd/go caches and threads it through
+	// PackageVetx, which we never read. Dependency-only units (VetxOnly)
+	// therefore need no analysis at all.
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte("femtolint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+			return false
+		}
+		return true
+	}
+	if cfg.VetxOnly {
+		if !writeVetx() {
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	tcfg := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect all; first error returned by Check
+	}
+	info := NewInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "femtolint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := Run(&Target{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+		return 1
+	}
+	if !writeVetx() {
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (femtolint/%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -75,9 +75,13 @@ func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int,
 	configs := gauge.Ensemble(g, c.Spec.Seed, c.Spec.Beta, c.Spec.NConfigs,
 		c.Spec.ThermSweeps, c.Spec.GapSweeps)
 
-	// Outstanding configurations in order, up to the batch size.
+	// Outstanding configurations in order, up to the batch size. The ctx
+	// check keeps a cancelled campaign from submitting a fresh batch.
 	var picked []int
 	for i := 0; i < c.Spec.NConfigs && len(picked) < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		if _, ok := c.C2[i]; !ok {
 			picked = append(picked, i)
 		}
@@ -156,9 +160,11 @@ func RunRealConcurrent(ctx context.Context, cfg RealConfig, workers int) (*RealR
 		return nil, rep, fmt.Errorf("core: %d of %d configurations completed", done, cfg.NConfigs)
 	}
 	res := &RealResult{SolvesPerConfig: 24}
-	for i := 0; i < cfg.NConfigs; i++ {
-		res.C2 = append(res.C2, camp.C2[i])
-		res.CFH = append(res.CFH, camp.CFH[i])
+	res.C2 = make([][]float64, cfg.NConfigs)
+	res.CFH = make([][]float64, cfg.NConfigs)
+	for i := range res.C2 {
+		res.C2[i] = camp.C2[i]
+		res.CFH[i] = camp.CFH[i]
 	}
 	tExt := cfg.Dims[3]
 	joined := make([][]float64, len(res.C2))

@@ -9,6 +9,7 @@ package physics
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"femtoverse/internal/contract"
 	"femtoverse/internal/fit"
@@ -241,10 +242,19 @@ func ExtractTraditional(data map[int][][]float64) (GAResult, []TradPoint, error)
 	if len(data) == 0 {
 		return GAResult{}, nil, fmt.Errorf("physics: no traditional data")
 	}
+	// Iterate separations in sorted order: map-range order would shuffle
+	// the returned points and perturb the inverse-variance sums in the
+	// last bits from run to run.
+	tseps := make([]int, 0, len(data))
+	for ts := range data {
+		tseps = append(tseps, ts)
+	}
+	sort.Ints(tseps)
 	var points []TradPoint
 	var vals, errs []float64
 	nSamples := 0
-	for ts, samples := range data {
+	for _, ts := range tseps {
+		samples := data[ts]
 		nSamples = len(samples)
 		mid := ts / 2
 		fitOne := func(mean []float64) float64 {

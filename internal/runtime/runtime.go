@@ -248,11 +248,13 @@ func New(ctx context.Context, cfg Config) (*Pool, error) {
 	p.idle = sync.NewCond(&p.mu)
 	p.free[Solve] = cfg.SolveWorkers
 	p.free[Contract] = cfg.ContractWorkers
-	for i := 0; i < cfg.SolveWorkers; i++ {
-		p.freeWorkers[Solve] = append(p.freeWorkers[Solve], i)
+	p.freeWorkers[Solve] = make([]int, cfg.SolveWorkers)
+	for i := range p.freeWorkers[Solve] {
+		p.freeWorkers[Solve][i] = i
 	}
-	for i := 0; i < cfg.ContractWorkers; i++ {
-		p.freeWorkers[Contract] = append(p.freeWorkers[Contract], i)
+	p.freeWorkers[Contract] = make([]int, cfg.ContractWorkers)
+	for i := range p.freeWorkers[Contract] {
+		p.freeWorkers[Contract][i] = i
 	}
 	// Wake blocked Submit/Wait callers when the pool is cancelled.
 	go func() {
@@ -497,6 +499,7 @@ func Run(ctx context.Context, cfg Config, tasks []Task) ([]Result, Report, error
 	for _, t := range tasks {
 		if err := p.Submit(t); err != nil {
 			p.Close()
+			//femtolint:ignore errdrop Wait only drains in-flight tasks here; the Submit error below is the one the caller must see
 			p.Wait()
 			return nil, Report{}, err
 		}
@@ -553,7 +556,8 @@ func (p *Pool) dispatchOneLocked(cls Class) bool {
 }
 
 // releasesLocked lists the predicted slot releases of the class's
-// running tasks.
+// running tasks, ordered by (time, width) so that the backfill planner
+// never sees the randomized iteration order of the running set.
 func (p *Pool) releasesLocked(cls Class) []release {
 	var rs []release
 	for j := range p.runningSet {
@@ -561,6 +565,12 @@ func (p *Pool) releasesLocked(cls Class) []release {
 			rs = append(rs, release{at: j.estEnd, slots: j.slots})
 		}
 	}
+	sort.Slice(rs, func(i, k int) bool {
+		if !rs[i].at.Equal(rs[k].at) {
+			return rs[i].at.Before(rs[k].at)
+		}
+		return rs[i].slots < rs[k].slots
+	})
 	return rs
 }
 

@@ -58,6 +58,9 @@ func LanczosCheby(ctx context.Context, op Linear, nEv, m, degree int, lcut float
 	work := make([]complex128, n)
 	lmax := 1.0
 	for it := 0; it < 20; it++ {
+		if err := interrupted(ctx); err != nil {
+			return nil, Stats{}, fmt.Errorf("solver: interrupted during power iteration: %w", err)
+		}
 		nv := math.Sqrt(linalg.NormSq(v, w))
 		linalg.Scale(complex(1/nv, 0), v, w)
 		op.Apply(tmp, v)
@@ -174,41 +177,24 @@ func lanczosFiltered(ctx context.Context, op Linear, nEv, m int, seed int64, p P
 	k := len(alpha)
 	// Eigen-decomposition of the k x k tridiagonal via Jacobi rotations
 	// on the dense symmetric matrix (k is small).
-	a := make([]float64, k*k)
-	for i := 0; i < k; i++ {
-		a[i*k+i] = alpha[i]
-		if i+1 < k {
-			a[i*k+i+1] = beta[i]
-			a[(i+1)*k+i] = beta[i]
-		}
-	}
-	vals, vecs := jacobiEigen(k, a)
+	vals, vecs := jacobiEigen(k, tridiagDense(alpha, beta))
 
 	// Lowest nEv Ritz pairs.
 	if nEv > k {
 		nEv = k
 	}
-	idx := make([]int, k)
-	for i := range idx {
-		idx[i] = i
-	}
-	// Selection sort (k is small): ascending for the plain operator,
-	// descending for the filter (amplified = low modes of N).
+	// Ascending for the plain operator, descending for the filter
+	// (amplified = low modes of N).
 	less := func(a, b float64) bool { return a < b }
 	if selectLargest {
 		less = func(a, b float64) bool { return a > b }
 	}
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < k; j++ {
-			if less(vals[idx[j]], vals[idx[best]]) {
-				best = j
-			}
-		}
-		idx[i], idx[best] = idx[best], idx[i]
-	}
+	idx := rankOrder(vals, less)
 	out := make([]EigenPair, 0, nEv)
 	for e := 0; e < nEv; e++ {
+		if err := interrupted(ctx); err != nil {
+			return nil, st, fmt.Errorf("solver: interrupted reconstructing Ritz pair %d: %w", e, err)
+		}
 		col := idx[e]
 		vec := make([]complex128, n)
 		for j := 0; j < k; j++ {
@@ -230,6 +216,47 @@ func lanczosFiltered(ctx context.Context, op Linear, nEv, m int, seed int64, p P
 	}
 	// Report ascending in the true eigenvalue regardless of how the
 	// subspace was selected.
+	sortPairsByValue(out)
+	return out, st, nil
+}
+
+// tridiagDense assembles the dense symmetric matrix of the Lanczos
+// tridiagonal (diagonal alpha, off-diagonal beta), row-major k x k.
+func tridiagDense(alpha, beta []float64) []float64 {
+	k := len(alpha)
+	a := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		a[i*k+i] = alpha[i]
+		if i+1 < k {
+			a[i*k+i+1] = beta[i]
+			a[(i+1)*k+i] = beta[i]
+		}
+	}
+	return a
+}
+
+// rankOrder returns the indices of vals ordered by less, via selection
+// sort (len(vals) = k is small).
+func rankOrder(vals []float64, less func(a, b float64) bool) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := range idx {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if less(vals[idx[j]], vals[idx[best]]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx
+}
+
+// sortPairsByValue orders eigenpairs ascending in the eigenvalue
+// (selection sort; nEv is small).
+func sortPairsByValue(out []EigenPair) {
 	for i := range out {
 		best := i
 		for j := i + 1; j < len(out); j++ {
@@ -239,7 +266,6 @@ func lanczosFiltered(ctx context.Context, op Linear, nEv, m int, seed int64, p P
 		}
 		out[i], out[best] = out[best], out[i]
 	}
-	return out, st, nil
 }
 
 // jacobiEigen diagonalizes a dense symmetric matrix (row-major n x n)

@@ -71,6 +71,11 @@ func RunRealConcurrent(ctx context.Context, cfg RealConfig, workers int) (*RealR
 				r.grp = grp
 				links := make([]complex128, 0, 4*g.Vol*9)
 				for mu := 0; mu < lattice.NDim; mu++ {
+					// One cancellation point per direction keeps the
+					// pack loop interruptible without a branch per site.
+					if err := tctx.Err(); err != nil {
+						return nil, err
+					}
 					for s := 0; s < g.Vol; s++ {
 						for i := 0; i < 3; i++ {
 							for j := 0; j < 3; j++ {
@@ -124,6 +129,9 @@ func RunRealConcurrent(ctx context.Context, cfg RealConfig, workers int) (*RealR
 					return nil, err
 				}
 				for j := 0; j < prop.NComp; j++ {
+					if err := tctx.Err(); err != nil {
+						return nil, err
+					}
 					name := fmt.Sprintf("col%02d", j)
 					if err := pgrp.WriteComplex128(name, []int{g.Vol, dirac.SpinorLen}, r.pr.Col[j]); err != nil {
 						return nil, err
