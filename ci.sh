@@ -12,3 +12,10 @@ trap 'rm -f "$PWD/femtolint.bin"' EXIT
 go vet -vettool="$PWD/femtolint.bin" ./...
 go build ./...
 go test -race ./...
+# Chaos gate: the fault-tolerance suites run again under the race
+# detector with -count=2, so the chaos engine's determinism claim
+# (same seed and plan -> same fault sequence and report at any worker
+# count) is exercised twice against fresh goroutine interleavings, and
+# the recovery paths (panic isolation, watchdog kills, quarantine,
+# journal replay) hold under concurrent load.
+go test -race -count=2 ./internal/fault/ ./internal/runtime/ ./internal/cluster/

@@ -64,9 +64,11 @@ func main() {
 	_, rep2, err := femtoverse.RunJobs(context.Background(), femtoverse.JobConfig{
 		SolveWorkers:    4,
 		ContractWorkers: 2,
-		FailureRate:     0.2, // every fifth attempt dies, as on a real machine
 		MaxRetries:      10,
-		Seed:            42,
+		// Roughly every fifth attempt dies, as on a real machine; the
+		// draws are keyed by task identity, so this chaos run replays
+		// exactly at any worker count.
+		Fault: femtoverse.FaultPlan{Seed: 41, Transient: 0.2},
 	}, tasks)
 	if err != nil {
 		log.Fatal(err)

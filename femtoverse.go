@@ -34,6 +34,7 @@ import (
 	"femtoverse/internal/dirac"
 	"femtoverse/internal/domain"
 	"femtoverse/internal/ensemble"
+	"femtoverse/internal/fault"
 	"femtoverse/internal/figures"
 	"femtoverse/internal/fit"
 	"femtoverse/internal/gauge"
@@ -280,6 +281,23 @@ func RunSynthetic(nSamples, tradFactor int, seed int64) (*SyntheticResult, error
 	return core.RunSynthetic(nSamples, tradFactor, seed)
 }
 
+// CampaignJournal is the campaign's crash-recovery write-ahead log: an
+// append-only, CRC-framed file holding the campaign spec plus one
+// record per finished configuration, durable every N appends.
+type CampaignJournal = core.Journal
+
+// CreateCampaignJournal starts a fresh journal for a new campaign.
+func CreateCampaignJournal(path string, spec RealPipelineConfig, every int) (*CampaignJournal, error) {
+	return core.CreateJournal(path, spec, every)
+}
+
+// OpenCampaignJournal replays an existing journal — stopping at the
+// first torn or corrupt record and truncating the tail — and returns
+// the journal plus the campaign restored to the last good checkpoint.
+func OpenCampaignJournal(path string, every int) (*CampaignJournal, *Campaign, error) {
+	return core.OpenJournal(path, every)
+}
+
 // RealPipelineConfig configures the real-lattice campaign.
 type RealPipelineConfig = core.RealConfig
 
@@ -386,6 +404,23 @@ type (
 	JobClass = jobrt.Class
 	// JobMetrics is one task's lifecycle record.
 	JobMetrics = jobrt.TaskMetrics
+	// FaultPlan is the deterministic chaos plan: seeded, typed fault
+	// injection keyed by task identity, shared by the live runtime and
+	// the cluster simulator.
+	FaultPlan = fault.Plan
+	// FaultKind is one fault type from the taxonomy.
+	FaultKind = fault.Kind
+	// FaultCounts tallies injected faults by kind.
+	FaultCounts = fault.Counts
+)
+
+// Fault kinds injectable through a FaultPlan.
+const (
+	FaultTransient  = fault.Transient
+	FaultPanic      = fault.Panic
+	FaultHang       = fault.Hang
+	FaultCorrupt    = fault.Corrupt
+	FaultDomainLoss = fault.DomainLoss
 )
 
 // Job worker classes: solve tasks model the GPU partition, contraction

@@ -63,3 +63,59 @@ func suppressedDrain() {
 	//femtolint:ignore errdrop fixture: best-effort cleanup, failure leaves nothing to do
 	_ = fail()
 }
+
+// Recovery paths are where dropped errors hide best: the handler runs
+// rarely, reviewers skim it, and a swallowed failure there silently
+// converts a crash into corrupt state.
+
+// recoverHandlerDrop: cleanup inside a recover handler still has to
+// report its error.
+func recoverHandlerDrop() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = fail() // want "error discarded with _"
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	return nil
+}
+
+// recoverHandlerChecked is the expected shape: the handler's own
+// failure joins the reported error.
+func recoverHandlerChecked() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+			if cerr := fail(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+		}
+	}()
+	return nil
+}
+
+type appender interface {
+	Append(cfg int) error
+	Sync() error
+}
+
+// checkpointDrop: a write-ahead journal append whose error vanishes is
+// a checkpoint that silently never happened - the campaign resumes from
+// stale state and recomputes (or worse, loses) finished work.
+func checkpointDrop(j appender) {
+	j.Append(1) // want "error that is never checked"
+}
+
+// checkpointPairDrop: syncing through the blank identifier is the same
+// silent loss one call later.
+func checkpointPairDrop(j appender) {
+	_ = j.Sync() // want "error discarded with _"
+}
+
+// checkpointChecked is the expected shape for a recovery-critical write.
+func checkpointChecked(j appender) error {
+	if err := j.Append(1); err != nil {
+		return err
+	}
+	return j.Sync()
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"femtoverse/internal/fault"
 )
 
 // TaskKind distinguishes GPU solves from CPU-only contractions.
@@ -53,10 +55,21 @@ type Config struct {
 	SlowNodeFrac float64
 	SlowFactor   float64
 	Seed         int64
-	// FailureRate is the per-execution probability that a task dies and
-	// must be re-run (node crash, file-system hiccup). Failed executions
-	// count as wasted resource time.
+	// FailureRate is the legacy per-execution probability that a task dies
+	// and must be re-run (node crash, file-system hiccup). It folds into
+	// Fault as a DomainLoss rate - the historical behaviour, where every
+	// failure propagated through the policy's failure domain - and is
+	// mutually exclusive with setting Fault directly.
 	FailureRate float64
+	// Fault is the deterministic chaos plan shared with the live runtime
+	// (internal/fault): draws are keyed by task identity and attempt, so
+	// the injected fault sequence is a property of the plan, not of the
+	// scheduling policy. Transient, Panic, Hang and Corrupt faults kill
+	// only the drawing execution; DomainLoss additionally takes down every
+	// running task in the same failure domain. When Fault.Seed is zero the
+	// plan is seeded from Seed so distinct allocations draw distinct
+	// faults by default.
+	Fault fault.Plan
 	// MaxRetries bounds re-executions per task (default 5 when failures
 	// are enabled).
 	MaxRetries int
@@ -73,7 +86,28 @@ func (c Config) Validate() error {
 	if c.FailureRate < 0 || c.FailureRate >= 1 {
 		return fmt.Errorf("cluster: FailureRate %g outside [0,1)", c.FailureRate)
 	}
+	if c.FailureRate > 0 && c.Fault.Enabled() {
+		return fmt.Errorf("cluster: FailureRate and Fault are mutually exclusive; fold the rate into Fault.DomainLoss")
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
 	return nil
+}
+
+// faultPlan resolves the effective chaos plan: the legacy FailureRate
+// becomes a pure DomainLoss plan (each failure dies through the policy's
+// failure domain, exactly the old semantics), and an unset seed defaults
+// to the allocation seed's failure stream.
+func (c Config) faultPlan() fault.Plan {
+	p := c.Fault
+	if c.FailureRate > 0 {
+		p = fault.Plan{DomainLoss: c.FailureRate}
+	}
+	if p.Seed == 0 {
+		p.Seed = c.Seed + 0x5eed
+	}
+	return p
 }
 
 // Start is a policy's instruction to begin a task now.
@@ -146,6 +180,10 @@ type Report struct {
 	// GPU time those executions burned before dying.
 	Failures         int
 	WastedGPUSeconds float64
+	// Faults breaks the injected failures down by kind. Failure-domain
+	// casualties are not faults - they are collateral of a DomainLoss -
+	// so Failures >= Faults.Total() whenever domains are in play.
+	Faults fault.Counts
 }
 
 // IdleFraction returns 1 - GPUUtil, the paper's bundling-waste metric.
@@ -198,7 +236,8 @@ type Sim struct {
 	retries   map[int]int  // task ID -> failed executions so far
 	canceled  map[int]bool // stat indices whose events are tombstoned
 	domains   map[int]int  // running stat index -> failure domain
-	failRng   *rand.Rand
+	injector  *fault.Injector
+	injKeys   map[int]int // task ID -> materialized executions so far
 	domainFn  func(nodes []int) int
 }
 
@@ -282,6 +321,10 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 		return Report{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	injector, err := fault.NewInjector(cfg.faultPlan())
+	if err != nil {
+		return Report{}, fmt.Errorf("cluster: %w", err)
+	}
 	s := &Sim{
 		cfg:       cfg,
 		nodes:     make([]nodeState, cfg.Nodes),
@@ -291,13 +334,14 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 		retries:   make(map[int]int),
 		canceled:  make(map[int]bool),
 		domains:   make(map[int]int),
-		failRng:   rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+		injector:  injector,
+		injKeys:   make(map[int]int),
 	}
 	if fd, ok := p.(FailureDomain); ok {
 		s.domainFn = func(nodes []int) int { return fd.DomainOf(cfg, nodes) }
 	}
 	maxRetries := cfg.MaxRetries
-	if cfg.FailureRate > 0 && maxRetries <= 0 {
+	if injector != nil && maxRetries <= 0 {
 		maxRetries = 5
 	}
 	for i := range s.nodes {
@@ -389,10 +433,21 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 		stat := &s.stats[ev.task]
 		dur := release(ev.task)
 
-		failed := cfg.FailureRate > 0 && s.failRng.Float64() < cfg.FailureRate
-		if failed {
+		// The fault draw is keyed by (task, materialized execution), never
+		// by event order: reordering completions under a different policy
+		// or allocation shape cannot change which executions die.
+		var fk fault.Kind
+		if s.injector != nil {
+			s.injKeys[stat.Task.ID]++
+			fk = s.injector.Draw(stat.Task.ID, s.injKeys[stat.Task.ID])
+		}
+		if fk != fault.None {
+			rep.Faults.Add(fk)
+			// Only a DomainLoss reaches beyond its own execution; the
+			// other kinds (transient error, panic, hang past the
+			// watchdog, corrupted result) die alone.
 			domain := -1
-			if s.domainFn != nil {
+			if fk == fault.DomainLoss && s.domainFn != nil {
 				domain = s.domainFn(stat.Nodes)
 			}
 			if err := fail(ev.task, dur); err != nil {

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"testing"
+
+	"femtoverse/internal/fault"
 )
 
 func TestDependenciesGateScheduling(t *testing.T) {
@@ -147,5 +149,88 @@ func TestFailureDomainTakesDownNeighbours(t *testing.T) {
 	}
 	if dom.TasksDone != 24 || iso.TasksDone != 24 {
 		t.Fatal("tasks lost")
+	}
+}
+
+func TestLegacyFailureRateAndFaultAreExclusive(t *testing.T) {
+	cfg := Config{Nodes: 1, FailureRate: 0.1, Fault: fault.Plan{Transient: 0.1}}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("FailureRate + Fault accepted together")
+	}
+	if err := (Config{Nodes: 1, Fault: fault.Plan{Transient: 1.5}}).Validate(); err == nil {
+		t.Fatal("over-unity fault plan accepted")
+	}
+}
+
+// TestFaultTaxonomyOnlyDomainLossPropagates: under a full chaos plan,
+// isolated kinds (transient, panic, hang, corrupt) fail exactly one
+// execution each, so Failures == Faults.Total() with no domains and
+// exceeds it only through DomainLoss casualties when a domain policy is
+// in play.
+func TestFaultTaxonomyOnlyDomainLossPropagates(t *testing.T) {
+	plan := fault.Plan{
+		Seed: 99, Transient: 0.1, Panic: 0.05, Hang: 0.05,
+		Corrupt: 0.05, DomainLoss: 0.1, MaxInjections: 5,
+	}
+	cfg := Config{
+		Nodes: 8, GPUsPerNode: 4, CPUSlotsPerNode: 40, Seed: 7,
+		Fault: plan, MaxRetries: 100,
+	}
+	tasks := solveTasks(24, 500, 0.1, 8)
+	for i := range tasks {
+		tasks[i].GPUs = 8 // 2-node jobs: four run concurrently per domain
+	}
+	iso, err := Run(cfg, tasks, NaiveBundle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso.Faults.Total() == 0 {
+		t.Fatal("chaos plan injected nothing")
+	}
+	if iso.Failures != iso.Faults.Total() {
+		t.Fatalf("isolated run: %d failures but %d faults (phantom casualties)",
+			iso.Failures, iso.Faults.Total())
+	}
+	dom, err := Run(cfg, tasks, domainPolicy{domainSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.Failures < dom.Faults.Total() {
+		t.Fatalf("domain run: %d failures < %d faults", dom.Failures, dom.Faults.Total())
+	}
+	casualties := dom.Failures - dom.Faults.Total()
+	if dom.Faults.DomainLoss > 0 && casualties == 0 {
+		t.Fatal("domain losses fired with concurrent co-domain tasks but produced no casualties")
+	}
+	if dom.TasksDone != 24 || iso.TasksDone != 24 {
+		t.Fatal("tasks lost")
+	}
+}
+
+// TestFaultSequenceIsPolicyIndependent: the injected fault counts are a
+// property of (plan, task identity), not of who schedules what where -
+// two very different policies see the identical per-kind breakdown under
+// an isolated-kinds plan.
+func TestFaultSequenceIsPolicyIndependent(t *testing.T) {
+	plan := fault.Plan{Seed: 4, Transient: 0.25, Corrupt: 0.1, MaxInjections: 4}
+	cfg := Config{
+		Nodes: 8, GPUsPerNode: 4, CPUSlotsPerNode: 40, Seed: 7,
+		Fault: plan, MaxRetries: 100,
+	}
+	tasks := solveTasks(24, 500, 0.1, 8)
+	a, err := Run(cfg, tasks, NaiveBundle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tasks, domainPolicy{domainSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Faults != b.Faults {
+		t.Fatalf("fault draws depended on the policy: %v vs %v", a.Faults, b.Faults)
+	}
+	if a.Failures != b.Failures {
+		t.Fatalf("isolated-kind failure counts depended on the policy: %d vs %d",
+			a.Failures, b.Failures)
 	}
 }

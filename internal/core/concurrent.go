@@ -19,6 +19,9 @@ import (
 // handed from a solve task to its dependent contraction task.
 type configProps struct {
 	base, fh *prop.Propagator
+	// restarts counts the solver's precision-escalation restarts across
+	// this configuration's solves, surfaced in the runtime report.
+	restarts int
 }
 
 // solveConfig runs the full solve stage for one configuration: boundary
@@ -44,7 +47,7 @@ func solveConfig(ctx context.Context, cfg RealConfig, u *gauge.Field) (*configPr
 	if err != nil {
 		return nil, err
 	}
-	return &configProps{base: base, fh: fh}, nil
+	return &configProps{base: base, fh: fh, restarts: qs.TotalRestarts}, nil
 }
 
 // contractConfig runs the contraction stage: the proton two-point and FH
@@ -65,6 +68,24 @@ func contractConfig(p *configProps) (c2, cfh []float64) {
 // independent. Returns how many configurations completed and the
 // runtime's utilization report.
 func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int, *jobrt.Report, error) {
+	return c.runBatchConcurrent(ctx, n, workers, nil)
+}
+
+// RunBatchConcurrentJournaled is RunBatchConcurrent with write-ahead
+// logging: each configuration's correlators are appended to the journal
+// from its contraction task the moment they exist, so a killed campaign
+// loses only in-flight work. The report's JournalCheckpoints counts the
+// durable checkpoints this batch produced.
+func (c *Campaign) RunBatchConcurrentJournaled(ctx context.Context, n, workers int, j *Journal) (int, *jobrt.Report, error) {
+	before := j.Checkpoints()
+	done, rep, err := c.runBatchConcurrent(ctx, n, workers, j)
+	if rep != nil {
+		rep.JournalCheckpoints = j.Checkpoints() - before
+	}
+	return done, rep, err
+}
+
+func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Journal) (int, *jobrt.Report, error) {
 	if n <= 0 || c.Complete() {
 		return 0, nil, nil
 	}
@@ -94,6 +115,7 @@ func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int,
 	// 2k+1; the dependency edge sequences the accesses through the pool.
 	props := make([]*configProps, len(picked))
 	corr := make([][2][]float64, len(picked))
+	restarts := make([]int, len(picked))
 	tasks := make([]jobrt.Task, 0, 2*len(picked))
 	for k, i := range picked {
 		k, i, u := k, i, configs[i]
@@ -108,6 +130,7 @@ func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int,
 					return nil, fmt.Errorf("core: config %d: %w", i, err)
 				}
 				props[k] = p
+				restarts[k] = p.restarts
 				return nil, nil
 			},
 		}, jobrt.Task{
@@ -120,6 +143,14 @@ func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int,
 				c2, cfh := contractConfig(props[k])
 				corr[k] = [2][]float64{c2, cfh}
 				props[k] = nil // propagators are large; release promptly
+				if j != nil {
+					// Log before reporting success: if the append fails
+					// the task fails, and on a crash the journal never
+					// claims work it does not hold.
+					if err := j.Append(i, c2, cfh); err != nil {
+						return nil, fmt.Errorf("core: journal config %d: %w", i, err)
+					}
+				}
 				return nil, nil
 			},
 		})
@@ -143,6 +174,9 @@ func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int,
 		c.C2[i] = corr[k][0]
 		c.CFH[i] = corr[k][1]
 		done++
+	}
+	for _, r := range restarts {
+		rep.SolverRestarts += r
 	}
 	return done, &rep, runErr
 }

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/hio"
+	"femtoverse/internal/lattice"
+)
+
+// Journal is an incremental write-ahead log for a measurement campaign.
+// Where Campaign.Save rewrites the whole container, the journal appends
+// one framed record per finished configuration, so a campaign killed
+// mid-batch loses at most the in-flight work: OpenJournal replays every
+// intact record and resumes from the last good entry. A torn tail - the
+// process died inside a write - is detected by the record framing and
+// discarded, never propagated.
+//
+// File layout (all integers little-endian):
+//
+//	"FWAL" | u32 version
+//	record*
+//
+// where each record is
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// and every payload is an hio-encoded container: the first record holds
+// the campaign spec (an empty Campaign saved through Campaign.Save), and
+// each subsequent record holds one configuration's correlators in an
+// "entry" group (int64 "config", float64 "c2" and "cfh").
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	spec RealConfig
+	// every is the checkpoint cadence: each `every` appended records the
+	// journal fsyncs, making them durable. 1 means every record.
+	every       int
+	sinceSync   int
+	checkpoints int
+	closed      bool
+}
+
+const (
+	journalMagic   = "FWAL"
+	journalVersion = 1
+	// journalMaxRecord bounds a record's payload; anything larger is a
+	// corrupt length field, not a real record.
+	journalMaxRecord = 1 << 30
+)
+
+// writeRecord frames and appends one payload.
+func writeRecord(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// specPayload encodes the campaign spec as the header record.
+func specPayload(spec RealConfig) ([]byte, error) {
+	file := hio.New()
+	if err := NewCampaign(spec).Save(file.Root()); err != nil {
+		return nil, err
+	}
+	return file.Encode(), nil
+}
+
+// entryPayload encodes one finished configuration.
+func entryPayload(cfg int, c2, cfh []float64) ([]byte, error) {
+	file := hio.New()
+	grp, err := file.Root().CreateGroup("entry")
+	if err != nil {
+		return nil, err
+	}
+	if err := grp.WriteInt64("config", []int{1}, []int64{int64(cfg)}); err != nil {
+		return nil, err
+	}
+	if err := grp.WriteFloat64("c2", []int{len(c2)}, c2); err != nil {
+		return nil, err
+	}
+	if err := grp.WriteFloat64("cfh", []int{len(cfh)}, cfh); err != nil {
+		return nil, err
+	}
+	return file.Encode(), nil
+}
+
+// CreateJournal starts a fresh journal at path for the spec,
+// checkpointing (fsync) every `every` appended records (minimum 1). An
+// existing file at path is truncated.
+func CreateJournal(path string, spec RealConfig, every int) (*Journal, error) {
+	if every < 1 {
+		every = 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	copy(hdr[:4], journalMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], journalVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close() //femtolint:ignore errdrop best-effort cleanup after a write failure
+		return nil, err
+	}
+	payload, err := specPayload(spec)
+	if err != nil {
+		f.Close() //femtolint:ignore errdrop best-effort cleanup after an encode failure
+		return nil, err
+	}
+	if err := writeRecord(f, payload); err != nil {
+		f.Close() //femtolint:ignore errdrop best-effort cleanup after a write failure
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //femtolint:ignore errdrop best-effort cleanup after a sync failure
+		return nil, err
+	}
+	return &Journal{f: f, spec: spec, every: every, checkpoints: 1}, nil
+}
+
+// OpenJournal replays a journal and returns it - positioned to append -
+// together with the recovered campaign. Recovery is tolerant by design:
+// reading stops at the first truncated or corrupt record (a torn write
+// from the crash that ended the previous run), the tail is discarded,
+// and the campaign resumes from the last good entry. A journal whose
+// header record is unreadable is an error; a missing file is an error.
+func OpenJournal(path string, every int) (*Journal, *Campaign, error) {
+	if every < 1 {
+		every = 1
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < 8 || string(data[:4]) != journalMagic {
+		return nil, nil, fmt.Errorf("core: %s is not a campaign journal", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != journalVersion {
+		return nil, nil, fmt.Errorf("core: journal version %d, want %d", v, journalVersion)
+	}
+
+	var camp *Campaign
+	off := 8
+	good := off // end of the last intact record
+	for record := 0; ; record++ {
+		if off+8 > len(data) {
+			break // torn or absent frame header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > journalMaxRecord || off+8+n > len(data) {
+			break // corrupt length or torn payload
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // bit rot or torn write inside the payload
+		}
+		file, err := hio.Decode(payload)
+		if err != nil {
+			break // framing intact but the container is not; stop here
+		}
+		if record == 0 {
+			if camp, err = LoadCampaign(file.Root()); err != nil {
+				return nil, nil, fmt.Errorf("core: journal header: %w", err)
+			}
+		} else {
+			grp, err := file.Root().Group("entry")
+			if err != nil {
+				break
+			}
+			_, cfgIdx, err := grp.ReadInt64("config")
+			if err != nil || len(cfgIdx) != 1 {
+				break
+			}
+			_, c2, err := grp.ReadFloat64("c2")
+			if err != nil {
+				break
+			}
+			_, cfh, err := grp.ReadFloat64("cfh")
+			if err != nil {
+				break
+			}
+			camp.C2[int(cfgIdx[0])] = c2
+			camp.CFH[int(cfgIdx[0])] = cfh
+		}
+		off += 8 + n
+		good = off
+	}
+	if camp == nil {
+		return nil, nil, fmt.Errorf("core: journal %s has no intact header record", path)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop the torn tail so the next append starts on a record boundary.
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close() //femtolint:ignore errdrop best-effort cleanup after a truncate failure
+		return nil, nil, err
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close() //femtolint:ignore errdrop best-effort cleanup after a seek failure
+		return nil, nil, err
+	}
+	return &Journal{f: f, spec: camp.Spec, every: every}, camp, nil
+}
+
+// Append logs one finished configuration and checkpoints (fsyncs) when
+// the cadence is due. Safe for concurrent use - the concurrent campaign
+// driver appends from contraction tasks as they finish.
+func (j *Journal) Append(cfg int, c2, cfh []float64) error {
+	payload, err := entryPayload(cfg, c2, cfh)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("core: append to closed journal")
+	}
+	if err := writeRecord(j.f, payload); err != nil {
+		return err
+	}
+	j.sinceSync++
+	if j.sinceSync >= j.every {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+		j.sinceSync = 0
+		j.checkpoints++
+	}
+	return nil
+}
+
+// Checkpoints returns how many durable checkpoints (fsyncs) the journal
+// has made, counting the header.
+func (j *Journal) Checkpoints() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoints
+}
+
+// Close flushes any unsynced records and closes the file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.sinceSync > 0 {
+		if err := j.f.Sync(); err != nil {
+			j.f.Close() //femtolint:ignore errdrop the sync failure is the error that matters
+			return err
+		}
+		j.sinceSync = 0
+		j.checkpoints++
+	}
+	return j.f.Close()
+}
+
+// RunBatchJournaled is RunBatch with write-ahead logging: each finished
+// configuration is appended to the journal before the next one starts,
+// so a kill loses at most the configuration in flight.
+func (c *Campaign) RunBatchJournaled(n int, j *Journal) (int, error) {
+	if n <= 0 || c.Complete() {
+		return 0, nil
+	}
+	g, err := lattice.New(c.Spec.Dims)
+	if err != nil {
+		return 0, err
+	}
+	configs := gauge.Ensemble(g, c.Spec.Seed, c.Spec.Beta, c.Spec.NConfigs,
+		c.Spec.ThermSweeps, c.Spec.GapSweeps)
+	done := 0
+	for i := 0; i < c.Spec.NConfigs && done < n; i++ {
+		if _, ok := c.C2[i]; ok {
+			continue
+		}
+		p, err := solveConfig(context.Background(), c.Spec, configs[i])
+		if err != nil {
+			return done, fmt.Errorf("core: config %d: %w", i, err)
+		}
+		c.C2[i], c.CFH[i] = contractConfig(p)
+		if err := j.Append(i, c.C2[i], c.CFH[i]); err != nil {
+			return done, fmt.Errorf("core: journal config %d: %w", i, err)
+		}
+		done++
+	}
+	return done, nil
+}

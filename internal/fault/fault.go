@@ -1,0 +1,266 @@
+// Package fault is the deterministic chaos engine shared by the live job
+// runtime (internal/runtime) and the discrete-event cluster simulator
+// (internal/cluster): a seeded, typed fault plan that decides, for every
+// (task, attempt) pair, whether the execution dies and how. The paper's
+// job-management layer exists because at 3000+ nodes tasks fail
+// constantly - GPUs drop off the bus, solves hang, whole failure domains
+// (mpi_jm lumps) die together - and a scheduler can only be trusted to
+// survive those modes if they can be replayed exactly.
+//
+// The engine's one design rule is that draws are keyed by task identity,
+// not draw order: the fault assigned to attempt k of task 17 is a pure
+// function of (seed, 17, k). Under a concurrent executor the order in
+// which goroutines reach the coin flip is scheduler noise; keying by
+// identity makes the same seed produce the same fault sequence at any
+// worker count, which is what turns a chaos run into a regression test.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind is a fault type from the taxonomy observed in the paper's runs.
+type Kind int
+
+const (
+	// None means the execution proceeds normally.
+	None Kind = iota
+	// Transient is a clean, detected failure: the task dies with an error
+	// and can be retried immediately (node crash, file-system hiccup).
+	Transient
+	// Panic crashes the worker mid-task (segfault analogue); the executor
+	// must isolate it so the worker class survives.
+	Panic
+	// Hang stalls the task forever: it stops making progress without
+	// returning, and only a watchdog deadline can reclaim the slot.
+	Hang
+	// Corrupt completes the task but with a damaged result, the silent
+	// failure mode checksums exist for; the executor must detect and
+	// discard the value.
+	Corrupt
+	// DomainLoss kills the task and everything sharing its failure
+	// domain: the paper's MPI_Abort-brings-down-the-lump behaviour.
+	DomainLoss
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	case Corrupt:
+		return "corrupt"
+	case DomainLoss:
+		return "domain-loss"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ErrInjected is the base error of every injected fault; use errors.Is to
+// distinguish injected chaos from organic task failures.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Plan is a seeded fault schedule: per-attempt probabilities for each
+// fault kind. The zero value injects nothing. The probabilities of one
+// draw are mutually exclusive (a single uniform variate is partitioned),
+// so their sum must stay below 1.
+type Plan struct {
+	// Seed fixes the whole fault sequence; two injectors with equal plans
+	// agree on every draw.
+	Seed int64
+	// Transient, Panic, Hang, Corrupt, DomainLoss are the per-execution
+	// probabilities of each fault kind.
+	Transient  float64
+	Panic      float64
+	Hang       float64
+	Corrupt    float64
+	DomainLoss float64
+	// MaxInjections, when positive, caps how many faults one task can
+	// draw: attempts past the cap run clean. Chaos tests use it to
+	// guarantee every task eventually succeeds within its retry budget.
+	MaxInjections int
+}
+
+// rates returns the per-kind probabilities indexed by Kind.
+func (p Plan) rates() [numKinds]float64 {
+	var r [numKinds]float64
+	r[Transient] = p.Transient
+	r[Panic] = p.Panic
+	r[Hang] = p.Hang
+	r[Corrupt] = p.Corrupt
+	r[DomainLoss] = p.DomainLoss
+	return r
+}
+
+// Total returns the summed per-execution fault probability.
+func (p Plan) Total() float64 {
+	return p.Transient + p.Panic + p.Hang + p.Corrupt + p.DomainLoss
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool { return p.Total() > 0 }
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	r := p.rates()
+	for k := Kind(1); k < numKinds; k++ {
+		if r[k] < 0 || math.IsNaN(r[k]) {
+			return fmt.Errorf("fault: negative %v rate %g", k, r[k])
+		}
+	}
+	if t := p.Total(); t >= 1 {
+		return fmt.Errorf("fault: total fault rate %g outside [0,1)", t)
+	}
+	if p.MaxInjections < 0 {
+		return fmt.Errorf("fault: negative MaxInjections %d", p.MaxInjections)
+	}
+	return nil
+}
+
+// String renders the plan compactly.
+func (p Plan) String() string {
+	if !p.Enabled() {
+		return "fault: none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault: seed %d,", p.Seed)
+	r := p.rates()
+	for k := Kind(1); k < numKinds; k++ {
+		if r[k] > 0 {
+			fmt.Fprintf(&b, " %v %.3g", k, r[k])
+		}
+	}
+	if p.MaxInjections > 0 {
+		fmt.Fprintf(&b, ", <=%d injections/task", p.MaxInjections)
+	}
+	return b.String()
+}
+
+// Counts tallies injected faults by kind; executors surface it in their
+// reports so chaos runs can be compared across worker counts.
+type Counts struct {
+	Transient  int
+	Panic      int
+	Hang       int
+	Corrupt    int
+	DomainLoss int
+}
+
+// Add records one injected fault.
+func (c *Counts) Add(k Kind) {
+	switch k {
+	case Transient:
+		c.Transient++
+	case Panic:
+		c.Panic++
+	case Hang:
+		c.Hang++
+	case Corrupt:
+		c.Corrupt++
+	case DomainLoss:
+		c.DomainLoss++
+	}
+}
+
+// Total returns the summed injected-fault count.
+func (c Counts) Total() int {
+	return c.Transient + c.Panic + c.Hang + c.Corrupt + c.DomainLoss
+}
+
+// String renders the tally.
+func (c Counts) String() string {
+	return fmt.Sprintf("%d injected (%d transient, %d panic, %d hang, %d corrupt, %d domain-loss)",
+		c.Total(), c.Transient, c.Panic, c.Hang, c.Corrupt, c.DomainLoss)
+}
+
+// Injector draws faults from a validated plan. It is stateless and safe
+// for concurrent use: every draw is a pure function of its keys.
+type Injector struct {
+	plan  Plan
+	rates [numKinds]float64
+}
+
+// NewInjector validates the plan and returns its injector. A nil injector
+// is legal and never injects, so callers may keep a single code path.
+func NewInjector(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Enabled() {
+		return nil, nil
+	}
+	return &Injector{plan: p, rates: p.rates()}, nil
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Draw returns the fault (or None) assigned to one execution attempt of a
+// task. attempt counts from 1. The result depends only on (plan, taskID,
+// attempt) - never on when or where the attempt runs.
+func (in *Injector) Draw(taskID, attempt int) Kind {
+	if in == nil {
+		return None
+	}
+	if in.plan.MaxInjections > 0 && attempt > in.plan.MaxInjections {
+		return None
+	}
+	u := Uniform(in.plan.Seed, int64(taskID), int64(attempt))
+	acc := 0.0
+	for k := Transient; k < numKinds; k++ {
+		acc += in.rates[k]
+		if u < acc {
+			return k
+		}
+	}
+	return None
+}
+
+// Error returns the canonical error value for an injected fault kind,
+// wrapping ErrInjected.
+func Error(k Kind) error {
+	if k == None {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrInjected, k)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-mixed 64-bit permutation (Steele, Lea & Flood, OOPSLA 2014). Used
+// here as a keyed hash: one round per key folds the key in, and the
+// avalanche property makes neighbouring task IDs uncorrelated.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uniform hashes (seed, keys...) to a uniform variate in [0, 1). It is
+// the shared deterministic randomness primitive: fault draws and retry
+// jitter both derive from it, keyed by task identity.
+func Uniform(seed int64, keys ...int64) float64 {
+	h := splitmix64(uint64(seed))
+	for _, k := range keys {
+		h = splitmix64(h ^ uint64(k))
+	}
+	// 53 high bits -> [0,1) with full double precision.
+	return float64(h>>11) / (1 << 53)
+}

@@ -148,6 +148,10 @@ type QuarkSolver struct {
 	TotalIterations int
 	TotalFlops      int64
 	Solves          int
+	// TotalRestarts counts precision-escalation restarts across all
+	// solves - nonzero means the sloppy stage diverged and the divergence
+	// defenses rescued the propagator.
+	TotalRestarts int
 }
 
 // NewQuarkSolver builds a solver stack over the preconditioned operator;
@@ -184,6 +188,7 @@ func (qs *QuarkSolver) Solve5DCtx(ctx context.Context, b4 []complex128) ([]compl
 	qs.TotalIterations += st.Iterations
 	qs.TotalFlops += st.Flops
 	qs.Solves++
+	qs.TotalRestarts += st.Restarts
 	if err != nil {
 		return nil, st, fmt.Errorf("prop: component solve failed: %w", err)
 	}

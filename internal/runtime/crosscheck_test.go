@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"femtoverse/internal/cluster"
+	"femtoverse/internal/fault"
 	"femtoverse/internal/mpijm"
 )
 
@@ -85,5 +86,78 @@ func TestUtilizationMatchesClusterSimulator(t *testing.T) {
 	liveBusy := rep.SolveBusy.Seconds()
 	if diff := math.Abs(liveBusy - simRep.GPUBusy); diff > 0.15*simRep.GPUBusy {
 		t.Fatalf("busy seconds disagree: live %.3f vs simulated %.3f", liveBusy, simRep.GPUBusy)
+	}
+}
+
+// TestFaultInjectionMatchesClusterSimulator keeps the two consumers of
+// the chaos engine mutually honest: the live goroutine pool and the
+// discrete-event cluster simulator, given the same transient-only plan
+// over the same task IDs, must inject the identical per-task failure
+// counts and the identical per-kind fault totals - the draws are keyed
+// by task identity and attempt, so neither executor's scheduling can
+// leak into the fault sequence.
+func TestFaultInjectionMatchesClusterSimulator(t *testing.T) {
+	const nTasks = 24
+	plan := fault.Plan{Seed: 31, Transient: 0.3, MaxInjections: 6}
+
+	// Live execution.
+	var tasks []Task
+	for i := 0; i < nTasks; i++ {
+		i := i
+		tasks = append(tasks, Task{ID: i, Class: Solve,
+			Run: func(context.Context) (interface{}, error) { return i, nil }})
+	}
+	_, rep, err := Run(context.Background(), Config{
+		SolveWorkers: 4, ContractWorkers: 1,
+		MaxRetries: 20, RetryBackoff: 50 * time.Microsecond,
+		Fault: plan,
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulation of the same task IDs under the same plan.
+	var simTasks []cluster.Task
+	for i := 0; i < nTasks; i++ {
+		simTasks = append(simTasks, cluster.Task{
+			ID: i, Kind: cluster.GPUTask, GPUs: 1, Seconds: 10,
+		})
+	}
+	simRep, err := cluster.Run(cluster.Config{
+		Nodes: 4, GPUsPerNode: 1, CPUSlotsPerNode: 2, Seed: 1,
+		Fault: plan, MaxRetries: 20,
+	}, simTasks, mpijm.New(mpijm.Params{
+		LumpNodes: 4, BlockNodes: 2,
+		SpawnOverhead: 1e-4, SolveEfficiency: 1, CoSchedule: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Faults != simRep.Faults {
+		t.Fatalf("fault totals disagree: live %v vs simulated %v", rep.Faults, simRep.Faults)
+	}
+	if rep.Faults.Transient == 0 {
+		t.Fatal("plan injected nothing; the crosscheck is vacuous")
+	}
+	simFailed := make([]int, nTasks)
+	for _, st := range simRep.PerTask {
+		if st.Failed {
+			simFailed[st.Task.ID]++
+		}
+	}
+	liveRes, _, err := Run(context.Background(), Config{
+		SolveWorkers: 1, ContractWorkers: 1,
+		MaxRetries: 20, RetryBackoff: 50 * time.Microsecond,
+		Fault: plan,
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nTasks; i++ {
+		if liveFailed := liveRes[i].Metrics.Attempts - 1; liveFailed != simFailed[i] {
+			t.Fatalf("task %d: live injected %d failures, simulator %d",
+				i, liveFailed, simFailed[i])
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"femtoverse/internal/fault"
 )
 
 // TaskMetrics is the per-task lifecycle record the job manager keeps for
@@ -26,6 +28,10 @@ type TaskMetrics struct {
 	// Backfilled marks a task started out of order through a hole left by
 	// a wider task waiting at the head of the queue.
 	Backfilled bool
+	// Injected lists the faults that materialized on this task, in
+	// order. Because draws are keyed by task identity, this sequence is
+	// identical at any worker count for a given fault plan.
+	Injected []fault.Kind
 }
 
 // Report summarises a pool run with the same vocabulary as the
@@ -42,11 +48,37 @@ type Report struct {
 	Succeeded int
 	Failed    int
 	// FailedAttempts counts failed executions (injected failures,
-	// timeouts, task errors) including ones that were retried; the
-	// analogue of cluster.Report.Failures.
+	// timeouts, task errors, casualties) including ones that were
+	// retried; the analogue of cluster.Report.Failures.
 	FailedAttempts int
 	// Backfills counts out-of-order starts through EASY backfilling.
 	Backfills int
+	// Faults tallies materialized injected faults by kind; deterministic
+	// for a given plan at any worker count.
+	Faults fault.Counts
+	// RecoveredPanics counts task panics caught at the worker isolation
+	// boundary (the worker survived, the task failed).
+	RecoveredPanics int
+	// WatchdogKills counts attempts abandoned past the heartbeat
+	// deadline.
+	WatchdogKills int
+	// DomainCasualties counts attempts killed by the loss of their
+	// failure domain rather than their own failure; casualties retry
+	// without consuming the task's budget.
+	DomainCasualties int
+	// Requeues counts tasks sent back to the ready queue for re-routing
+	// after one of their workers was quarantined.
+	Requeues int
+	// QuarantinedSolve / QuarantinedContract list the worker IDs benched
+	// by the circuit breaker, ascending.
+	QuarantinedSolve    []int
+	QuarantinedContract []int
+	// JournalCheckpoints and SolverRestarts are filled in by campaign
+	// drivers that run on this pool: completed-work checkpoints written
+	// to the crash-recovery journal, and precision-escalation restarts
+	// the solvers performed (solver.Stats.Restarts summed).
+	JournalCheckpoints int
+	SolverRestarts     int
 	// SolveBusy / ContractBusy integrate busy worker-seconds per class.
 	SolveBusy    time.Duration
 	ContractBusy time.Duration
@@ -83,5 +115,15 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "  %d backfills, %d failed attempts, queue wait mean %v max %v",
 		r.Backfills, r.FailedAttempts,
 		r.MeanQueueWait.Round(time.Microsecond), r.MaxQueueWait.Round(time.Microsecond))
+	if r.Faults.Total() > 0 || r.RecoveredPanics > 0 || r.WatchdogKills > 0 ||
+		r.DomainCasualties > 0 || len(r.QuarantinedSolve)+len(r.QuarantinedContract) > 0 {
+		fmt.Fprintf(&b, "\n  chaos: %v; %d panics recovered, %d watchdog kills, %d domain casualties, %d requeues, %d workers quarantined",
+			r.Faults, r.RecoveredPanics, r.WatchdogKills, r.DomainCasualties,
+			r.Requeues, len(r.QuarantinedSolve)+len(r.QuarantinedContract))
+	}
+	if r.JournalCheckpoints > 0 || r.SolverRestarts > 0 {
+		fmt.Fprintf(&b, "\n  recovery: %d journal checkpoints, %d solver restarts",
+			r.JournalCheckpoints, r.SolverRestarts)
+	}
 	return b.String()
 }

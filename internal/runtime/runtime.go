@@ -15,12 +15,19 @@
 //     head's reservation;
 //   - bounded admission with backpressure (Submit blocks while the
 //     runnable backlog is full), per-task context cancellation and
-//     timeouts, and bounded retry with exponential backoff over injected
-//     or real task failures - the live version of the failure model in
-//     cluster/failure_test.go;
+//     timeouts, and bounded retry with capped, deterministically jittered
+//     exponential backoff;
+//   - a fault-tolerance layer over the internal/fault chaos engine:
+//     injected faults are keyed by task identity so a chaos run replays
+//     exactly at any worker count, worker panics are isolated (the task
+//     fails, the worker survives), a watchdog abandons attempts that stop
+//     making progress, workers that fail repeatedly are quarantined
+//     (mpi_jm's bad-node marking) with their tasks re-routed, and a
+//     failure-domain loss kills the in-flight co-domain tasks the way an
+//     MPI_Abort takes down a whole lump;
 //   - per-task lifecycle metrics rolled into a Report whose utilization
-//     accounting matches cluster.Report, so the simulator's predictions
-//     and the real executor can be cross-checked against each other.
+//     and waste accounting match cluster.Report, so the simulator's
+//     predictions and the real executor can be cross-checked.
 //
 // Results are returned in submission order regardless of completion
 // order, so a campaign's physics output is independent of scheduling.
@@ -30,11 +37,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	goruntime "runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"femtoverse/internal/fault"
 )
 
 // Class is a worker class: the runtime analogue of cluster.TaskKind.
@@ -62,9 +70,24 @@ func (c Class) String() string {
 	}
 }
 
-// ErrInjected is the synthetic failure injected by Config.FailureRate,
-// the live analogue of the simulator's node-crash draw.
-var ErrInjected = errors.New("runtime: injected task failure")
+// ErrInjected is the synthetic failure injected by Config.Fault; it
+// aliases fault.ErrInjected so errors.Is works across layers.
+var ErrInjected = fault.ErrInjected
+
+// ErrPanic wraps a panic recovered from a task's Run: the worker
+// goroutine survives, the task fails (and may retry).
+var ErrPanic = errors.New("runtime: task panicked")
+
+// ErrWatchdog marks an attempt abandoned by the watchdog: the task's Run
+// exceeded the heartbeat deadline without returning, so its slots were
+// reclaimed and the stalled goroutine discarded.
+var ErrWatchdog = errors.New("runtime: watchdog killed hung task")
+
+// ErrDomainCasualty marks an attempt killed not by its own failure but by
+// the loss of its failure domain (another task in the same domain drew a
+// DomainLoss fault). Casualty attempts are retried without consuming the
+// task's retry budget, mirroring mpi_jm's free requeue after a lump loss.
+var ErrDomainCasualty = errors.New("runtime: failure-domain casualty")
 
 // Task is one schedulable unit of work.
 type Task struct {
@@ -117,21 +140,41 @@ type Config struct {
 	// 4*(SolveWorkers+ContractWorkers).
 	QueueDepth int
 	// MaxRetries is the default bound on re-executions after a failed
-	// attempt (default 0: no retries).
+	// attempt (default 0: no retries). Failure-domain casualties do not
+	// consume the budget.
 	MaxRetries int
-	// RetryBackoff is the first retry delay, doubled per retry
+	// RetryBackoff is the first retry delay, doubled per failed attempt
+	// up to MaxBackoff and jittered deterministically from the task seed
 	// (default 2ms).
 	RetryBackoff time.Duration
-	// Timeout bounds each execution attempt (0 = none).
+	// MaxBackoff caps the exponential retry backoff
+	// (default 64*RetryBackoff).
+	MaxBackoff time.Duration
+	// Timeout bounds each execution attempt (0 = none). Timeouts are
+	// cooperative: the attempt's context expires and Run is expected to
+	// return.
 	Timeout time.Duration
+	// Watchdog is the heartbeat deadline on one attempt's wall time.
+	// Unlike Timeout it is not cooperative: when it fires, the attempt's
+	// context is cancelled AND the attempt is abandoned immediately - its
+	// slots are reclaimed and whatever the stalled Run eventually returns
+	// is discarded. 0 disables the watchdog.
+	Watchdog time.Duration
+	// QuarantineAfter benches a worker after this many consecutive failed
+	// attempts ran on it (mpi_jm's bad-node marking): the worker stops
+	// receiving tasks and the failing task is re-routed to other workers.
+	// 0 disables quarantine. A class never quarantines below the widest
+	// submitted task (or its last worker), so progress is always possible.
+	QuarantineAfter int
+	// DomainSize groups workers of a class into failure domains of this
+	// many consecutive worker IDs for DomainLoss faults (default 2).
+	DomainSize int
 	// DefaultCost is the planning estimate in seconds for tasks with
 	// Cost 0 (default 1).
 	DefaultCost float64
-	// FailureRate injects a per-execution failure probability, the live
-	// mirror of cluster.Config.FailureRate; Seed makes the draw
-	// deterministic.
-	FailureRate float64
-	Seed        int64
+	// Fault is the chaos plan: seeded, typed fault injection keyed by
+	// task identity (see internal/fault). The zero plan injects nothing.
+	Fault fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +190,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 2 * time.Millisecond
 	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 64 * c.RetryBackoff
+	}
+	if c.DomainSize <= 0 {
+		c.DomainSize = 2
+	}
 	if c.DefaultCost <= 0 {
 		c.DefaultCost = 1
 	}
@@ -155,11 +204,17 @@ func (c Config) withDefaults() Config {
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
-	if c.FailureRate < 0 || c.FailureRate >= 1 {
-		return fmt.Errorf("runtime: FailureRate %g outside [0,1)", c.FailureRate)
+	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	if c.Fault.Hang > 0 && c.Watchdog <= 0 && c.Timeout <= 0 {
+		return errors.New("runtime: Fault.Hang needs a Watchdog or Timeout to reclaim hung slots")
 	}
 	if c.MaxRetries < 0 {
 		return fmt.Errorf("runtime: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.QuarantineAfter < 0 {
+		return fmt.Errorf("runtime: negative QuarantineAfter %d", c.QuarantineAfter)
 	}
 	return nil
 }
@@ -189,6 +244,22 @@ type job struct {
 	backfilled bool
 	runTotal   time.Duration
 
+	// injKey counts fault-draw keys consumed: it advances only when an
+	// attempt materializes (success, own failure), never on a casualty,
+	// so the injected-fault sequence per task is identical at any worker
+	// count.
+	injKey int
+	// failCount counts non-casualty failed attempts; the retry budget.
+	failCount int
+	// injected lists the faults that materialized on this task, in order.
+	injected []fault.Kind
+	// attemptCancel aborts the in-flight attempt (watchdog, domain loss);
+	// nil while no attempt is executing.
+	attemptCancel context.CancelFunc
+	// domainKilled marks the in-flight attempt as a failure-domain
+	// casualty: its outcome is discarded and retried for free.
+	domainKilled bool
+
 	value interface{}
 	err   error
 }
@@ -196,9 +267,10 @@ type job struct {
 // Pool is the executing job manager. Create with New, feed with Submit,
 // then Close and Wait for the results and the utilization Report.
 type Pool struct {
-	cfg    Config
-	ctx    context.Context
-	cancel context.CancelFunc
+	cfg      Config
+	ctx      context.Context
+	cancel   context.CancelFunc
+	injector *fault.Injector
 
 	mu   sync.Mutex
 	room *sync.Cond // signalled when the runnable backlog shrinks
@@ -213,15 +285,27 @@ type Pool struct {
 	freeWorkers [numClasses][]int
 	runningSet  map[*job]struct{}
 
+	// Fault-tolerance state: per-worker consecutive failures and the
+	// quarantine roster, plus the widest task seen per class (the
+	// quarantine floor).
+	consecFail  [numClasses][]int
+	quarantined [numClasses][]bool
+	benched     [numClasses]int
+	maxSlots    [numClasses]int
+
 	unfinished int
 	closed     bool
-	rng        *rand.Rand
 
-	firstStart     time.Time
-	lastEnd        time.Time
-	busy           [numClasses]time.Duration
-	failedAttempts int
-	backfills      int
+	firstStart       time.Time
+	lastEnd          time.Time
+	busy             [numClasses]time.Duration
+	failedAttempts   int
+	backfills        int
+	faults           fault.Counts
+	recoveredPanics  int
+	watchdogKills    int
+	domainCasualties int
+	requeues         int
 }
 
 // New creates a pool. Cancelling ctx aborts in-flight tasks (their Run
@@ -231,6 +315,10 @@ func New(ctx context.Context, cfg Config) (*Pool, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	inj, err := fault.NewInjector(cfg.Fault)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -239,10 +327,10 @@ func New(ctx context.Context, cfg Config) (*Pool, error) {
 		cfg:        cfg,
 		ctx:        pctx,
 		cancel:     cancel,
+		injector:   inj,
 		jobs:       map[int]*job{},
 		waiters:    map[int][]*job{},
 		runningSet: map[*job]struct{}{},
-		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x6a6d)), // "jm"
 	}
 	p.room = sync.NewCond(&p.mu)
 	p.idle = sync.NewCond(&p.mu)
@@ -256,6 +344,10 @@ func New(ctx context.Context, cfg Config) (*Pool, error) {
 	for i := range p.freeWorkers[Contract] {
 		p.freeWorkers[Contract][i] = i
 	}
+	p.consecFail[Solve] = make([]int, cfg.SolveWorkers)
+	p.consecFail[Contract] = make([]int, cfg.ContractWorkers)
+	p.quarantined[Solve] = make([]bool, cfg.SolveWorkers)
+	p.quarantined[Contract] = make([]bool, cfg.ContractWorkers)
 	// Wake blocked Submit/Wait callers when the pool is cancelled.
 	go func() {
 		<-pctx.Done()
@@ -272,6 +364,11 @@ func (p *Pool) classWidth(c Class) int {
 		return p.cfg.SolveWorkers
 	}
 	return p.cfg.ContractWorkers
+}
+
+// activeWidthLocked is the class width minus quarantined workers.
+func (p *Pool) activeWidthLocked(c Class) int {
+	return p.classWidth(c) - p.benched[c]
 }
 
 func (p *Pool) runnableLocked() int {
@@ -295,10 +392,6 @@ func (p *Pool) Submit(t Task) error {
 	if t.Slots <= 0 {
 		t.Slots = 1
 	}
-	if w := p.classWidth(t.Class); t.Slots > w {
-		return fmt.Errorf("runtime: task %d needs %d slots but class %v has %d workers",
-			t.ID, t.Slots, t.Class, w)
-	}
 	for _, dep := range t.DependsOn {
 		if dep == t.ID {
 			return fmt.Errorf("runtime: task %d depends on itself", t.ID)
@@ -307,6 +400,10 @@ func (p *Pool) Submit(t Task) error {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if w := p.activeWidthLocked(t.Class); t.Slots > w {
+		return fmt.Errorf("runtime: task %d needs %d slots but class %v has %d active workers",
+			t.ID, t.Slots, t.Class, w)
+	}
 	for !p.closed && p.ctx.Err() == nil && p.runnableLocked() >= p.cfg.QueueDepth {
 		p.room.Wait()
 	}
@@ -318,6 +415,9 @@ func (p *Pool) Submit(t Task) error {
 	}
 	if _, dup := p.jobs[t.ID]; dup {
 		return fmt.Errorf("runtime: duplicate task ID %d", t.ID)
+	}
+	if t.Slots > p.maxSlots[t.Class] {
+		p.maxSlots[t.Class] = t.Slots
 	}
 
 	j := &job{t: t, seq: len(p.order), slots: t.Slots, submitted: time.Now()}
@@ -580,7 +680,9 @@ func (p *Pool) startLocked(j *job, now time.Time, backfilled bool) {
 	j.workers = append([]int(nil), p.freeWorkers[cls][:j.slots]...)
 	p.freeWorkers[cls] = p.freeWorkers[cls][j.slots:]
 	j.state = jobRunning
-	j.started = now
+	if j.started.IsZero() {
+		j.started = now
+	}
 	j.estEnd = now.Add(p.costOf(j))
 	j.backfilled = backfilled
 	if backfilled {
@@ -593,8 +695,75 @@ func (p *Pool) startLocked(j *job, now time.Time, backfilled bool) {
 	go p.execute(j)
 }
 
-// execute runs a job's attempts outside the lock, with per-attempt
-// timeout and bounded exponential-backoff retry.
+// retryDelay is the backoff before re-running a task after its n-th
+// failed attempt: RetryBackoff doubled per failure, capped at MaxBackoff,
+// scaled by a deterministic jitter factor in [0.5, 1.5) derived from the
+// fault seed and the task identity - so a retry schedule is reproducible
+// and pinned by tests, yet distinct tasks do not retry in lockstep.
+func (p *Pool) retryDelay(taskID, failCount int) time.Duration {
+	d := p.cfg.RetryBackoff
+	for i := 1; i < failCount && d < p.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.cfg.MaxBackoff {
+		d = p.cfg.MaxBackoff
+	}
+	jitter := 0.5 + fault.Uniform(p.cfg.Fault.Seed^backoffSalt, int64(taskID), int64(failCount))
+	return time.Duration(float64(d) * jitter)
+}
+
+// backoffSalt decorrelates backoff jitter from fault draws sharing the
+// same seed.
+const backoffSalt = 0x6261636b // "back"
+
+// attemptOutcome carries one execution attempt's result from the attempt
+// goroutine to the supervising execute loop.
+type attemptOutcome struct {
+	value    interface{}
+	err      error
+	panicked bool
+}
+
+// runAttempt executes one attempt in its own goroutine - the panic
+// isolation boundary - applying the drawn fault: Panic crashes before the
+// work, Hang stalls until the attempt context dies, and
+// Transient/Corrupt/DomainLoss override the outcome after the work so the
+// materialized fault sequence is independent of scheduling.
+func (p *Pool) runAttempt(j *job, runCtx context.Context, fk fault.Kind, ch chan<- attemptOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			ch <- attemptOutcome{err: fmt.Errorf("%w: %v", ErrPanic, r), panicked: true}
+		}
+	}()
+	switch fk {
+	case fault.Panic:
+		panic(fault.Error(fault.Panic))
+	case fault.Hang:
+		// The injected hang never returns on its own; it stops when the
+		// watchdog, a timeout, a domain loss or pool shutdown cancels the
+		// attempt.
+		<-runCtx.Done()
+		ch <- attemptOutcome{err: fault.Error(fault.Hang)}
+		return
+	}
+	v, err := j.t.Run(runCtx)
+	switch fk {
+	case fault.Transient:
+		v, err = nil, fault.Error(fault.Transient)
+	case fault.Corrupt:
+		// The result came back damaged; the runtime detects it (the live
+		// analogue of an hio checksum mismatch), discards the value and
+		// fails the attempt.
+		v, err = nil, fault.Error(fault.Corrupt)
+	case fault.DomainLoss:
+		v, err = nil, fault.Error(fault.DomainLoss)
+	}
+	ch <- attemptOutcome{value: v, err: err}
+}
+
+// execute supervises a job's attempts outside the lock: fault draws,
+// watchdog, quarantine-driven re-routing, and bounded capped-backoff
+// retry.
 func (p *Pool) execute(j *job) {
 	maxRetries := p.cfg.MaxRetries
 	if j.t.Retries > 0 {
@@ -602,53 +771,212 @@ func (p *Pool) execute(j *job) {
 	} else if j.t.Retries < 0 {
 		maxRetries = 0
 	}
-	backoff := p.cfg.RetryBackoff
-	var value interface{}
-	var err error
 	for {
-		runCtx := p.ctx
-		cancel := context.CancelFunc(func() {})
 		timeout := j.t.Timeout
 		if timeout == 0 {
 			timeout = p.cfg.Timeout
 		}
+		var runCtx context.Context
+		var cancel context.CancelFunc
 		if timeout > 0 {
 			runCtx, cancel = context.WithTimeout(p.ctx, timeout)
+		} else {
+			runCtx, cancel = context.WithCancel(p.ctx)
 		}
+
+		p.mu.Lock()
+		j.attempts++
+		j.domainKilled = false
+		j.attemptCancel = cancel
+		fk := p.injector.Draw(j.t.ID, j.injKey+1)
+		p.mu.Unlock()
+
 		t0 := time.Now()
-		value, err = j.t.Run(runCtx)
+		ch := make(chan attemptOutcome, 1)
+		go p.runAttempt(j, runCtx, fk, ch)
+
+		var out attemptOutcome
+		watchdogFired := false
+		if p.cfg.Watchdog > 0 {
+			wd := time.NewTimer(p.cfg.Watchdog)
+			select {
+			case out = <-ch:
+				wd.Stop()
+			case <-wd.C:
+				// Abandon the attempt: cancel its context so a
+				// cooperative (or injected) hang unwinds, reclaim the
+				// slots now, and discard whatever the stalled goroutine
+				// eventually sends into the buffered channel.
+				cancel()
+				watchdogFired = true
+				out = attemptOutcome{err: fmt.Errorf("%w (deadline %v)", ErrWatchdog, p.cfg.Watchdog)}
+			}
+		} else {
+			out = <-ch
+		}
 		cancel()
 		dt := time.Since(t0)
 
 		p.mu.Lock()
-		j.attempts++
+		j.attemptCancel = nil
 		j.runTotal += dt
 		p.busy[j.t.Class] += time.Duration(j.slots) * dt
-		if err == nil && p.cfg.FailureRate > 0 && p.rng.Float64() < p.cfg.FailureRate {
-			err = ErrInjected
-		}
-		if err != nil {
+
+		casualty := j.domainKilled
+		value, err := out.value, out.err
+		if casualty {
+			// The attempt died with its failure domain: discard its
+			// outcome (even a success - the domain took the result with
+			// it) and retry without consuming the budget or the fault key.
+			value, err = nil, ErrDomainCasualty
+			p.domainCasualties++
 			p.failedAttempts++
+		} else {
+			j.injKey++
+			if fk != fault.None {
+				p.faults.Add(fk)
+				j.injected = append(j.injected, fk)
+			}
+			if out.panicked {
+				p.recoveredPanics++
+			}
+			if watchdogFired {
+				p.watchdogKills++
+			}
+			if err != nil {
+				j.failCount++
+				p.failedAttempts++
+			}
+			if fk == fault.DomainLoss {
+				p.killDomainLocked(j)
+			}
 		}
-		retry := err != nil && j.attempts <= maxRetries && p.ctx.Err() == nil
+
+		benched := false
+		if !casualty {
+			// Casualties are not attributed to workers: the worker did
+			// nothing wrong, its domain died around it.
+			benched = p.noteAttemptWorkersLocked(j, err != nil)
+		}
+		retry := err != nil && p.ctx.Err() == nil &&
+			(casualty || j.failCount <= maxRetries)
+		requeue := retry && benched
+		if requeue {
+			// A worker of this job was just quarantined: release the
+			// remaining healthy workers and send the job back to the
+			// ready queue so it is re-routed, mpi_jm-style.
+			p.requeues++
+			p.releaseWorkersLocked(j)
+			j.state = jobReady
+			p.enqueueLocked(j)
+			p.dispatchLocked()
+			p.mu.Unlock()
+			return
+		}
 		p.mu.Unlock()
 
 		if !retry {
-			break
+			p.mu.Lock()
+			p.finishLocked(j, value, err, true)
+			p.dispatchLocked()
+			p.mu.Unlock()
+			return
 		}
-		select {
-		case <-time.After(backoff):
-		case <-p.ctx.Done():
+		if !casualty {
+			select {
+			case <-time.After(p.retryDelay(j.t.ID, j.failCount)):
+			case <-p.ctx.Done():
+			}
 		}
 		if p.ctx.Err() != nil {
-			break
+			p.mu.Lock()
+			p.finishLocked(j, nil, p.ctx.Err(), true)
+			p.dispatchLocked()
+			p.mu.Unlock()
+			return
 		}
-		backoff *= 2
 	}
-	p.mu.Lock()
-	p.finishLocked(j, value, err, true)
-	p.dispatchLocked()
-	p.mu.Unlock()
+}
+
+// killDomainLocked kills the in-flight attempts of every running task
+// sharing a failure domain with j: the paper's MPI_Abort-takes-down-the-
+// lump blast radius. Victims retry for free (see ErrDomainCasualty).
+func (p *Pool) killDomainLocked(j *job) {
+	cls := j.t.Class
+	domains := map[int]bool{}
+	for _, w := range j.workers {
+		domains[w/p.cfg.DomainSize] = true
+	}
+	for r := range p.runningSet {
+		if r == j || r.t.Class != cls || r.attemptCancel == nil || r.domainKilled {
+			continue
+		}
+		hit := false
+		for _, w := range r.workers {
+			if domains[w/p.cfg.DomainSize] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			r.domainKilled = true
+			r.attemptCancel()
+		}
+	}
+}
+
+// noteAttemptWorkersLocked updates the per-worker consecutive-failure
+// counters after an attempt and quarantines workers that crossed the
+// threshold. It reports whether any of j's workers was benched just now
+// (the signal to re-route j).
+func (p *Pool) noteAttemptWorkersLocked(j *job, failed bool) bool {
+	cls := j.t.Class
+	if !failed {
+		for _, w := range j.workers {
+			p.consecFail[cls][w] = 0
+		}
+		return false
+	}
+	if p.cfg.QuarantineAfter <= 0 {
+		return false
+	}
+	benched := false
+	for _, w := range j.workers {
+		p.consecFail[cls][w]++
+		if p.consecFail[cls][w] >= p.cfg.QuarantineAfter &&
+			!p.quarantined[cls][w] && p.canBenchLocked(cls) {
+			p.quarantined[cls][w] = true
+			p.benched[cls]++
+			benched = true
+		}
+	}
+	return benched
+}
+
+// canBenchLocked reports whether the class can lose one more worker and
+// still run its widest submitted task (and keep at least one worker).
+func (p *Pool) canBenchLocked(cls Class) bool {
+	floor := p.maxSlots[cls]
+	if floor < 1 {
+		floor = 1
+	}
+	return p.activeWidthLocked(cls)-1 >= floor
+}
+
+// releaseWorkersLocked returns a running job's healthy workers to the
+// free pool; quarantined workers are withheld (benched). The job leaves
+// the running set.
+func (p *Pool) releaseWorkersLocked(j *job) {
+	cls := j.t.Class
+	for _, w := range j.workers {
+		if p.quarantined[cls][w] {
+			continue
+		}
+		p.free[cls]++
+		p.freeWorkers[cls] = append(p.freeWorkers[cls], w)
+	}
+	j.workers = nil
+	delete(p.runningSet, j)
 }
 
 // finishLocked retires a job: releases its slots, records the result,
@@ -659,10 +987,9 @@ func (p *Pool) finishLocked(j *job, value interface{}, err error, wasRunning boo
 	}
 	now := time.Now()
 	if wasRunning {
-		cls := j.t.Class
-		p.free[cls] += j.slots
-		p.freeWorkers[cls] = append(p.freeWorkers[cls], j.workers...)
-		delete(p.runningSet, j)
+		workers := append([]int(nil), j.workers...)
+		p.releaseWorkersLocked(j)
+		j.workers = workers // keep the record for TaskMetrics
 		if now.After(p.lastEnd) {
 			p.lastEnd = now
 		}
@@ -694,13 +1021,31 @@ func (p *Pool) finishLocked(j *job, value interface{}, err error, wasRunning boo
 // collectLocked assembles the submission-ordered results and the report.
 func (p *Pool) collectLocked() ([]Result, Report) {
 	rep := Report{
-		SolveWorkers:    p.cfg.SolveWorkers,
-		ContractWorkers: p.cfg.ContractWorkers,
-		Tasks:           len(p.order),
-		FailedAttempts:  p.failedAttempts,
-		Backfills:       p.backfills,
-		SolveBusy:       p.busy[Solve],
-		ContractBusy:    p.busy[Contract],
+		SolveWorkers:     p.cfg.SolveWorkers,
+		ContractWorkers:  p.cfg.ContractWorkers,
+		Tasks:            len(p.order),
+		FailedAttempts:   p.failedAttempts,
+		Backfills:        p.backfills,
+		SolveBusy:        p.busy[Solve],
+		ContractBusy:     p.busy[Contract],
+		Faults:           p.faults,
+		RecoveredPanics:  p.recoveredPanics,
+		WatchdogKills:    p.watchdogKills,
+		DomainCasualties: p.domainCasualties,
+		Requeues:         p.requeues,
+	}
+	for cls := Class(0); cls < numClasses; cls++ {
+		var ids []int
+		for w, q := range p.quarantined[cls] {
+			if q {
+				ids = append(ids, w)
+			}
+		}
+		if cls == Solve {
+			rep.QuarantinedSolve = ids
+		} else {
+			rep.QuarantinedContract = ids
+		}
 	}
 	results := make([]Result, len(p.order))
 	started := 0
@@ -715,6 +1060,7 @@ func (p *Pool) collectLocked() ([]Result, Report) {
 			Run:        j.runTotal,
 			Workers:    j.workers,
 			Backfilled: j.backfilled,
+			Injected:   j.injected,
 		}
 		if !j.started.IsZero() {
 			m.QueueWait = j.started.Sub(j.submitted)

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"femtoverse/internal/fault"
 )
 
 // sleepTask returns a task that sleeps for d (honouring ctx) and returns
@@ -183,7 +185,8 @@ func TestInjectedFailuresAreRetriedToSuccess(t *testing.T) {
 	}
 	res, rep, err := Run(context.Background(), Config{
 		SolveWorkers: 4, ContractWorkers: 1,
-		FailureRate: 0.4, Seed: 11, MaxRetries: 20,
+		Fault:        fault.Plan{Seed: 11, Transient: 0.4},
+		MaxRetries:   20,
 		RetryBackoff: 100 * time.Microsecond,
 	}, tasks)
 	if err != nil {
@@ -431,7 +434,10 @@ func TestRunValidatesBatch(t *testing.T) {
 	}); err == nil {
 		t.Fatal("dangling dependency accepted")
 	}
-	if err := (Config{FailureRate: 1.5}).Validate(); err == nil {
-		t.Fatal("failure rate 1.5 accepted")
+	if err := (Config{Fault: fault.Plan{Transient: 1.5}}).Validate(); err == nil {
+		t.Fatal("fault rate 1.5 accepted")
+	}
+	if err := (Config{Fault: fault.Plan{Hang: 0.1}}).Validate(); err == nil {
+		t.Fatal("hang injection without watchdog or timeout accepted")
 	}
 }

@@ -76,6 +76,10 @@ func CGNEFrom(ctx context.Context, op Linear, b, x0 []complex128, p Params) ([]c
 	// Inner target on the normal-equation residual; tightened whenever a
 	// true-residual check fails.
 	neTarget := p.Tol * rhsNorm
+	// Stagnation watch: a converging CG makes new residual minima
+	// regularly; a window with none means the iteration is spinning.
+	bestRR := rr
+	sinceBest := 0
 
 	trueResidual := func() float64 {
 		op.Apply(tmp, x)
@@ -104,6 +108,10 @@ func CGNEFrom(ctx context.Context, op Linear, b, x0 []complex128, p Params) ([]c
 		st.Iterations++
 
 		pap := real(linalg.Dot(pv, ap, w))
+		if math.IsNaN(pap) || math.IsInf(pap, 0) {
+			st.Elapsed = time.Since(start)
+			return x, st, ErrDiverged
+		}
 		if pap <= 0 {
 			st.Elapsed = time.Since(start)
 			st.TrueResidual = trueResidual()
@@ -113,6 +121,18 @@ func CGNEFrom(ctx context.Context, op Linear, b, x0 []complex128, p Params) ([]c
 		linalg.Axpy(alpha, pv, x, w)
 		linalg.Axpy(-alpha, ap, r, w)
 		rrNew := linalg.NormSq(r, w)
+		if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
+			st.Elapsed = time.Since(start)
+			return x, st, ErrDiverged
+		}
+		if rrNew < bestRR {
+			bestRR = rrNew
+			sinceBest = 0
+		} else if sinceBest++; p.StagnationWindow > 0 && sinceBest >= p.StagnationWindow {
+			st.TrueResidual = trueResidual()
+			st.Elapsed = time.Since(start)
+			return x, st, ErrDiverged
+		}
 
 		if math.Sqrt(rrNew) <= neTarget {
 			if res := trueResidual(); res <= p.Tol {

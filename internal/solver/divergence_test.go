@@ -1,0 +1,220 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"femtoverse/internal/dirac"
+)
+
+// nanAfter32 wraps a sloppy operator and poisons its output with NaN for
+// a window of applications - the deterministic stand-in for a GPU memory
+// fault or an overflowing half-precision accumulation.
+type nanAfter32 struct {
+	inner   Linear32
+	applies int
+	from    int // poison applications > from ...
+	until   int // ... and <= until (until < 0 means forever)
+}
+
+func (o *nanAfter32) Size() int { return o.inner.Size() }
+func (o *nanAfter32) Apply(dst, src []complex64) {
+	o.inner.Apply(dst, src)
+	o.applies++
+	if o.applies > o.from && (o.until < 0 || o.applies <= o.until) {
+		dst[0] = complex(float32(math.NaN()), 0)
+	}
+}
+func (o *nanAfter32) ApplyDagger(dst, src []complex64) {
+	o.inner.ApplyDagger(dst, src)
+}
+
+// identity32 is a sloppy operator that lies: it claims convergence while
+// computing nothing, so reliable updates never improve - pure stagnation.
+type identity32 struct{ n int }
+
+func (o identity32) Size() int                        { return o.n }
+func (o identity32) Apply(dst, src []complex64)       { copy(dst, src) }
+func (o identity32) ApplyDagger(dst, src []complex64) { copy(dst, src) }
+
+// TestMixedNaNEscalatesHalfToSingle drives a half-precision solve into
+// NaN divergence mid-iteration; the solve must discard the poisoned
+// sloppy accumulation, restart one tier up, and still converge to the
+// requested tolerance with the restart counted.
+func TestMixedNaNEscalatesHalfToSingle(t *testing.T) {
+	eo := newTestEO(t, 11, 0.08)
+	rng := rand.New(rand.NewSource(2))
+	b := randRHS(rng, eo.Size())
+	sloppy := &nanAfter32{inner: dirac.NewMobiusEO32(eo), from: 4, until: 5}
+	x, st, err := CGNEMixed(context.Background(), eo, sloppy, b,
+		Params{Tol: 1e-8, Precision: Half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Restarts < 1 {
+		t.Fatalf("converged=%v restarts=%d; want convergence via at least one restart",
+			st.Converged, st.Restarts)
+	}
+	if st.Precision != Single {
+		t.Fatalf("final precision %v, want single (one tier up from half)", st.Precision)
+	}
+	if res := relResidual(eo, x, b); res > 1e-8 {
+		t.Fatalf("true residual %.3g after escalation", res)
+	}
+}
+
+// TestMixedNaNEscalatesToDouble: a permanently poisoned sloppy operator
+// burns both restarts and the solve finishes in pure double precision on
+// the exact operator.
+func TestMixedNaNEscalatesToDouble(t *testing.T) {
+	eo := newTestEO(t, 11, 0.08)
+	rng := rand.New(rand.NewSource(3))
+	b := randRHS(rng, eo.Size())
+	sloppy := &nanAfter32{inner: dirac.NewMobiusEO32(eo), from: 2, until: -1}
+	x, st, err := CGNEMixed(context.Background(), eo, sloppy, b,
+		Params{Tol: 1e-8, Precision: Half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Restarts != 2 {
+		t.Fatalf("converged=%v restarts=%d; want convergence after the full ladder",
+			st.Converged, st.Restarts)
+	}
+	if st.Precision != Double {
+		t.Fatalf("final precision %v, want double", st.Precision)
+	}
+	if res := relResidual(eo, x, b); res > 1e-8 {
+		t.Fatalf("true residual %.3g after double fallback", res)
+	}
+}
+
+// TestMixedDivergenceWithoutRestarts: restarts disabled, the NaN is a
+// hard ErrDiverged, not a hang and not ErrMaxIter.
+func TestMixedDivergenceWithoutRestarts(t *testing.T) {
+	eo := newTestEO(t, 11, 0.08)
+	rng := rand.New(rand.NewSource(4))
+	b := randRHS(rng, eo.Size())
+	sloppy := &nanAfter32{inner: dirac.NewMobiusEO32(eo), from: 2, until: -1}
+	_, st, err := CGNEMixed(context.Background(), eo, sloppy, b,
+		Params{Tol: 1e-8, Precision: Single, MaxRestarts: -1})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("error %v, want ErrDiverged", err)
+	}
+	if st.Restarts != 0 || st.Converged {
+		t.Fatalf("restarts=%d converged=%v with restarts disabled", st.Restarts, st.Converged)
+	}
+}
+
+// TestMixedStagnationEscalates: a sloppy operator that computes nothing
+// makes every reliable update a no-op; the stagnation watch must catch
+// the loop (long before MaxIter) and escalate until the double-precision
+// fallback finishes the solve.
+func TestMixedStagnationEscalates(t *testing.T) {
+	eo := newTestEO(t, 11, 0.08)
+	rng := rand.New(rand.NewSource(5))
+	b := randRHS(rng, eo.Size())
+	x, st, err := CGNEMixed(context.Background(), eo, identity32{n: eo.Size()}, b,
+		Params{Tol: 1e-8, Precision: Half, MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Restarts != 2 || st.Precision != Double {
+		t.Fatalf("converged=%v restarts=%d precision=%v; want double-precision rescue",
+			st.Converged, st.Restarts, st.Precision)
+	}
+	// The stagnation watch must fire after a handful of reliable updates
+	// per tier, not after thousands of wasted iterations.
+	if st.Iterations > 5000 {
+		t.Fatalf("%d iterations burned before stagnation was caught", st.Iterations)
+	}
+	if res := relResidual(eo, x, b); res > 1e-8 {
+		t.Fatalf("true residual %.3g", res)
+	}
+}
+
+// TestCGNERejectsNaNOperator: a NaN in the double-precision operator is
+// ErrDiverged on the first iteration, never a silent poisoned solution.
+func TestCGNERejectsNaNOperator(t *testing.T) {
+	n := 64
+	op := &diagOp{d: make([]complex128, n)}
+	for i := range op.d {
+		op.d[i] = 2
+	}
+	op.d[7] = complex(math.NaN(), 0)
+	rng := rand.New(rand.NewSource(6))
+	_, st, err := CGNE(context.Background(), op, randRHS(rng, n), Params{Tol: 1e-10})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("error %v, want ErrDiverged", err)
+	}
+	if st.Iterations != 1 {
+		t.Fatalf("NaN survived %d iterations", st.Iterations)
+	}
+}
+
+// wrongAdjointOp is a unitary phase whose claimed adjoint is the
+// identity - the classic operator-implementation bug CGNE's convergence
+// theory cannot survive. For phase theta > pi/4 the residual grows by
+// tan^2(theta) every iteration, so a correct stagnation watch fires
+// after exactly its window.
+type wrongAdjointOp struct {
+	n     int
+	phase complex128
+}
+
+func (o *wrongAdjointOp) Size() int { return o.n }
+func (o *wrongAdjointOp) Apply(dst, src []complex128) {
+	for i := range src {
+		dst[i] = o.phase * src[i]
+	}
+}
+func (o *wrongAdjointOp) ApplyDagger(dst, src []complex128) {
+	copy(dst, src)
+}
+
+// TestCGNEStagnationCatchesWrongAdjoint: with a broken adjoint the
+// normal-equation residual never improves; the stagnation window must
+// end the solve with ErrDiverged at the window boundary instead of
+// spinning through MaxIter.
+func TestCGNEStagnationCatchesWrongAdjoint(t *testing.T) {
+	n := 64
+	op := &wrongAdjointOp{n: n, phase: complex(math.Cos(0.9), math.Sin(0.9))}
+	rng := rand.New(rand.NewSource(7))
+	b := randRHS(rng, n)
+	_, st, err := CGNE(context.Background(), op, b, Params{
+		Tol: 1e-10, MaxIter: 25000, StagnationWindow: 50,
+	})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("error %v, want ErrDiverged", err)
+	}
+	if st.Iterations > 51 {
+		t.Fatalf("stagnation took %d iterations to fire with a 50-iteration window", st.Iterations)
+	}
+}
+
+// TestCGNESingularSystemIsBounded: an exactly singular operator with an
+// inconsistent right-hand side must end in a typed error (breakdown or
+// divergence, depending on which guard fires first), never a silent
+// non-answer after the full iteration budget.
+func TestCGNESingularSystemIsBounded(t *testing.T) {
+	n := 64
+	op := &diagOp{d: make([]complex128, n)}
+	for i := range op.d {
+		op.d[i] = complex(1+0.01*float64(i), 0)
+	}
+	op.d[0] = 0 // null direction
+	rng := rand.New(rand.NewSource(8))
+	b := randRHS(rng, n)
+	b[0] = 5 // inconsistent component
+	_, st, err := CGNE(context.Background(), op, b, Params{
+		Tol: 1e-10, MaxIter: 25000, StagnationWindow: 50,
+	})
+	if !errors.Is(err, ErrDiverged) && !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("error %v, want ErrDiverged or ErrBreakdown", err)
+	}
+	if st.Iterations >= 25000 {
+		t.Fatal("singular system burned the whole iteration budget")
+	}
+}

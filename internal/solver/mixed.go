@@ -19,6 +19,14 @@ import (
 // the group residual in full double precision and re-inject it, bounding
 // the accumulated rounding error. All reductions are double precision.
 // The context is checked once per iteration, as in CGNE.
+//
+// The sloppy stage is defended against divergence: a NaN/Inf residual or
+// curvature, a sloppy breakdown, or StagnationUpdates consecutive
+// reliable updates without progress triggers a restart - the poisoned
+// sloppy accumulation is discarded and the solve resumes from the last
+// reliable iterate one precision tier up (Half -> Single -> Double),
+// bounded by MaxRestarts and counted in Stats.Restarts. Out of restarts,
+// the solve fails with ErrDiverged.
 func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, p Params) ([]complex128, Stats, error) {
 	p = p.withDefaults()
 	if p.Precision == Double || sloppy == nil {
@@ -69,10 +77,17 @@ func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, 
 		hbuf.DecodeC64(v)
 	}
 
+	// xPrev snapshots x across a reliable update so a fold-in that turns
+	// out to be poisoned (non-finite recomputed residual) can be undone.
+	xPrev := make([]complex128, n)
+
 	rr := linalg.NormSq(rD, w)
 	rhsNorm := math.Sqrt(rr)
 	neTarget := p.Tol * rhsNorm
 	maxSinceUpdate := math.Sqrt(rr)
+	// Stagnation watch over the double-precision reliable residuals.
+	bestReliable := math.Inf(1)
+	staleUpdates := 0
 
 	trueResidual := func() float64 {
 		op.Apply(tmpD, x)
@@ -89,8 +104,11 @@ func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, 
 	}
 
 	// reliableUpdate folds the sloppy solution into x and recomputes the
-	// normal residual in double precision.
+	// normal residual in double precision. A non-finite recomputed
+	// residual means the fold-in was poisoned; x is restored from the
+	// snapshot and the caller sees the NaN.
 	reliableUpdate := func() float64 {
+		linalg.Copy(xPrev, x)
 		linalg.Promote(tmpD, xs)
 		linalg.Axpy(1, tmpD, x, w)
 		linalg.ZeroC64(xs)
@@ -101,58 +119,144 @@ func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, 
 		linalg.Axpy(-1, tmpD2, rD, w)
 		linalg.Demote(r, rD)
 		st.ReliableUpdates++
-		return linalg.NormSq(rD, w)
+		d := linalg.NormSq(rD, w)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			linalg.Copy(x, xPrev)
+		}
+		return d
 	}
 
-	for st.Iterations < p.MaxIter {
-		if err := interrupted(ctx); err != nil {
-			// Fold in the sloppy accumulation so the partial solution is
-			// the best iterate reached, then abort.
-			linalg.Promote(tmpD, xs)
-			linalg.Axpy(1, tmpD, x, w)
-			st.Elapsed = time.Since(start)
-			return x, st, fmt.Errorf("solver: interrupted after %d iterations: %w", st.Iterations, err)
-		}
-		roundHalf(pv)
-		sloppy.Apply(tmp, pv)
-		sloppy.ApplyDagger(ap, tmp)
-		roundHalf(ap)
+	// restart rewinds the sloppy stage to the last reliable iterate:
+	// whatever accumulated in xs since then is discarded as poisoned, and
+	// the double-precision residual is refreshed from x alone.
+	restart := func() {
+		linalg.ZeroC64(xs)
+		op.Apply(tmpD, x)
+		op.ApplyDagger(tmpD2, tmpD)
 		st.Flops += 2 * p.FlopsPerApply
-		st.Iterations++
+		linalg.Copy(rD, rhs)
+		linalg.Axpy(-1, tmpD2, rD, w)
+		linalg.Demote(r, rD)
+		copy(pv, r)
+		rr = linalg.NormSq(rD, w)
+		maxSinceUpdate = math.Sqrt(rr)
+		staleUpdates = 0
+	}
 
-		pap := real(linalg.DotC64(pv, ap, w))
-		if pap <= 0 {
+	for {
+		diverged := false
+		for st.Iterations < p.MaxIter {
+			if err := interrupted(ctx); err != nil {
+				// Fold in the sloppy accumulation so the partial solution is
+				// the best iterate reached, then abort.
+				linalg.Promote(tmpD, xs)
+				linalg.Axpy(1, tmpD, x, w)
+				st.Elapsed = time.Since(start)
+				return x, st, fmt.Errorf("solver: interrupted after %d iterations: %w", st.Iterations, err)
+			}
+			roundHalf(pv)
+			sloppy.Apply(tmp, pv)
+			sloppy.ApplyDagger(ap, tmp)
+			if hbuf != nil {
+				// The fixed-point storage rounding would scrub a NaN into
+				// finite garbage; catch the poison before it is laundered.
+				if nf := linalg.NormSqC64(ap, w); math.IsNaN(nf) || math.IsInf(nf, 0) {
+					st.Flops += 2 * p.FlopsPerApply
+					st.Iterations++
+					diverged = true
+					break
+				}
+			}
+			roundHalf(ap)
+			st.Flops += 2 * p.FlopsPerApply
+			st.Iterations++
+
+			pap := real(linalg.DotC64(pv, ap, w))
+			if math.IsNaN(pap) || math.IsInf(pap, 0) || pap <= 0 {
+				// Non-finite curvature is divergence outright; non-positive
+				// curvature from a true normal operator can only be sloppy
+				// arithmetic lying, so it escalates too rather than failing
+				// the solve as a breakdown.
+				diverged = true
+				break
+			}
+			alpha := rr / pap
+			a32 := complex(float32(alpha), 0)
+			linalg.AxpyC64(a32, pv, xs, w)
+			linalg.AxpyC64(-a32, ap, r, w)
+			rrNew := linalg.NormSqC64(r, w)
+			if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
+				diverged = true
+				break
+			}
+			rNorm := math.Sqrt(rrNew)
+
+			if rNorm < p.ReliableDelta*maxSinceUpdate || rNorm <= neTarget {
+				rrNew = reliableUpdate()
+				if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
+					diverged = true
+					break
+				}
+				rNorm = math.Sqrt(rrNew)
+				maxSinceUpdate = rNorm
+				if rNorm < bestReliable {
+					bestReliable = rNorm
+					staleUpdates = 0
+				} else if staleUpdates++; p.StagnationUpdates > 0 && staleUpdates >= p.StagnationUpdates {
+					diverged = true
+					break
+				}
+				if rNorm <= neTarget {
+					if res := trueResidual(); res <= p.Tol {
+						st.Converged = true
+						st.TrueResidual = res
+						st.Elapsed = time.Since(start)
+						return x, st, nil
+					}
+					neTarget *= 0.1
+				}
+			} else if rNorm > maxSinceUpdate {
+				maxSinceUpdate = rNorm
+			}
+
+			beta := complex(float32(rrNew/rr), 0)
+			linalg.XpayC64(r, beta, pv, w)
+			rr = rrNew
+		}
+		if !diverged {
+			break
+		}
+		if p.MaxRestarts < 0 || st.Restarts >= p.MaxRestarts {
 			st.TrueResidual = trueResidual()
 			st.Elapsed = time.Since(start)
-			return x, st, ErrBreakdown
+			return x, st, ErrDiverged
 		}
-		alpha := rr / pap
-		a32 := complex(float32(alpha), 0)
-		linalg.AxpyC64(a32, pv, xs, w)
-		linalg.AxpyC64(-a32, ap, r, w)
-		rrNew := linalg.NormSqC64(r, w)
-		rNorm := math.Sqrt(rrNew)
-
-		if rNorm < p.ReliableDelta*maxSinceUpdate || rNorm <= neTarget {
-			rrNew = reliableUpdate()
-			rNorm = math.Sqrt(rrNew)
-			maxSinceUpdate = rNorm
-			if rNorm <= neTarget {
-				if res := trueResidual(); res <= p.Tol {
-					st.Converged = true
-					st.TrueResidual = res
-					st.Elapsed = time.Since(start)
-					return x, st, nil
-				}
-				neTarget *= 0.1
-			}
-		} else if rNorm > maxSinceUpdate {
-			maxSinceUpdate = rNorm
+		st.Restarts++
+		if st.Precision == Half {
+			// One tier up: drop the 16-bit storage rounding, keep the
+			// single-precision sloppy operator.
+			st.Precision = Single
+			hbuf = nil
+			restart()
+			continue
 		}
-
-		beta := complex(float32(rrNew/rr), 0)
-		linalg.XpayC64(r, beta, pv, w)
-		rr = rrNew
+		// Already single: finish the solve in full double precision from
+		// the last reliable iterate.
+		st.Precision = Double
+		pd := p
+		pd.Precision = Double
+		pd.MaxIter = p.MaxIter - st.Iterations
+		if pd.MaxIter < 1 {
+			pd.MaxIter = 1
+		}
+		xd, dst, derr := CGNEFrom(ctx, op, b, x, pd)
+		st.Iterations += dst.Iterations
+		st.Flops += dst.Flops
+		st.ReliableUpdates += dst.ReliableUpdates
+		st.Converged = dst.Converged
+		st.TrueResidual = dst.TrueResidual
+		st.Elapsed = time.Since(start)
+		return xd, st, derr
 	}
 
 	// Final fold-in of whatever the sloppy stage accumulated.

@@ -78,6 +78,24 @@ type Params struct {
 	// used for the Stats.Flops accounting (matvec only; BLAS-1 is added
 	// with the paper's 50-100 flops/site convention by the caller).
 	FlopsPerApply int64
+	// MaxRestarts bounds the precision-escalation restarts of CGNEMixed:
+	// when the sloppy stage diverges (non-finite residual, sloppy
+	// breakdown, or stagnant reliable updates), the solve discards the
+	// sloppy accumulation since the last reliable update and resumes from
+	// the last reliable iterate one precision tier up (Half -> Single ->
+	// Double). Default 2, exactly the tier ladder; negative disables
+	// restarts and turns divergence into ErrDiverged.
+	MaxRestarts int
+	// StagnationUpdates is how many consecutive reliable updates may fail
+	// to improve the best double-precision residual before CGNEMixed
+	// declares the sloppy stage stagnant and restarts (or fails with
+	// ErrDiverged when out of restarts). Default 5; negative disables.
+	StagnationUpdates int
+	// StagnationWindow is how many iterations pure double CGNE may run
+	// without improving its best normal-equation residual before failing
+	// with ErrDiverged instead of burning the rest of MaxIter. Default
+	// MaxIter/10 (at least 100); negative disables.
+	StagnationWindow int
 }
 
 func (p Params) withDefaults() Params {
@@ -90,6 +108,18 @@ func (p Params) withDefaults() Params {
 	if p.ReliableDelta <= 0 || p.ReliableDelta >= 1 {
 		p.ReliableDelta = 0.1
 	}
+	if p.MaxRestarts == 0 {
+		p.MaxRestarts = 2
+	}
+	if p.StagnationUpdates == 0 {
+		p.StagnationUpdates = 5
+	}
+	if p.StagnationWindow == 0 {
+		p.StagnationWindow = p.MaxIter / 10
+		if p.StagnationWindow < 100 {
+			p.StagnationWindow = 100
+		}
+	}
 	return p
 }
 
@@ -101,7 +131,11 @@ type Stats struct {
 	TrueResidual    float64       // final ||b - D x|| / ||b||
 	Flops           int64         // matvec flops (per FlopsPerApply)
 	Elapsed         time.Duration // wall-clock time of the solve
-	Precision       Precision     // sloppy precision used
+	Precision       Precision     // sloppy precision in use at the end (escalated by restarts)
+	// Restarts counts precision-escalation restarts: the sloppy stage
+	// diverged, its accumulation was discarded, and the solve resumed
+	// from the last reliable iterate one precision tier up.
+	Restarts int
 }
 
 // TFLOPS returns the sustained matvec teraflop rate of the solve.
@@ -121,3 +155,9 @@ var ErrMaxIter = errors.New("solver: maximum iterations reached without converge
 // (<p, Ap> <= 0), which for a true normal operator indicates numerical
 // breakdown.
 var ErrBreakdown = errors.New("solver: conjugate gradient breakdown")
+
+// ErrDiverged is returned when the iteration stops making progress: the
+// residual went NaN/Inf, or no new residual minimum appeared within the
+// stagnation window. CGNEMixed first spends its MaxRestarts budget on
+// precision-escalation restarts before surfacing this error.
+var ErrDiverged = errors.New("solver: iteration diverged (non-finite or stagnant residual)")
