@@ -19,3 +19,9 @@ go test -race ./...
 # the recovery paths (panic isolation, watchdog kills, quarantine,
 # journal replay) hold under concurrent load.
 go test -race -count=2 ./internal/fault/ ./internal/runtime/ ./internal/cluster/
+# Drain gate: the allocation-budget paths - drain/resume determinism,
+# admission control, Preempt-fault preemption, and the atomic container
+# save a drain relies on - re-run under the race detector, so an
+# allocation can end (wall clock, SIGTERM, injected preemption) at any
+# instant without losing journaled work or corrupting a checkpoint.
+go test -race -count=2 -run 'Drain|Preempt|Budget|Admission|Atomic|Save' ./internal/core/ ./internal/hio/

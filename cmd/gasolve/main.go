@@ -12,6 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"femtoverse/internal/core"
 	"femtoverse/internal/dirac"
@@ -25,6 +28,38 @@ func printReport(rep *jobrt.Report) {
 	if rep != nil {
 		fmt.Println(rep)
 	}
+}
+
+// watchSignals installs the SIGINT/SIGTERM handler. In graceful mode the
+// first two signals are forwarded on the returned preemption channel -
+// the job pool drains on the first and hard-cancels in-flight work on the
+// second - and any further signal kills the process. Outside graceful
+// mode the first signal cancels the campaign context and the second kills
+// the process: Ctrl-C is never ignored.
+func watchSignals(cancel context.CancelFunc, graceful bool) <-chan string {
+	sigs := make(chan os.Signal, 4)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	preempt := make(chan string, 2)
+	go func() {
+		n := 0
+		for s := range sigs {
+			n++
+			switch {
+			case graceful && n == 1:
+				fmt.Fprintf(os.Stderr, "gasolve: %v: draining (again to cancel in-flight work)\n", s)
+				preempt <- s.String()
+			case graceful && n == 2:
+				fmt.Fprintf(os.Stderr, "gasolve: %v: cancelling in-flight work\n", s)
+				preempt <- s.String()
+			case !graceful && n == 1:
+				fmt.Fprintf(os.Stderr, "gasolve: %v: cancelling (again to exit immediately)\n", s)
+				cancel()
+			default:
+				os.Exit(130)
+			}
+		}
+	}()
+	return preempt
 }
 
 func main() {
@@ -41,21 +76,52 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "campaign checkpoint file: resume if it exists, save after each batch")
 		batch      = flag.Int("batch", 2, "configurations to measure per invocation in checkpoint mode")
 		workers    = flag.Int("workers", 0, "solve configurations concurrently on this many workers (0 = sequential); results are bit-for-bit identical either way")
+		journal    = flag.String("journal", "", "campaign write-ahead journal: resume if it exists, run every remaining configuration, log each as it finishes")
+		walltime   = flag.Duration("walltime", 0, "journal mode: allocation wall clock; the runtime refuses work that cannot finish and drains at expiry (0 = unbounded)")
+		drainGrace = flag.Duration("drain-grace", 10*time.Second, "journal mode: how long in-flight solves may keep running once a drain begins")
 	)
 	flag.Parse()
 
+	if *walltime < 0 || *drainGrace < 0 {
+		fmt.Fprintln(os.Stderr, "gasolve: -walltime and -drain-grace must be non-negative")
+		os.Exit(2)
+	}
+	if *walltime > 0 && *journal == "" {
+		fmt.Fprintln(os.Stderr, "gasolve: -walltime needs -journal: only a journaled campaign can resume the refused work")
+		os.Exit(2)
+	}
+	if *journal != "" && *checkpoint != "" {
+		fmt.Fprintln(os.Stderr, "gasolve: -journal and -checkpoint are mutually exclusive")
+		os.Exit(2)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	preempt := watchSignals(cancel, *journal != "")
+
+	spec := core.RealConfig{
+		Dims:        [4]int{*l, *l, *l, *t},
+		Params:      dirac.MobiusParams{Ls: *ls, M5: 1.4, B5: 1.25, C5: 0.25, M: *mass},
+		NConfigs:    *nCfg,
+		Seed:        *seed,
+		Beta:        5.8,
+		ThermSweeps: 10,
+		GapSweeps:   2,
+		Tol:         1e-8,
+		Prec:        solver.Single,
+	}
+
+	if *journal != "" {
+		if err := runJournaled(ctx, *journal, *workers,
+			jobrt.Budget{WallClock: *walltime, DrainGrace: *drainGrace}, preempt, spec); err != nil {
+			fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *checkpoint != "" {
-		if err := runCheckpointed(*checkpoint, *batch, *workers, core.RealConfig{
-			Dims:        [4]int{*l, *l, *l, *t},
-			Params:      dirac.MobiusParams{Ls: *ls, M5: 1.4, B5: 1.25, C5: 0.25, M: *mass},
-			NConfigs:    *nCfg,
-			Seed:        *seed,
-			Beta:        5.8,
-			ThermSweeps: 10,
-			GapSweeps:   2,
-			Tol:         1e-8,
-			Prec:        solver.Single,
-		}); err != nil {
+		if err := runCheckpointed(ctx, *checkpoint, *batch, *workers, spec); err != nil {
 			fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 			os.Exit(1)
 		}
@@ -78,27 +144,16 @@ func main() {
 		return
 	}
 
-	cfg := core.RealConfig{
-		Dims:        [4]int{*l, *l, *l, *t},
-		Params:      dirac.MobiusParams{Ls: *ls, M5: 1.4, B5: 1.25, C5: 0.25, M: *mass},
-		NConfigs:    *nCfg,
-		Seed:        *seed,
-		Beta:        5.8,
-		ThermSweeps: 10,
-		GapSweeps:   2,
-		Tol:         1e-8,
-		Prec:        solver.Single,
-	}
 	fmt.Printf("running real FH pipeline on %v x Ls=%d, %d configurations...\n",
-		cfg.Dims, cfg.Params.Ls, cfg.NConfigs)
+		spec.Dims, spec.Params.Ls, spec.NConfigs)
 	var res *core.RealResult
 	var err error
 	if *workers > 0 {
 		var rep *jobrt.Report
-		res, rep, err = core.RunRealConcurrent(context.Background(), cfg, *workers)
+		res, rep, err = core.RunRealConcurrent(ctx, spec, *workers)
 		printReport(rep)
 	} else {
-		res, err = core.RunReal(cfg)
+		res, err = core.RunReal(spec)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
@@ -111,10 +166,65 @@ func main() {
 	}
 }
 
+// runJournaled resumes (or starts) a write-ahead-journaled campaign and
+// runs every remaining configuration under the allocation budget: the
+// pool refuses work that cannot finish before the wall, drains gracefully
+// at expiry or on SIGINT/SIGTERM, and every finished configuration is
+// durable in the journal - so simply re-running the same command resumes
+// from where the previous allocation stopped, bit-for-bit.
+func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Budget, preempt <-chan string, spec core.RealConfig) error {
+	var (
+		camp *core.Campaign
+		j    *core.Journal
+		err  error
+	)
+	if _, statErr := os.Stat(path); statErr == nil {
+		j, camp, err = core.OpenJournal(path, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed journal: %d/%d configurations done\n", camp.Done(), camp.Spec.NConfigs)
+	} else {
+		j, err = core.CreateJournal(path, spec, 1)
+		if err != nil {
+			return err
+		}
+		camp = core.NewCampaign(spec)
+		fmt.Printf("new journaled campaign: %d configurations planned\n", spec.NConfigs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n, rep, err := camp.RunBatchConcurrentBudgeted(ctx, camp.Spec.NConfigs, workers, j, budget, preempt)
+	printReport(rep)
+	if cerr := j.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured %d configurations this allocation (%d/%d total)\n",
+		n, camp.Done(), camp.Spec.NConfigs)
+	if !camp.Complete() {
+		fmt.Printf("re-run the same command to resume the remaining %d configurations\n",
+			camp.Spec.NConfigs-camp.Done())
+		return nil
+	}
+	geff, gerr, err := camp.Geff()
+	if err != nil {
+		return err
+	}
+	fmt.Println("campaign complete; effective coupling:")
+	for i := range geff {
+		fmt.Printf("%3d  %10.4f  %10.4f\n", i, geff[i], gerr[i])
+	}
+	return nil
+}
+
 // runCheckpointed resumes (or starts) a persistent campaign, measures one
 // batch, saves, and reports progress - the pattern a real allocation-by-
 // allocation campaign uses.
-func runCheckpointed(path string, batch, workers int, spec core.RealConfig) error {
+func runCheckpointed(ctx context.Context, path string, batch, workers int, spec core.RealConfig) error {
 	var camp *core.Campaign
 	if file, err := hio.Load(path); err == nil {
 		camp, err = core.LoadCampaign(file.Root())
@@ -130,7 +240,7 @@ func runCheckpointed(path string, batch, workers int, spec core.RealConfig) erro
 	var err error
 	if workers > 0 {
 		var rep *jobrt.Report
-		n, rep, err = camp.RunBatchConcurrent(context.Background(), batch, workers)
+		n, rep, err = camp.RunBatchConcurrent(ctx, batch, workers)
 		printReport(rep)
 	} else {
 		n, err = camp.RunBatch(batch)

@@ -404,6 +404,11 @@ type (
 	JobClass = jobrt.Class
 	// JobMetrics is one task's lifecycle record.
 	JobMetrics = jobrt.TaskMetrics
+	// JobBudget is a finite batch allocation: the wall-clock window the
+	// pool may occupy and the grace in-flight work gets once a drain
+	// begins. The pool refuses tasks whose calibrated estimate exceeds
+	// the remaining allocation.
+	JobBudget = jobrt.Budget
 	// FaultPlan is the deterministic chaos plan: seeded, typed fault
 	// injection keyed by task identity, shared by the live runtime and
 	// the cluster simulator.
@@ -421,6 +426,18 @@ const (
 	FaultHang       = fault.Hang
 	FaultCorrupt    = fault.Corrupt
 	FaultDomainLoss = fault.DomainLoss
+	// FaultPreempt ends the whole allocation early: it fires the pool's
+	// drain path instead of failing the drawing task.
+	FaultPreempt = fault.Preempt
+)
+
+// Drain-path sentinels: refused work was never started (its estimate
+// exceeded the remaining allocation), stranded work was cancelled by the
+// hard phase of a drain. Both are excluded from JobReport.Failed and
+// from the error RunJobs returns - they are the next allocation's work.
+var (
+	ErrJobRefused  = jobrt.ErrRefused
+	ErrJobStranded = jobrt.ErrStranded
 )
 
 // Job worker classes: solve tasks model the GPU partition, contraction

@@ -1,0 +1,172 @@
+// Allocation-expiry tests live in an external test package so they can
+// exercise the real mpi_jm policy (which imports cluster) against the
+// simulator without an import cycle.
+package cluster_test
+
+import (
+	"testing"
+
+	"femtoverse/internal/cluster"
+	"femtoverse/internal/fault"
+	"femtoverse/internal/mpijm"
+)
+
+type (
+	Task   = cluster.Task
+	Config = cluster.Config
+	Report = cluster.Report
+)
+
+// flatTasks builds n identical 4-node GPU tasks so allocation arithmetic
+// in these tests is exact.
+func flatTasks(n int, seconds float64) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Name: "prop", Kind: cluster.GPUTask, GPUs: 16, Seconds: seconds, TFlops: 28}
+	}
+	return tasks
+}
+
+// checkAllocAccounting verifies every task ends in exactly one bucket.
+func checkAllocAccounting(t *testing.T, rep Report, total int) {
+	t.Helper()
+	if got := rep.TasksDone + rep.StrandedTasks + rep.Refused; got != total {
+		t.Fatalf("accounting: %d done + %d stranded + %d refused = %d, want %d",
+			rep.TasksDone, rep.StrandedTasks, rep.Refused, got, total)
+	}
+}
+
+// TestAllocationExpiryStrandsNaiveWork: without admission control the
+// allocation clock cuts straight through a running bundle - the paper's
+// end-of-allocation waste, where work started near the wall is killed
+// and its GPU time discarded.
+func TestAllocationExpiryStrandsNaiveWork(t *testing.T) {
+	cfg := Config{
+		Nodes: 16, GPUsPerNode: 4, CPUSlotsPerNode: 40, Seed: 1,
+		AllocationSeconds: 2500,
+	}
+	tasks := flatTasks(12, 1000) // 3 bundles of 4; the third straddles the wall
+	rep, err := cluster.Run(cfg, tasks, cluster.NaiveBundle{LaunchOverhead: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllocAccounting(t, rep, 12)
+	if !rep.Expired {
+		t.Fatal("allocation did not expire")
+	}
+	if rep.StrandedTasks != 4 {
+		t.Fatalf("stranded %d, want the whole third bundle (4)", rep.StrandedTasks)
+	}
+	if rep.LostGPUSeconds <= 0 {
+		t.Fatal("no lost GPU-seconds charged for stranded work")
+	}
+	if rep.Makespan != cfg.AllocationSeconds {
+		t.Fatalf("makespan %g, want the allocation wall %g", rep.Makespan, cfg.AllocationSeconds)
+	}
+}
+
+// TestAdmissionControlEliminatesLostWork: with METAQ's rule enabled the
+// same workload on the same bounded allocation ends clean - tasks that
+// cannot finish are refused up front and zero GPU-seconds are lost.
+func TestAdmissionControlEliminatesLostWork(t *testing.T) {
+	cfg := Config{
+		Nodes: 16, GPUsPerNode: 4, CPUSlotsPerNode: 40, Seed: 1,
+		AllocationSeconds: 2500, AdmissionControl: true,
+	}
+	tasks := flatTasks(12, 1000)
+	rep, err := cluster.Run(cfg, tasks, mpijm.New(mpijm.Params{LumpNodes: 16, BlockNodes: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllocAccounting(t, rep, 12)
+	if rep.StrandedTasks != 0 || rep.LostGPUSeconds != 0 {
+		t.Fatalf("admission control lost work anyway: %d stranded, %g GPU-seconds",
+			rep.StrandedTasks, rep.LostGPUSeconds)
+	}
+	if rep.Refused == 0 {
+		t.Fatal("nothing refused: the allocation was not actually binding")
+	}
+	if rep.TasksDone == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+// TestAdmissionBeatsNaiveOnWaste is the end-of-allocation comparison the
+// EXPERIMENTS entry quotes: same workload, same wall - the naive bundler
+// burns GPU time it must throw away, the admission-controlled manager
+// completes at least as many tasks and loses nothing.
+func TestAdmissionBeatsNaiveOnWaste(t *testing.T) {
+	tasks := flatTasks(12, 1000)
+	base := Config{Nodes: 16, GPUsPerNode: 4, CPUSlotsPerNode: 40, Seed: 1, AllocationSeconds: 2500}
+
+	naive, err := cluster.Run(base, tasks, cluster.NaiveBundle{LaunchOverhead: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed := base
+	managed.AdmissionControl = true
+	jm, err := cluster.Run(managed, tasks, mpijm.New(mpijm.Params{LumpNodes: 16, BlockNodes: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.LostGPUSeconds <= 0 {
+		t.Fatal("naive run lost nothing: comparison is vacuous")
+	}
+	if jm.LostGPUSeconds != 0 {
+		t.Fatalf("managed run lost %g GPU-seconds", jm.LostGPUSeconds)
+	}
+	if jm.TasksDone < naive.TasksDone {
+		t.Fatalf("managed completed %d < naive %d", jm.TasksDone, naive.TasksDone)
+	}
+}
+
+// TestPreemptFaultExpiresAllocation: an injected fault.Preempt models the
+// batch system reclaiming the nodes early - the drawing completion still
+// counts, everything running is stranded, everything queued is refused.
+func TestPreemptFaultExpiresAllocation(t *testing.T) {
+	cfg := Config{
+		Nodes: 16, GPUsPerNode: 4, CPUSlotsPerNode: 40, Seed: 1,
+		Fault: fault.Plan{Seed: 9, Preempt: 0.9},
+	}
+	tasks := flatTasks(12, 1000)
+	rep, err := cluster.Run(cfg, tasks, cluster.NaiveBundle{LaunchOverhead: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllocAccounting(t, rep, 12)
+	if !rep.Expired {
+		t.Fatal("preempt fault did not expire the allocation")
+	}
+	if rep.Faults.Preempt != 1 {
+		t.Fatalf("preempt faults %d, want exactly the one that ended the run", rep.Faults.Preempt)
+	}
+	if rep.TasksDone < 1 {
+		t.Fatal("the drawing completion must still count as done")
+	}
+	if rep.Refused == 0 {
+		t.Fatal("queued work not refused at preemption")
+	}
+}
+
+// TestRemainingSecondsUnbounded: without an allocation bound the clock
+// never binds and Admits always passes.
+func TestRemainingSecondsUnbounded(t *testing.T) {
+	cfg := cluster.Config{Nodes: 16, GPUsPerNode: 4, CPUSlotsPerNode: 40, JitterSigma: 0.03, Seed: 1}
+	tasks := flatTasks(4, 100)
+	rep, err := cluster.Run(cfg, tasks, cluster.NaiveBundle{LaunchOverhead: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Expired || rep.Refused != 0 || rep.StrandedTasks != 0 {
+		t.Fatalf("unbounded run touched allocation machinery: %+v", rep)
+	}
+}
+
+// TestNegativeAllocationRejected: config validation.
+func TestNegativeAllocationRejected(t *testing.T) {
+	cfg := cluster.Config{Nodes: 16, GPUsPerNode: 4, CPUSlotsPerNode: 40, JitterSigma: 0.03, Seed: 1}
+	cfg.AllocationSeconds = -1
+	if _, err := cluster.Run(cfg, flatTasks(1, 1), cluster.NaiveBundle{}); err == nil {
+		t.Fatal("negative AllocationSeconds accepted")
+	}
+}

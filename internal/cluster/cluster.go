@@ -12,6 +12,7 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -73,6 +74,18 @@ type Config struct {
 	// MaxRetries bounds re-executions per task (default 5 when failures
 	// are enabled).
 	MaxRetries int
+	// AllocationSeconds bounds the batch allocation's wall clock. When
+	// positive, the allocation expires at that instant: running tasks are
+	// killed and charged as lost work, still-pending tasks are refused,
+	// and the report records the waste. 0 means unbounded (the historical
+	// behaviour).
+	AllocationSeconds float64
+	// AdmissionControl enables METAQ's "don't start what you can't
+	// finish" rule: policies consult Sim.Admits and skip tasks whose
+	// nominal duration plus launch overhead exceeds the remaining
+	// allocation, so the allocation ends with refused work instead of
+	// half-finished, discarded work.
+	AdmissionControl bool
 }
 
 // Validate checks the configuration.
@@ -91,6 +104,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Fault.Validate(); err != nil {
 		return fmt.Errorf("cluster: %w", err)
+	}
+	if c.AllocationSeconds < 0 {
+		return fmt.Errorf("cluster: negative AllocationSeconds %g", c.AllocationSeconds)
 	}
 	return nil
 }
@@ -184,6 +200,19 @@ type Report struct {
 	// casualties are not faults - they are collateral of a DomainLoss -
 	// so Failures >= Faults.Total() whenever domains are in play.
 	Faults fault.Counts
+	// Expired reports that the allocation ended before the workload did -
+	// the wall clock ran out or a Preempt fault reclaimed the nodes.
+	Expired bool
+	// Refused counts tasks never started: skipped by admission control
+	// or still pending when the allocation expired. Refused work is left
+	// for the next allocation, not failed.
+	Refused int
+	// StrandedTasks counts running tasks killed at expiry, and
+	// LostGPUSeconds integrates the GPU time their unfinished executions
+	// burned - the end-of-allocation waste METAQ's admission rule exists
+	// to eliminate.
+	StrandedTasks  int
+	LostGPUSeconds float64
 }
 
 // IdleFraction returns 1 - GPUUtil, the paper's bundling-waste metric.
@@ -284,6 +313,31 @@ func (s *Sim) PendingTask(id int) (Task, bool) {
 
 // RunningCount returns the number of in-flight tasks.
 func (s *Sim) RunningCount() int { return len(s.domains) }
+
+// RemainingSeconds returns the wall clock left in the allocation;
+// +Inf when the allocation is unbounded.
+func (s *Sim) RemainingSeconds() float64 {
+	if s.cfg.AllocationSeconds <= 0 {
+		return math.Inf(1)
+	}
+	rem := s.cfg.AllocationSeconds - s.now
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Admits is the allocation's admission rule, shared by every policy so
+// the simulator and the live runtime can be held to the same decisions:
+// a task may start only if its nominal duration plus launch overhead
+// fits in the remaining allocation. Always true when admission control
+// is disabled.
+func (s *Sim) Admits(t Task, overhead float64) bool {
+	if !s.cfg.AdmissionControl {
+		return true
+	}
+	return t.Seconds+overhead <= s.RemainingSeconds()
+}
 
 // NodeGPUsFree returns the free GPU count of a node.
 func (s *Sim) NodeGPUsFree(id int) int { return s.nodes[id].gpusFree }
@@ -423,11 +477,40 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 		s.pending[id] = stat.Task
 		return nil
 	}
+	// expire ends the allocation at s.now: every running task is killed
+	// and its unfinished execution charged as lost work, every pending
+	// task is refused (left for the next allocation), and no further
+	// events are processed.
+	expire := func() {
+		rep.Expired = true
+		var victims []int
+		for idx := range s.domains {
+			victims = append(victims, idx)
+		}
+		sort.Ints(victims)
+		for _, idx := range victims {
+			s.canceled[idx] = true
+			stat := &s.stats[idx]
+			dur := release(idx)
+			stat.Failed = true
+			rep.StrandedTasks++
+			rep.LostGPUSeconds += float64(stat.Task.GPUs) * dur
+		}
+		rep.Refused += len(s.pending)
+		s.pending = map[int]Task{}
+	}
 
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(event)
 		if s.canceled[ev.task] {
 			continue
+		}
+		if cfg.AllocationSeconds > 0 && ev.time > cfg.AllocationSeconds {
+			// The batch system reclaims the nodes before this completion:
+			// the allocation clock, not the workload, ends the run.
+			s.now = cfg.AllocationSeconds
+			expire()
+			break
 		}
 		s.now = ev.time
 		stat := &s.stats[ev.task]
@@ -440,6 +523,18 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 		if s.injector != nil {
 			s.injKeys[stat.Task.ID]++
 			fk = s.injector.Draw(stat.Task.ID, s.injKeys[stat.Task.ID])
+		}
+		if fk == fault.Preempt {
+			// Preemption is an allocation-level event, not a task failure:
+			// the drawing execution completes normally, then the batch
+			// system reclaims the nodes (walltime cut, higher-priority
+			// job) and the allocation ends where it stands.
+			rep.Faults.Add(fk)
+			rep.SustainedTFlops += stat.Task.TFlops * dur
+			rep.TasksDone++
+			s.completed[stat.Task.ID] = true
+			expire()
+			break
 		}
 		if fk != fault.None {
 			rep.Faults.Add(fk)
@@ -485,7 +580,13 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 		}
 	}
 	if len(s.pending) > 0 {
-		return Report{}, fmt.Errorf("cluster: %s left %d tasks unscheduled", p.Name(), len(s.pending))
+		if cfg.AllocationSeconds <= 0 {
+			return Report{}, fmt.Errorf("cluster: %s left %d tasks unscheduled", p.Name(), len(s.pending))
+		}
+		// A bounded allocation legitimately ends with unstarted work:
+		// admission control refused it (or its dependencies were refused)
+		// and it is left for the next allocation.
+		rep.Refused += len(s.pending)
 	}
 	rep.Makespan = s.now
 	rep.PerTask = s.stats

@@ -68,7 +68,7 @@ func contractConfig(p *configProps) (c2, cfh []float64) {
 // independent. Returns how many configurations completed and the
 // runtime's utilization report.
 func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int, *jobrt.Report, error) {
-	return c.runBatchConcurrent(ctx, n, workers, nil)
+	return c.runBatchConcurrent(ctx, n, workers, nil, jobrt.Budget{}, nil)
 }
 
 // RunBatchConcurrentJournaled is RunBatchConcurrent with write-ahead
@@ -78,14 +78,34 @@ func (c *Campaign) RunBatchConcurrent(ctx context.Context, n, workers int) (int,
 // durable checkpoints this batch produced.
 func (c *Campaign) RunBatchConcurrentJournaled(ctx context.Context, n, workers int, j *Journal) (int, *jobrt.Report, error) {
 	before := j.Checkpoints()
-	done, rep, err := c.runBatchConcurrent(ctx, n, workers, j)
+	done, rep, err := c.runBatchConcurrent(ctx, n, workers, j, jobrt.Budget{}, nil)
 	if rep != nil {
 		rep.JournalCheckpoints = j.Checkpoints() - before
 	}
 	return done, rep, err
 }
 
-func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Journal) (int, *jobrt.Report, error) {
+// RunBatchConcurrentBudgeted is RunBatchConcurrentJournaled on a bounded
+// allocation: the pool refuses configurations whose calibrated estimate
+// no longer fits the budget, drains gracefully at expiry (or on a notice
+// through preempt - the SIGTERM landing path), and the journal is forced
+// durable before the call returns, so a follow-up run resumes bit-for-bit
+// from every configuration that finished ahead of the wall. Refused and
+// stranded configurations are not errors - they are the next allocation's
+// work - so an interrupted batch returns a nil error with done < n.
+func (c *Campaign) RunBatchConcurrentBudgeted(ctx context.Context, n, workers int, j *Journal, budget jobrt.Budget, preempt <-chan string) (int, *jobrt.Report, error) {
+	before := j.Checkpoints()
+	done, rep, err := c.runBatchConcurrent(ctx, n, workers, j, budget, preempt)
+	if serr := j.Sync(); serr != nil && err == nil {
+		err = serr
+	}
+	if rep != nil {
+		rep.JournalCheckpoints = j.Checkpoints() - before
+	}
+	return done, rep, err
+}
+
+func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Journal, budget jobrt.Budget, preempt <-chan string) (int, *jobrt.Report, error) {
 	if n <= 0 || c.Complete() {
 		return 0, nil, nil
 	}
@@ -163,6 +183,8 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 	_, rep, runErr := jobrt.Run(ctx, jobrt.Config{
 		SolveWorkers:    workers,
 		ContractWorkers: cw,
+		Budget:          budget,
+		Preempt:         preempt,
 	}, tasks)
 
 	// Record whatever completed, even if some configuration failed.

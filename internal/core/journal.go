@@ -244,6 +244,24 @@ func (j *Journal) Append(cfg int, c2, cfh []float64) error {
 	return nil
 }
 
+// Sync makes any unsynced records durable immediately, regardless of the
+// checkpoint cadence. The drain path calls it before the allocation ends,
+// so a follow-up run resumes with every configuration that finished ahead
+// of the wall. Syncing a closed journal is a no-op.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.sinceSync == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.sinceSync = 0
+	j.checkpoints++
+	return nil
+}
+
 // Checkpoints returns how many durable checkpoints (fsyncs) the journal
 // has made, counting the header.
 func (j *Journal) Checkpoints() int {

@@ -44,6 +44,12 @@ const (
 	// DomainLoss kills the task and everything sharing its failure
 	// domain: the paper's MPI_Abort-brings-down-the-lump behaviour.
 	DomainLoss
+	// Preempt ends the whole allocation early: the batch system reclaims
+	// the nodes (walltime cut, higher-priority job, maintenance drain).
+	// Unlike the other kinds it does not fail the drawing execution - it
+	// fires the executor's drain path at the injected instant, so
+	// in-flight work races the grace period and queued work is refused.
+	Preempt
 
 	numKinds
 )
@@ -63,6 +69,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case DomainLoss:
 		return "domain-loss"
+	case Preempt:
+		return "preempt"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -80,13 +88,14 @@ type Plan struct {
 	// Seed fixes the whole fault sequence; two injectors with equal plans
 	// agree on every draw.
 	Seed int64
-	// Transient, Panic, Hang, Corrupt, DomainLoss are the per-execution
-	// probabilities of each fault kind.
+	// Transient, Panic, Hang, Corrupt, DomainLoss, Preempt are the
+	// per-execution probabilities of each fault kind.
 	Transient  float64
 	Panic      float64
 	Hang       float64
 	Corrupt    float64
 	DomainLoss float64
+	Preempt    float64
 	// MaxInjections, when positive, caps how many faults one task can
 	// draw: attempts past the cap run clean. Chaos tests use it to
 	// guarantee every task eventually succeeds within its retry budget.
@@ -101,12 +110,13 @@ func (p Plan) rates() [numKinds]float64 {
 	r[Hang] = p.Hang
 	r[Corrupt] = p.Corrupt
 	r[DomainLoss] = p.DomainLoss
+	r[Preempt] = p.Preempt
 	return r
 }
 
 // Total returns the summed per-execution fault probability.
 func (p Plan) Total() float64 {
-	return p.Transient + p.Panic + p.Hang + p.Corrupt + p.DomainLoss
+	return p.Transient + p.Panic + p.Hang + p.Corrupt + p.DomainLoss + p.Preempt
 }
 
 // Enabled reports whether the plan injects anything at all.
@@ -156,6 +166,7 @@ type Counts struct {
 	Hang       int
 	Corrupt    int
 	DomainLoss int
+	Preempt    int
 }
 
 // Add records one injected fault.
@@ -171,18 +182,20 @@ func (c *Counts) Add(k Kind) {
 		c.Corrupt++
 	case DomainLoss:
 		c.DomainLoss++
+	case Preempt:
+		c.Preempt++
 	}
 }
 
 // Total returns the summed injected-fault count.
 func (c Counts) Total() int {
-	return c.Transient + c.Panic + c.Hang + c.Corrupt + c.DomainLoss
+	return c.Transient + c.Panic + c.Hang + c.Corrupt + c.DomainLoss + c.Preempt
 }
 
 // String renders the tally.
 func (c Counts) String() string {
-	return fmt.Sprintf("%d injected (%d transient, %d panic, %d hang, %d corrupt, %d domain-loss)",
-		c.Total(), c.Transient, c.Panic, c.Hang, c.Corrupt, c.DomainLoss)
+	return fmt.Sprintf("%d injected (%d transient, %d panic, %d hang, %d corrupt, %d domain-loss, %d preempt)",
+		c.Total(), c.Transient, c.Panic, c.Hang, c.Corrupt, c.DomainLoss, c.Preempt)
 }
 
 // Injector draws faults from a validated plan. It is stateless and safe

@@ -10,10 +10,12 @@ package hio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -410,9 +412,61 @@ func (f *File) Encode() []byte {
 	return w.buf
 }
 
-// Save writes the container to a file.
+// Save writes the container to a file atomically: the bytes land in a
+// temporary file in the same directory, are fsynced, and replace any
+// existing file at path with a single rename. A crash - or an allocation
+// drain that kills the process mid-checkpoint - therefore leaves either
+// the complete old container or the complete new one, never a torn file.
 func (f *File) Save(path string) error {
-	return os.WriteFile(path, f.Encode(), 0o644)
+	return atomicWriteFile(path, f.Encode())
+}
+
+// atomicWriteFile is the temp-file + fsync + rename idiom. The temporary
+// file is created in path's own directory so the rename never crosses a
+// filesystem boundary, and the directory is fsynced afterwards so the
+// rename itself is durable. On failure the temporary file is removed and
+// any cleanup error is joined onto the primary one.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := writeSyncClose(tmp, data); err != nil {
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return errors.Join(err, os.Remove(tmp.Name()))
+	}
+	return syncDir(dir)
+}
+
+// writeSyncClose writes data, forces it to stable storage, sets the
+// container's permanent mode, and closes the file; the file is closed on
+// every path.
+func writeSyncClose(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		return errors.Join(err, d.Close())
+	}
+	return d.Close()
 }
 
 type reader struct {

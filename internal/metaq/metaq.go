@@ -51,6 +51,12 @@ func (p Policy) Dispatch(s *cluster.Sim) []cluster.Start {
 	var starts []cluster.Start
 	for _, id := range s.PendingIDs() {
 		t, _ := s.PendingTask(id)
+		if !s.Admits(t, p.overhead()) {
+			// METAQ's own rule: a task is only launched if it fits in the
+			// remaining allocation, so the batch job ends clean instead of
+			// killing work mid-flight.
+			continue
+		}
 		switch t.Kind {
 		case cluster.GPUTask:
 			per := s.Config().GPUsPerNode

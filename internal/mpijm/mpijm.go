@@ -136,6 +136,12 @@ func (j *Policy) Dispatch(s *cluster.Sim) []cluster.Start {
 
 	for _, id := range s.PendingIDs() {
 		t, _ := s.PendingTask(id)
+		if !s.Admits(t, j.P.SpawnOverhead) {
+			// Admission control: don't start what you can't finish. The
+			// task is left pending; if the allocation ends first it is
+			// reported refused, never stranded mid-flight.
+			continue
+		}
 		switch t.Kind {
 		case cluster.GPUTask:
 			per := cfg.GPUsPerNode

@@ -2,12 +2,14 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
 
 	"femtoverse/internal/cluster"
 	"femtoverse/internal/fault"
+	"femtoverse/internal/metaq"
 	"femtoverse/internal/mpijm"
 )
 
@@ -160,4 +162,107 @@ func TestFaultInjectionMatchesClusterSimulator(t *testing.T) {
 				i, liveFailed, simFailed[i])
 		}
 	}
+}
+
+// TestAdmissionMatchesClusterSimulator holds the live runtime's budget
+// admission and the simulator's allocation admission to the same
+// decisions on a shared plan: tasks sized well inside the allocation are
+// admitted everywhere, tasks sized well outside it are refused
+// everywhere - including their dependents - and the live decision is
+// invariant across worker counts. The plan keeps an order of magnitude
+// between every estimate and the wall so the decisions are properties of
+// the plan, not of scheduling timing.
+func TestAdmissionMatchesClusterSimulator(t *testing.T) {
+	const (
+		nSmall  = 6
+		smallD  = 0.01  // seconds: fits 2s wall with 200x margin
+		bigD    = 100.0 // exceeds the wall 50x: refused everywhere
+		wall    = 2.0
+		monster = nSmall     // ID of the oversized solve
+		dep     = nSmall + 1 // ID of its dependent contraction
+	)
+
+	refusedIn := func(workers int) map[int]bool {
+		t.Helper()
+		var tasks []Task
+		for i := 0; i < nSmall; i++ {
+			tasks = append(tasks, sleepTask(i, Solve, time.Duration(smallD*float64(time.Second))))
+		}
+		big := sleepTask(monster, Solve, time.Duration(bigD*float64(time.Second)))
+		tasks = append(tasks, big)
+		tasks = append(tasks, sleepTask(dep, Contract, time.Millisecond, monster))
+		results, rep, err := Run(context.Background(), Config{
+			SolveWorkers: workers, ContractWorkers: 1,
+			Budget: Budget{WallClock: time.Duration(wall * float64(time.Second)), DrainGrace: 100 * time.Millisecond},
+		}, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Stranded != 0 {
+			t.Fatalf("plan not timing-robust: %d stranded at %d workers", rep.Stranded, workers)
+		}
+		refused := map[int]bool{}
+		for _, r := range results {
+			if errors.Is(r.Err, ErrRefused) {
+				refused[r.Task.ID] = true
+			}
+		}
+		return refused
+	}
+
+	// Simulator: the same IDs and durations on a bounded allocation under
+	// admission control.
+	var simTasks []cluster.Task
+	for i := 0; i < nSmall; i++ {
+		simTasks = append(simTasks, cluster.Task{ID: i, Kind: cluster.GPUTask, GPUs: 1, Seconds: smallD})
+	}
+	simTasks = append(simTasks, cluster.Task{ID: monster, Kind: cluster.GPUTask, GPUs: 1, Seconds: bigD})
+	simTasks = append(simTasks, cluster.Task{
+		ID: dep, Kind: cluster.CPUTask, CPUs: 1, Seconds: 0.001, DependsOn: []int{monster},
+	})
+	// METAQ has zero startup, so the whole simulated allocation is live
+	// dispatch time - matching the pool, whose clock starts at New.
+	simRep, err := cluster.Run(cluster.Config{
+		Nodes: 2, GPUsPerNode: 1, CPUSlotsPerNode: 2, Seed: 1,
+		AllocationSeconds: wall, AdmissionControl: true,
+	}, simTasks, metaq.Policy{LaunchOverhead: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simStarted := map[int]bool{}
+	for _, st := range simRep.PerTask {
+		simStarted[st.Task.ID] = true
+	}
+	simRefused := map[int]bool{}
+	for _, st := range simTasks {
+		if !simStarted[st.ID] {
+			simRefused[st.ID] = true
+		}
+	}
+	if simRep.Refused != len(simRefused) || simRep.StrandedTasks != 0 {
+		t.Fatalf("simulator: %d refused (want %d), %d stranded", simRep.Refused, len(simRefused), simRep.StrandedTasks)
+	}
+
+	want := map[int]bool{monster: true, dep: true}
+	if !mapsEqual(simRefused, want) {
+		t.Fatalf("simulator refused %v, want %v", simRefused, want)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		if got := refusedIn(workers); !mapsEqual(got, want) {
+			t.Fatalf("live runtime at %d workers refused %v, want %v (simulator agrees on %v)",
+				workers, got, want, simRefused)
+		}
+	}
+}
+
+func mapsEqual(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
 }

@@ -43,10 +43,38 @@ type Report struct {
 	// Wall is the busy window: first task start to last task end
 	// (the simulator's makespan minus startup).
 	Wall time.Duration
-	// Tasks counts submitted tasks; Succeeded + Failed == Tasks.
+	// Tasks counts submitted tasks;
+	// Succeeded + Failed + Refused + Stranded == Tasks.
 	Tasks     int
 	Succeeded int
 	Failed    int
+	// Admitted counts tasks that started at least one attempt. Refused
+	// counts tasks the admission controller never started because their
+	// estimate exceeded the remaining allocation (or the pool was
+	// draining); refused work is deliberately left for the next
+	// allocation and is never counted as failed. Stranded counts tasks
+	// whose in-flight attempt was killed by the hard-cancel phase of a
+	// drain - the work the allocation's end actually wasted.
+	Admitted int
+	Refused  int
+	Stranded int
+	// Drained reports whether the pool entered the drain path, with
+	// DrainReason ("budget expired", a signal name, "preempt fault", ...)
+	// and DrainedAt the allocation-elapsed instant it began.
+	Drained     bool
+	DrainReason string
+	DrainedAt   time.Duration
+	// BudgetWall / BudgetUsed / BudgetUtil describe wall-clock budget
+	// consumption: the configured allocation, the span from allocation
+	// start to the last task end, and their ratio (may exceed 1 when the
+	// drain grace runs past the wall). Zero without a budget.
+	BudgetWall time.Duration
+	BudgetUsed time.Duration
+	BudgetUtil float64
+	// EstimateErr is the mean relative error |observed-predicted|/predicted
+	// of the duration estimates over completed attempts: how honest the
+	// admission controller's cost model was this run.
+	EstimateErr float64
 	// FailedAttempts counts failed executions (injected failures,
 	// timeouts, task errors, casualties) including ones that were
 	// retried; the analogue of cluster.Report.Failures.
@@ -124,6 +152,16 @@ func (r Report) String() string {
 	if r.JournalCheckpoints > 0 || r.SolverRestarts > 0 {
 		fmt.Fprintf(&b, "\n  recovery: %d journal checkpoints, %d solver restarts",
 			r.JournalCheckpoints, r.SolverRestarts)
+	}
+	if r.Drained || r.Refused > 0 || r.Stranded > 0 {
+		fmt.Fprintf(&b, "\n  drain: %d admitted, %d refused, %d stranded", r.Admitted, r.Refused, r.Stranded)
+		if r.Drained {
+			fmt.Fprintf(&b, " (%s at %v)", r.DrainReason, r.DrainedAt.Round(time.Millisecond))
+		}
+	}
+	if r.BudgetWall > 0 {
+		fmt.Fprintf(&b, "\n  budget: used %v of %v (%.1f%%), estimate error %.1f%%",
+			r.BudgetUsed.Round(time.Millisecond), r.BudgetWall, 100*r.BudgetUtil, 100*r.EstimateErr)
 	}
 	return b.String()
 }

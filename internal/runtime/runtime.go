@@ -172,6 +172,16 @@ type Config struct {
 	// DefaultCost is the planning estimate in seconds for tasks with
 	// Cost 0 (default 1).
 	DefaultCost float64
+	// Budget is the allocation budget: with WallClock set, the scheduler
+	// refuses to admit tasks whose calibrated duration estimate exceeds
+	// the remaining wall-clock, and drains gracefully at expiry (see
+	// Budget). The zero budget is unbounded.
+	Budget Budget
+	// Preempt, when non-nil, lets the caller fire the drain path from
+	// outside (a SIGTERM handler, an allocation-manager notice): the
+	// first value received drains the pool gracefully with the received
+	// string as the reason, a second value hard-cancels immediately.
+	Preempt <-chan string
 	// Fault is the chaos plan: seeded, typed fault injection keyed by
 	// task identity (see internal/fault). The zero plan injects nothing.
 	Fault fault.Plan
@@ -199,6 +209,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultCost <= 0 {
 		c.DefaultCost = 1
 	}
+	if c.Budget.DrainGrace <= 0 {
+		c.Budget.DrainGrace = time.Second
+	}
 	return c
 }
 
@@ -206,6 +219,9 @@ func (c Config) withDefaults() Config {
 func (c Config) Validate() error {
 	if err := c.Fault.Validate(); err != nil {
 		return fmt.Errorf("runtime: %w", err)
+	}
+	if err := c.Budget.Validate(); err != nil {
+		return err
 	}
 	if c.Fault.Hang > 0 && c.Watchdog <= 0 && c.Timeout <= 0 {
 		return errors.New("runtime: Fault.Hang needs a Watchdog or Timeout to reclaim hung slots")
@@ -238,6 +254,7 @@ type job struct {
 	submitted  time.Time
 	started    time.Time // first execution start
 	estEnd     time.Time // predicted release while running
+	estDur     time.Duration // the prediction behind estEnd (estimate-error accounting)
 	slots      int
 	workers    []int
 	attempts   int
@@ -296,6 +313,18 @@ type Pool struct {
 	unfinished int
 	closed     bool
 
+	// Allocation-budget state: the allocation clock starts at New; the
+	// estimator calibrates admission decisions online; drainLevel walks
+	// drainNone -> drainSoft -> drainHard (see budget.go).
+	t0          time.Time
+	est         estimator
+	drainLevel  drainPhase
+	drainReason string
+	drainedAt   time.Duration
+	hardCh      chan struct{} // closed at hard cancel; unblocks retry backoff
+	budgetTimer *time.Timer
+	graceTimer  *time.Timer
+
 	firstStart       time.Time
 	lastEnd          time.Time
 	busy             [numClasses]time.Duration
@@ -331,6 +360,8 @@ func New(ctx context.Context, cfg Config) (*Pool, error) {
 		jobs:       map[int]*job{},
 		waiters:    map[int][]*job{},
 		runningSet: map[*job]struct{}{},
+		t0:         time.Now(),
+		hardCh:     make(chan struct{}),
 	}
 	p.room = sync.NewCond(&p.mu)
 	p.idle = sync.NewCond(&p.mu)
@@ -356,6 +387,35 @@ func New(ctx context.Context, cfg Config) (*Pool, error) {
 		p.idle.Broadcast()
 		p.mu.Unlock()
 	}()
+	// The allocation clock: at WallClock the pool drains itself, exactly
+	// as if the batch system had reclaimed the nodes.
+	if cfg.Budget.Enabled() {
+		p.budgetTimer = time.AfterFunc(cfg.Budget.WallClock, func() { p.Drain("budget expired") })
+	}
+	// External preemption notices land on the same drain path.
+	if cfg.Preempt != nil {
+		go func() {
+			select {
+			case reason, ok := <-cfg.Preempt:
+				if !ok {
+					return
+				}
+				if reason == "" {
+					reason = "preempted"
+				}
+				p.Drain(reason)
+			case <-pctx.Done():
+				return
+			}
+			select {
+			case _, ok := <-cfg.Preempt:
+				if ok {
+					p.hardCancel()
+				}
+			case <-pctx.Done():
+			}
+		}()
+	}
 	return p, nil
 }
 
@@ -450,6 +510,21 @@ func (p *Pool) Submit(t Task) error {
 		p.finishLocked(j, nil, depErr, false)
 		return nil
 	}
+	// Admission control at the door: a draining pool starts nothing new,
+	// and a budgeted pool refuses outright any task whose calibrated
+	// estimate already exceeds the remaining allocation - remaining time
+	// only shrinks, so the refusal could never have been reversed.
+	if p.drainLevel > drainNone {
+		p.finishLocked(j, nil, fmt.Errorf("%w (draining: %s)", ErrRefused, p.drainReason), false)
+		return nil
+	}
+	if p.cfg.Budget.Enabled() {
+		if est := p.est.predict(t.Class, p.nominalCost(j)); est > p.remainingLocked(time.Now()) {
+			p.finishLocked(j, nil, fmt.Errorf("%w: estimated %v exceeds remaining allocation",
+				ErrRefused, est.Round(time.Millisecond)), false)
+			return nil
+		}
+	}
 	if j.depsLeft == 0 {
 		p.enqueueLocked(j)
 	}
@@ -532,13 +607,17 @@ func (p *Pool) Wait() ([]Result, Report, error) {
 		}
 		p.idle.Wait()
 	}
+	p.stopTimersLocked()
 	results, rep := p.collectLocked()
 	p.mu.Unlock()
 	p.cancel()
 
+	// Refused and stranded tasks are not failures: the allocation ended
+	// before they could run (or finish), which is the drain working as
+	// designed - a journaled campaign picks them up next run.
 	var firstErr error
 	for _, r := range results {
-		if r.Err != nil {
+		if r.Err != nil && !errors.Is(r.Err, ErrRefused) && !errors.Is(r.Err, ErrStranded) {
 			firstErr = fmt.Errorf("runtime: task %d (%s): %w", r.Task.ID, r.Task.Name, r.Err)
 			break
 		}
@@ -608,12 +687,16 @@ func Run(ctx context.Context, cfg Config, tasks []Task) ([]Result, Report, error
 	return p.Wait()
 }
 
+// costOf is the planning estimate for a job's next attempt. Under a
+// budget it is the estimator's calibrated prediction, so both backfill
+// planning and admission control sharpen as attempts complete; without a
+// budget it is the raw nominal cost, preserving the documented contract
+// that estimates steer schedule quality only.
 func (p *Pool) costOf(j *job) time.Duration {
-	c := j.t.Cost
-	if c <= 0 {
-		c = p.cfg.DefaultCost
+	if p.cfg.Budget.Enabled() {
+		return p.est.predict(j.t.Class, p.nominalCost(j))
 	}
-	return time.Duration(c * float64(time.Second))
+	return time.Duration(p.nominalCost(j) * float64(time.Second))
 }
 
 // dispatchLocked starts every task the schedule admits right now.
@@ -628,13 +711,21 @@ func (p *Pool) dispatchLocked() {
 }
 
 // dispatchOneLocked starts at most one task of the class: the queue head
-// if it fits, otherwise the first admissible backfill candidate.
+// if it fits, otherwise the first admissible backfill candidate. A
+// draining pool starts nothing; a budgeted pool first refuses queued
+// tasks that can no longer fit the remaining allocation.
 func (p *Pool) dispatchOneLocked(cls Class) bool {
+	if p.drainLevel > drainNone {
+		return false
+	}
+	now := time.Now()
+	if p.cfg.Budget.Enabled() {
+		p.admitLocked(cls, now)
+	}
 	q := p.ready[cls]
 	if len(q) == 0 {
 		return false
 	}
-	now := time.Now()
 	head := q[0]
 	if head.slots <= p.free[cls] {
 		p.ready[cls] = q[1:]
@@ -683,7 +774,8 @@ func (p *Pool) startLocked(j *job, now time.Time, backfilled bool) {
 	if j.started.IsZero() {
 		j.started = now
 	}
-	j.estEnd = now.Add(p.costOf(j))
+	j.estDur = p.costOf(j)
+	j.estEnd = now.Add(j.estDur)
 	j.backfilled = backfilled
 	if backfilled {
 		p.backfills++
@@ -789,6 +881,15 @@ func (p *Pool) execute(j *job) {
 		j.domainKilled = false
 		j.attemptCancel = cancel
 		fk := p.injector.Draw(j.t.ID, j.injKey+1)
+		drawn := fk
+		if fk == fault.Preempt {
+			// The allocation is preempted at this injected instant: the
+			// whole pool drains, but the drawing attempt itself is not a
+			// failure - it races the grace period like every other
+			// in-flight attempt.
+			p.drainLocked("preempt fault")
+			fk = fault.None
+		}
 		p.mu.Unlock()
 
 		t0 := time.Now()
@@ -833,9 +934,9 @@ func (p *Pool) execute(j *job) {
 			p.failedAttempts++
 		} else {
 			j.injKey++
-			if fk != fault.None {
-				p.faults.Add(fk)
-				j.injected = append(j.injected, fk)
+			if drawn != fault.None {
+				p.faults.Add(drawn)
+				j.injected = append(j.injected, drawn)
 			}
 			if out.panicked {
 				p.recoveredPanics++
@@ -846,11 +947,19 @@ func (p *Pool) execute(j *job) {
 			if err != nil {
 				j.failCount++
 				p.failedAttempts++
+			} else {
+				// A clean completion calibrates the class's cost
+				// estimates for admission control and backfill planning.
+				p.est.observe(j.t.Class, p.nominalCost(j), j.estDur, dt)
 			}
 			if fk == fault.DomainLoss {
 				p.killDomainLocked(j)
 			}
 		}
+
+		// Past the grace period, a failed in-flight attempt is stranded:
+		// the allocation is over, nothing retries.
+		stranded := p.drainLevel >= drainHard && err != nil
 
 		benched := false
 		if !casualty {
@@ -858,17 +967,25 @@ func (p *Pool) execute(j *job) {
 			// nothing wrong, its domain died around it.
 			benched = p.noteAttemptWorkersLocked(j, err != nil)
 		}
-		retry := err != nil && p.ctx.Err() == nil &&
+		retry := !stranded && err != nil && p.ctx.Err() == nil &&
 			(casualty || j.failCount <= maxRetries)
 		requeue := retry && benched
 		if requeue {
 			// A worker of this job was just quarantined: release the
-			// remaining healthy workers and send the job back to the
-			// ready queue so it is re-routed, mpi_jm-style.
+			// remaining healthy workers and - unless the pool is
+			// draining, in which case the freed slots must not pick up
+			// new work - send the job back to the ready queue so it is
+			// re-routed, mpi_jm-style. During a drain the job is refused
+			// instead, with its slots released first so drain accounting
+			// never counts a benched worker as busy.
 			p.requeues++
 			p.releaseWorkersLocked(j)
-			j.state = jobReady
-			p.enqueueLocked(j)
+			if p.drainLevel > drainNone {
+				p.finishLocked(j, nil, fmt.Errorf("%w (draining: %s)", ErrRefused, p.drainReason), false)
+			} else {
+				j.state = jobReady
+				p.enqueueLocked(j)
+			}
 			p.dispatchLocked()
 			p.mu.Unlock()
 			return
@@ -876,6 +993,10 @@ func (p *Pool) execute(j *job) {
 		p.mu.Unlock()
 
 		if !retry {
+			if stranded {
+				err = fmt.Errorf("%w: %v", ErrStranded, err)
+				value = nil
+			}
 			p.mu.Lock()
 			p.finishLocked(j, value, err, true)
 			p.dispatchLocked()
@@ -885,6 +1006,7 @@ func (p *Pool) execute(j *job) {
 		if !casualty {
 			select {
 			case <-time.After(p.retryDelay(j.t.ID, j.failCount)):
+			case <-p.hardCh:
 			case <-p.ctx.Done():
 			}
 		}
@@ -895,6 +1017,16 @@ func (p *Pool) execute(j *job) {
 			p.mu.Unlock()
 			return
 		}
+		p.mu.Lock()
+		if p.drainLevel >= drainHard {
+			// Hard cancel arrived while this task waited out its retry
+			// backoff: its slots are still held, the allocation is over.
+			p.finishLocked(j, nil, fmt.Errorf("%w: %v", ErrStranded, err), true)
+			p.dispatchLocked()
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
 	}
 }
 
@@ -1070,14 +1202,20 @@ func (p *Pool) collectLocked() ([]Result, Report) {
 				rep.MaxQueueWait = m.QueueWait
 			}
 		}
-		if j.err != nil {
-			rep.Failed++
-		} else {
+		switch {
+		case j.err == nil:
 			rep.Succeeded++
+		case errors.Is(j.err, ErrRefused):
+			rep.Refused++
+		case errors.Is(j.err, ErrStranded):
+			rep.Stranded++
+		default:
+			rep.Failed++
 		}
 		results[i] = Result{Task: j.t, Value: j.value, Err: j.err, Metrics: m}
 		rep.PerTask = append(rep.PerTask, m)
 	}
+	rep.Admitted = started
 	if started > 0 {
 		rep.MeanQueueWait = waitSum / time.Duration(started)
 	}
@@ -1085,6 +1223,19 @@ func (p *Pool) collectLocked() ([]Result, Report) {
 		rep.Wall = p.lastEnd.Sub(p.firstStart)
 		rep.SolveUtil = float64(p.busy[Solve]) / (float64(p.cfg.SolveWorkers) * float64(rep.Wall))
 		rep.ContractUtil = float64(p.busy[Contract]) / (float64(p.cfg.ContractWorkers) * float64(rep.Wall))
+	}
+	rep.Drained = p.drainLevel > drainNone
+	rep.DrainReason = p.drainReason
+	rep.DrainedAt = p.drainedAt
+	rep.EstimateErr = p.est.meanErr()
+	if p.cfg.Budget.Enabled() {
+		rep.BudgetWall = p.cfg.Budget.WallClock
+		used := time.Since(p.t0)
+		if !p.lastEnd.IsZero() {
+			used = p.lastEnd.Sub(p.t0)
+		}
+		rep.BudgetUsed = used
+		rep.BudgetUtil = float64(used) / float64(p.cfg.Budget.WallClock)
 	}
 	return results, rep
 }
