@@ -236,8 +236,8 @@ func benchAutotune(b *testing.B, enabled bool) {
 	src := make([]complex128, w.Size())
 	src[0] = 1
 	tn := autotune.New()
-	tn.Enabled = enabled
-	tn.Reps = 1
+	tn.SetEnabled(enabled)
+	tn.SetReps(1)
 	k := &dslashTunable{w: w, src: src, dst: make([]complex128, w.Size())}
 	tn.Execute(k) // tune (or not) outside the timed loop
 	b.ResetTimer()

@@ -19,15 +19,63 @@ import (
 	"femtoverse/internal/core"
 	"femtoverse/internal/dirac"
 	"femtoverse/internal/hio"
+	"femtoverse/internal/obs"
 	jobrt "femtoverse/internal/runtime"
 	"femtoverse/internal/solver"
 )
 
-// printReport prints the runtime's utilization report when one exists.
-func printReport(rep *jobrt.Report) {
-	if rep != nil {
-		fmt.Println(rep)
+// obsSinks bundles the optional observability outputs selected on the
+// command line. The zero value (no flags) is fully uninstrumented.
+type obsSinks struct {
+	cfg       core.ObsConfig
+	tracePath string
+}
+
+// newObsSinks builds the sinks the flags asked for.
+func newObsSinks(metrics bool, tracePath string) obsSinks {
+	s := obsSinks{tracePath: tracePath}
+	if metrics {
+		s.cfg.Metrics = obs.NewRegistry()
 	}
+	if tracePath != "" {
+		s.cfg.Trace = obs.NewTracer(nil)
+	}
+	return s
+}
+
+// printReport prints the runtime's utilization report when one exists,
+// plus the live utilization timeline when metrics are on.
+func (s obsSinks) printReport(rep *jobrt.Report) {
+	if rep == nil {
+		return
+	}
+	fmt.Println(rep)
+	if s.cfg.Metrics != nil && len(rep.Timeline.Buckets) > 0 {
+		fmt.Print(rep.Timeline.Render())
+	}
+}
+
+// flush emits the metrics snapshot to stdout and the Chrome trace to the
+// requested file once the campaign is over.
+func (s obsSinks) flush() error {
+	if s.cfg.Metrics != nil {
+		fmt.Print(s.cfg.Metrics.Snapshot().Text())
+	}
+	if s.cfg.Trace != nil && s.tracePath != "" {
+		f, err := os.Create(s.tracePath)
+		if err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		err = s.cfg.Trace.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace output: %w", err)
+		}
+		fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing)\n", s.tracePath)
+	}
+	return nil
 }
 
 // watchSignals installs the SIGINT/SIGTERM handler. In graceful mode the
@@ -79,6 +127,8 @@ func main() {
 		journal    = flag.String("journal", "", "campaign write-ahead journal: resume if it exists, run every remaining configuration, log each as it finishes")
 		walltime   = flag.Duration("walltime", 0, "journal mode: allocation wall clock; the runtime refuses work that cannot finish and drains at expiry (0 = unbounded)")
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "journal mode: how long in-flight solves may keep running once a drain begins")
+		metrics    = flag.Bool("metrics", false, "print a metrics snapshot (runtime counters, solver work, utilization timeline) after the run; needs -workers")
+		traceOut   = flag.String("trace", "", "write a Chrome trace of the campaign to this file (open in Perfetto); needs -workers")
 	)
 	flag.Parse()
 
@@ -94,6 +144,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gasolve: -journal and -checkpoint are mutually exclusive")
 		os.Exit(2)
 	}
+	if (*metrics || *traceOut != "") && *workers < 1 {
+		fmt.Fprintln(os.Stderr, "gasolve: -metrics and -trace instrument the concurrent pipeline; add -workers N")
+		os.Exit(2)
+	}
+	sinks := newObsSinks(*metrics, *traceOut)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -113,7 +168,7 @@ func main() {
 
 	if *journal != "" {
 		if err := runJournaled(ctx, *journal, *workers,
-			jobrt.Budget{WallClock: *walltime, DrainGrace: *drainGrace}, preempt, spec); err != nil {
+			jobrt.Budget{WallClock: *walltime, DrainGrace: *drainGrace}, preempt, spec, sinks); err != nil {
 			fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 			os.Exit(1)
 		}
@@ -121,7 +176,7 @@ func main() {
 	}
 
 	if *checkpoint != "" {
-		if err := runCheckpointed(ctx, *checkpoint, *batch, *workers, spec); err != nil {
+		if err := runCheckpointed(ctx, *checkpoint, *batch, *workers, spec, sinks); err != nil {
 			fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 			os.Exit(1)
 		}
@@ -150,12 +205,16 @@ func main() {
 	var err error
 	if *workers > 0 {
 		var rep *jobrt.Report
-		res, rep, err = core.RunRealConcurrent(ctx, spec, *workers)
-		printReport(rep)
+		res, rep, err = core.RunRealConcurrentObs(ctx, spec, *workers, sinks.cfg)
+		sinks.printReport(rep)
 	} else {
 		res, err = core.RunReal(spec)
 	}
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
+		os.Exit(1)
+	}
+	if err := sinks.flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 		os.Exit(1)
 	}
@@ -172,7 +231,7 @@ func main() {
 // at expiry or on SIGINT/SIGTERM, and every finished configuration is
 // durable in the journal - so simply re-running the same command resumes
 // from where the previous allocation stopped, bit-for-bit.
-func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Budget, preempt <-chan string, spec core.RealConfig) error {
+func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Budget, preempt <-chan string, spec core.RealConfig, sinks obsSinks) error {
 	var (
 		camp *core.Campaign
 		j    *core.Journal
@@ -195,12 +254,16 @@ func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Bu
 	if workers < 1 {
 		workers = 1
 	}
+	camp.Obs = sinks.cfg
 	n, rep, err := camp.RunBatchConcurrentBudgeted(ctx, camp.Spec.NConfigs, workers, j, budget, preempt)
-	printReport(rep)
+	sinks.printReport(rep)
 	if cerr := j.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
 	if err != nil {
+		return err
+	}
+	if err := sinks.flush(); err != nil {
 		return err
 	}
 	fmt.Printf("measured %d configurations this allocation (%d/%d total)\n",
@@ -224,7 +287,7 @@ func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Bu
 // runCheckpointed resumes (or starts) a persistent campaign, measures one
 // batch, saves, and reports progress - the pattern a real allocation-by-
 // allocation campaign uses.
-func runCheckpointed(ctx context.Context, path string, batch, workers int, spec core.RealConfig) error {
+func runCheckpointed(ctx context.Context, path string, batch, workers int, spec core.RealConfig, sinks obsSinks) error {
 	var camp *core.Campaign
 	if file, err := hio.Load(path); err == nil {
 		camp, err = core.LoadCampaign(file.Root())
@@ -239,13 +302,17 @@ func runCheckpointed(ctx context.Context, path string, batch, workers int, spec 
 	var n int
 	var err error
 	if workers > 0 {
+		camp.Obs = sinks.cfg
 		var rep *jobrt.Report
 		n, rep, err = camp.RunBatchConcurrent(ctx, batch, workers)
-		printReport(rep)
+		sinks.printReport(rep)
 	} else {
 		n, err = camp.RunBatch(batch)
 	}
 	if err != nil {
+		return err
+	}
+	if err := sinks.flush(); err != nil {
 		return err
 	}
 	fmt.Printf("measured %d configurations this invocation (%d/%d total)\n",

@@ -19,14 +19,17 @@ import (
 	"strings"
 
 	"femtoverse/internal/figures"
+	"femtoverse/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
-		quick  = flag.Bool("quick", false, "reduced statistics for fast runs")
-		list   = flag.Bool("list", false, "list available experiments")
-		outDir = flag.String("out", "", "also write each experiment to <out>/<name>.txt")
+		exp      = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+		quick    = flag.Bool("quick", false, "reduced statistics for fast runs")
+		list     = flag.Bool("list", false, "list available experiments")
+		outDir   = flag.String("out", "", "also write each experiment to <out>/<name>.txt")
+		metrics  = flag.Bool("metrics", false, "print a metrics snapshot (per-experiment wall time) after the run")
+		traceOut = flag.String("trace", "", "write a Chrome trace of the experiment runs to this file (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -48,15 +51,39 @@ func main() {
 		}
 	}
 
+	// Observability is opt-in and fully out of the measurement loop: the
+	// span brackets a whole experiment, so enabling it cannot perturb the
+	// kernels an experiment is timing.
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if *traceOut != "" || *metrics {
+		// The tracer doubles as the metrics clock; it is only exported
+		// when -trace names a file.
+		tr = obs.NewTracer(nil)
+		tr.SetProcessName(0, "latbench experiments")
+	}
+	sc := obs.NewScope(tr, 0, 0)
+	expSeconds := reg.Histogram("latbench.experiment_seconds", nil)
+
 	names := figures.Names()
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
 	for _, name := range names {
+		span := sc.Begin("experiment", strings.TrimSpace(name), nil)
+		t0 := tr.Now()
 		res, err := figures.Run(strings.TrimSpace(name), *quick)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "latbench: %v\n", err)
 			os.Exit(1)
+		}
+		span.End()
+		if reg != nil {
+			reg.Counter("latbench.experiments").Inc()
+			expSeconds.Observe(tr.Now().Sub(t0).Seconds())
 		}
 		body := fmt.Sprintf("==== %s: %s ====\n%s\n", res.Name(), res.Title(), res.Render())
 		fmt.Print(body)
@@ -67,5 +94,22 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if reg != nil {
+		fmt.Print(reg.Snapshot().Text())
+	}
+	if tr != nil && *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tr.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latbench: trace output: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 }

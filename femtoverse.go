@@ -44,6 +44,7 @@ import (
 	"femtoverse/internal/machine"
 	"femtoverse/internal/metaq"
 	"femtoverse/internal/mpijm"
+	"femtoverse/internal/obs"
 	"femtoverse/internal/perfmodel"
 	"femtoverse/internal/physics"
 	"femtoverse/internal/prop"
@@ -463,6 +464,42 @@ func RunJobs(ctx context.Context, cfg JobConfig, tasks []JobTask) ([]JobResult, 
 // in flight, plus the runtime's utilization report.
 func RunRealPipelineConcurrent(ctx context.Context, cfg RealPipelineConfig, workers int) (*RealPipelineResult, *JobReport, error) {
 	return core.RunRealConcurrent(ctx, cfg, workers)
+}
+
+// Observability: the dependency-free metrics registry and span tracer
+// that the job runtime, the solvers and the autotuner report into. Both
+// are strictly opt-in - a nil registry or tracer is a no-op - and
+// attaching them never changes the physics.
+type (
+	// MetricsRegistry is a registry of named counters, gauges and
+	// histograms with deterministic snapshots.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is one point-in-time dump of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records spans and instants against an injected clock and
+	// exports Chrome trace_event JSON (Perfetto, chrome://tracing).
+	Tracer = obs.Tracer
+	// TraceScope addresses one (pid, tid) lane of a Tracer.
+	TraceScope = obs.Scope
+	// TraceClock is a Tracer's injected time source.
+	TraceClock = obs.Clock
+	// CampaignObs bundles the sinks a campaign driver threads through
+	// the runtime into the solvers.
+	CampaignObs = core.ObsConfig
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer on the given clock (nil selects the wall
+// clock; obs.StepClock gives deterministic replay traces).
+func NewTracer(clock TraceClock) *Tracer { return obs.NewTracer(clock) }
+
+// RunRealPipelineConcurrentObs is RunRealPipelineConcurrent with
+// observability sinks attached: campaign/attempt/solver spans land in
+// the tracer and the runtime and solver-work counters in the registry.
+func RunRealPipelineConcurrentObs(ctx context.Context, cfg RealPipelineConfig, workers int, sinks CampaignObs) (*RealPipelineResult, *JobReport, error) {
+	return core.RunRealConcurrentObs(ctx, cfg, workers, sinks)
 }
 
 // Workflow and I/O.

@@ -13,11 +13,15 @@ package autotune
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"femtoverse/internal/obs"
 )
 
 // Key identifies a tuned kernel: its name, the problem geometry, and any
@@ -39,12 +43,19 @@ type LaunchParams struct {
 
 // Entry is a cache record: the winning parameters plus metadata.
 type Entry struct {
-	Params   LaunchParams  `json:"params"`
-	Time     time.Duration `json:"time"`     // best measured time
-	GFLOPS   float64       `json:"gflops"`   // derived from Flops metadata
-	Tried    int           `json:"tried"`    // candidates examined
-	TunedAt  time.Time     `json:"tuned_at"` // when the search ran
-	Comments string        `json:"comments,omitempty"`
+	Params LaunchParams `json:"params"`
+	// Time is the best measured time for timed searches. For modelled
+	// searches (SearchModelled) it instead encodes the unit-less model
+	// cost as cost seconds, clamped to [0, MaxInt64] nanoseconds.
+	Time   time.Duration `json:"time"`
+	GFLOPS float64       `json:"gflops"` // derived from Flops metadata
+	// Tried counts candidates examined; Runs counts total kernel
+	// executions during the search (one warm-up plus reps per candidate),
+	// which is what the search actually cost.
+	Tried    int       `json:"tried"`
+	Runs     int       `json:"runs,omitempty"`
+	TunedAt  time.Time `json:"tuned_at"` // when the search ran
+	Comments string    `json:"comments,omitempty"`
 }
 
 // Tunable is the contract a kernel implements to be autotuned, mirroring
@@ -61,20 +72,121 @@ type Tunable interface {
 	PostTune()
 }
 
-// Tuner owns the cache. It is safe for concurrent use.
+// Tuner owns the cache. It is safe for concurrent use: cache lookups are
+// mutex-guarded, and cold-key searches are singleflighted so N workers
+// hitting the same un-tuned kernel perform exactly one search instead of
+// N concurrent ones timing candidates against each other's load.
 type Tuner struct {
-	mu    sync.Mutex
-	cache map[Key]Entry
-	// Reps is how many timed repetitions each candidate gets (best of).
-	Reps int
-	// Enabled false bypasses tuning and always uses the first candidate,
-	// supporting the ablation benchmarks.
-	Enabled bool
+	mu       sync.Mutex
+	cache    map[Key]Entry
+	inflight map[Key]*flight
+
+	reps    atomic.Int64
+	enabled atomic.Bool
+
+	obsMu   sync.Mutex
+	metrics *obs.Registry
+	scope   obs.Scope
+}
+
+// flight is one in-progress search; waiters block on done. ok is false if
+// the searcher panicked, in which case waiters retry (and may search).
+type flight struct {
+	done chan struct{}
+	e    Entry
+	ok   bool
 }
 
 // New returns an enabled tuner with an empty cache.
 func New() *Tuner {
-	return &Tuner{cache: make(map[Key]Entry), Reps: 3, Enabled: true}
+	t := &Tuner{cache: make(map[Key]Entry), inflight: make(map[Key]*flight)}
+	t.reps.Store(3)
+	t.enabled.Store(true)
+	return t
+}
+
+// Reps is how many timed repetitions each candidate gets (best of).
+// Race-safe; defaults to 3.
+func (t *Tuner) Reps() int { return int(t.reps.Load()) }
+
+// SetReps sets the per-candidate repetition count (values < 1 clamp to 1
+// at search time).
+func (t *Tuner) SetReps(n int) { t.reps.Store(int64(n)) }
+
+// Enabled reports whether tuning is active. When false, Execute bypasses
+// the search and always runs the first candidate, supporting the ablation
+// benchmarks. Race-safe; defaults to true.
+func (t *Tuner) Enabled() bool { return t.enabled.Load() }
+
+// SetEnabled toggles tuning.
+func (t *Tuner) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// SetObserver attaches a metrics registry and trace scope: each completed
+// search records counters and per-kernel GFLOPS gauges into the registry
+// and an instant event on the scope. Either may be nil/zero (no-op).
+func (t *Tuner) SetObserver(reg *obs.Registry, sc obs.Scope) {
+	t.obsMu.Lock()
+	t.metrics = reg
+	t.scope = sc
+	t.obsMu.Unlock()
+}
+
+// observeSearch publishes one finished search to the attached observer.
+func (t *Tuner) observeSearch(key Key, e Entry) {
+	t.obsMu.Lock()
+	reg, sc := t.metrics, t.scope
+	t.obsMu.Unlock()
+	reg.Counter("autotune.searches").Inc()
+	reg.Counter("autotune.kernel_runs").Add(int64(e.Runs))
+	if e.GFLOPS > 0 {
+		reg.Gauge("autotune.gflops."+key.Kernel).Set(e.GFLOPS)
+	}
+	sc.Instant("autotune", "search", map[string]interface{}{
+		"key":     key.String(),
+		"workers": e.Params.Workers,
+		"block":   e.Params.Block,
+		"tried":   e.Tried,
+		"gflops":  e.GFLOPS,
+	})
+}
+
+// lookupOrSearch returns the cached entry for key, or runs search exactly
+// once across all concurrent callers (per-key singleflight) and caches its
+// result. If the searcher panics, waiters wake and retry — one of them
+// becomes the next searcher — while the panic propagates to the caller
+// that ran the search.
+func (t *Tuner) lookupOrSearch(key Key, search func() Entry) Entry {
+	for {
+		t.mu.Lock()
+		if e, ok := t.cache[key]; ok {
+			t.mu.Unlock()
+			return e
+		}
+		if f, ok := t.inflight[key]; ok {
+			t.mu.Unlock()
+			<-f.done
+			if f.ok {
+				return f.e
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		t.inflight[key] = f
+		t.mu.Unlock()
+
+		defer func() {
+			t.mu.Lock()
+			delete(t.inflight, key)
+			if f.ok {
+				t.cache[key] = f.e
+			}
+			t.mu.Unlock()
+			close(f.done)
+		}()
+		f.e = search()
+		f.ok = true
+		return f.e
+	}
 }
 
 // Lookup returns the cached entry, if any.
@@ -95,52 +207,45 @@ func (t *Tuner) Len() int {
 // Execute runs the tunable with its optimal launch parameters, performing
 // the brute-force search on a cache miss (with PreTune/PostTune wrapped
 // around the timing runs, as QUDA does for data-destructive kernels).
+// Concurrent calls on the same cold key perform exactly one search.
 func (t *Tuner) Execute(k Tunable) LaunchParams {
 	key := k.Key()
 	cands := k.Candidates()
 	if len(cands) == 0 {
 		panic("autotune: tunable offered no candidates")
 	}
-	if !t.Enabled {
+	if !t.Enabled() {
 		k.Run(cands[0])
 		return cands[0]
 	}
-	if e, ok := t.Lookup(key); ok {
-		k.Run(e.Params)
-		return e.Params
-	}
-	e := t.search(k, cands)
-	t.mu.Lock()
-	t.cache[key] = e
-	t.mu.Unlock()
+	e := t.lookupOrSearch(key, func() Entry { return t.search(key, k, cands) })
 	k.Run(e.Params)
 	return e.Params
 }
 
 // Tune performs the search without executing afterwards and caches the
-// result; it returns the winning entry.
+// result; it returns the winning entry. Singleflighted like Execute.
 func (t *Tuner) Tune(k Tunable) Entry {
 	key := k.Key()
-	if e, ok := t.Lookup(key); ok {
-		return e
-	}
-	e := t.search(k, k.Candidates())
-	t.mu.Lock()
-	t.cache[key] = e
-	t.mu.Unlock()
-	return e
+	return t.lookupOrSearch(key, func() Entry { return t.search(key, k, k.Candidates()) })
 }
 
-func (t *Tuner) search(k Tunable, cands []LaunchParams) Entry {
-	reps := t.Reps
+func (t *Tuner) search(key Key, k Tunable, cands []LaunchParams) Entry {
+	if len(cands) == 0 {
+		panic("autotune: tunable offered no candidates")
+	}
+	reps := t.Reps()
 	if reps < 1 {
 		reps = 1
 	}
 	k.PreTune()
 	defer k.PostTune()
 	best := Entry{Time: time.Duration(1<<62 - 1), Tried: len(cands)}
-	// Warm up once so first-touch costs do not bias candidate 0.
+	// Warm up once so first-touch costs do not bias candidate 0. The
+	// warm-up is counted in Runs (it happened) but not in Tried (no
+	// candidate was examined by it).
 	k.Run(cands[0])
+	runs := 1
 	for _, c := range cands {
 		var fastest time.Duration = 1<<62 - 1
 		for r := 0; r < reps; r++ {
@@ -150,44 +255,65 @@ func (t *Tuner) search(k Tunable, cands []LaunchParams) Entry {
 				fastest = d
 			}
 		}
+		runs += reps
 		if fastest < best.Time {
 			best.Time = fastest
 			best.Params = c
 		}
 	}
+	best.Runs = runs
 	if s := best.Time.Seconds(); s > 0 {
 		best.GFLOPS = float64(k.Flops()) / s / 1e9
 	}
 	best.TunedAt = time.Now()
+	t.observeSearch(key, best)
 	return best
+}
+
+// modelCostDuration encodes a unit-less model cost in the Entry.Time slot
+// as cost seconds. The model cost has no time dimension — the field is
+// reused so modelled and measured entries share one cache record — so the
+// encoding clamps rather than overflows: NaN and non-positive costs map to
+// 0, and costs beyond the int64 nanosecond range (~292 model-years)
+// saturate at the maximum Duration instead of wrapping negative.
+func modelCostDuration(cost float64) time.Duration {
+	sec := cost * float64(time.Second)
+	if math.IsNaN(sec) || sec <= 0 {
+		return 0
+	}
+	if sec >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(sec)
 }
 
 // SearchModelled is the communication-policy variant: instead of timing
 // real runs it minimises a caller-supplied cost model, so the same keyed
 // cache serves the paper's communication-policy autotuning where the
-// "measurement" is the modelled exchange time.
+// "measurement" is the modelled exchange time. Singleflighted like
+// Execute, so concurrent callers evaluate the model once per key.
 func (t *Tuner) SearchModelled(key Key, cands []LaunchParams, cost func(LaunchParams) float64) LaunchParams {
 	if len(cands) == 0 {
 		panic("autotune: no candidates")
 	}
-	if e, ok := t.Lookup(key); ok {
-		return e.Params
-	}
-	best, bestCost := cands[0], cost(cands[0])
-	for _, c := range cands[1:] {
-		if v := cost(c); v < bestCost {
-			best, bestCost = c, v
+	e := t.lookupOrSearch(key, func() Entry {
+		best, bestCost := cands[0], cost(cands[0])
+		for _, c := range cands[1:] {
+			if v := cost(c); v < bestCost {
+				best, bestCost = c, v
+			}
 		}
-	}
-	t.mu.Lock()
-	t.cache[key] = Entry{
-		Params:  best,
-		Time:    time.Duration(bestCost * float64(time.Second)),
-		Tried:   len(cands),
-		TunedAt: time.Now(),
-	}
-	t.mu.Unlock()
-	return best
+		e := Entry{
+			Params:   best,
+			Time:     modelCostDuration(bestCost),
+			Tried:    len(cands),
+			TunedAt:  time.Now(),
+			Comments: "modelled",
+		}
+		t.observeSearch(key, e)
+		return e
+	})
+	return e.Params
 }
 
 // DefaultCandidates enumerates the standard launch-parameter grid:

@@ -48,7 +48,7 @@ func newFake(name string) *fakeKernel {
 
 func TestTunerFindsOptimum(t *testing.T) {
 	tn := New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	k := newFake("dslash")
 	got := tn.Execute(k)
 	if got != k.best {
@@ -61,7 +61,7 @@ func TestTunerFindsOptimum(t *testing.T) {
 
 func TestTunerCachesAfterFirstEncounter(t *testing.T) {
 	tn := New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	k := newFake("dslash")
 	tn.Execute(k)
 	runsAfterSearch := k.runs
@@ -80,7 +80,7 @@ func TestTunerCachesAfterFirstEncounter(t *testing.T) {
 
 func TestTunerDisabledUsesFirstCandidate(t *testing.T) {
 	tn := New()
-	tn.Enabled = false
+	tn.SetEnabled(false)
 	k := newFake("dslash")
 	got := tn.Execute(k)
 	if got != k.cands[0] {
@@ -93,7 +93,7 @@ func TestTunerDisabledUsesFirstCandidate(t *testing.T) {
 
 func TestDistinctKeysTunedSeparately(t *testing.T) {
 	tn := New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	a := newFake("dslash")
 	b := newFake("axpy") // different kernel name -> different key
 	tn.Execute(a)
@@ -108,7 +108,7 @@ func TestDistinctKeysTunedSeparately(t *testing.T) {
 
 func TestEntryMetadata(t *testing.T) {
 	tn := New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	k := newFake("dslash")
 	e := tn.Tune(k)
 	if e.Tried != len(k.cands) {
@@ -126,7 +126,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "tunecache.json")
 	tn := New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	k := newFake("dslash")
 	tn.Tune(k)
 	if err := tn.Save(path); err != nil {
@@ -202,7 +202,7 @@ func TestDefaultCandidatesCoverWorkerRange(t *testing.T) {
 
 func TestReportListsEntries(t *testing.T) {
 	tn := New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	tn.Tune(newFake("dslash"))
 	tn.Tune(newFake("axpy"))
 	r := tn.Report()
@@ -213,7 +213,7 @@ func TestReportListsEntries(t *testing.T) {
 
 func TestTunerConcurrentExecuteIsSafe(t *testing.T) {
 	tn := New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)

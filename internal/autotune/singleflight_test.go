@@ -1,0 +1,249 @@
+package autotune
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"femtoverse/internal/obs"
+)
+
+// countingKernel is a Tunable shared across goroutines: every hook counts
+// atomically, so the singleflight tests can assert exactly how many
+// searches actually ran under -race.
+type countingKernel struct {
+	key      Key
+	cands    []LaunchParams
+	runs     atomic.Int64
+	preTunes atomic.Int64
+	panics   atomic.Int64
+	failures atomic.Int64 // remaining Run calls that panic
+}
+
+func (c *countingKernel) Key() Key                   { return c.key }
+func (c *countingKernel) Candidates() []LaunchParams { return c.cands }
+func (c *countingKernel) Flops() int64               { return 1e6 }
+func (c *countingKernel) PreTune()                   { c.preTunes.Add(1) }
+func (c *countingKernel) PostTune()                  {}
+func (c *countingKernel) Run(p LaunchParams) {
+	if c.failures.Load() > 0 && c.failures.Add(-1) >= 0 {
+		c.panics.Add(1)
+		panic("countingKernel: injected search failure")
+	}
+	c.runs.Add(1)
+	time.Sleep(50 * time.Microsecond)
+}
+
+func newCounting(name string) *countingKernel {
+	return &countingKernel{
+		key: Key{Kernel: name, Volume: "4x4x4x8", Aux: "prec=half"},
+		cands: []LaunchParams{
+			{Workers: 1, Block: 256},
+			{Workers: 2, Block: 1024},
+			{Workers: 4, Block: 4096},
+		},
+	}
+}
+
+// TestColdKeySingleflight is the regression test for the check-then-act
+// race: N workers hitting the same cold key must perform exactly one
+// brute-force search, with the rest blocking on its result.
+func TestColdKeySingleflight(t *testing.T) {
+	tn := New()
+	tn.SetReps(1)
+	k := newCounting("dslash")
+	const goroutines = 16
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	params := make([]LaunchParams, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			params[g] = tn.Execute(k)
+		}()
+	}
+	wg.Wait()
+	if got := k.preTunes.Load(); got != 1 {
+		t.Fatalf("%d searches ran, want exactly 1", got)
+	}
+	// One search (warm-up + reps x candidates) plus one post-search run
+	// per Execute call.
+	wantRuns := int64(1 + len(k.cands) + goroutines)
+	if got := k.runs.Load(); got != wantRuns {
+		t.Fatalf("kernel ran %d times, want %d", got, wantRuns)
+	}
+	for g := 1; g < goroutines; g++ {
+		if params[g] != params[0] {
+			t.Fatalf("caller %d got %+v, caller 0 got %+v", g, params[g], params[0])
+		}
+	}
+	if tn.Len() != 1 {
+		t.Fatalf("cache has %d entries", tn.Len())
+	}
+}
+
+// TestSearchModelledSingleflight pins the same property for the modelled
+// path: concurrent callers on a cold key evaluate the cost model once.
+func TestSearchModelledSingleflight(t *testing.T) {
+	tn := New()
+	cands := []LaunchParams{{Workers: 1}, {Workers: 2}}
+	var evals atomic.Int64
+	cost := func(p LaunchParams) float64 {
+		evals.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return float64(p.Workers)
+	}
+	key := Key{Kernel: "comms", Volume: "8x8x8x16", Aux: "nodes=4"}
+	const goroutines = 12
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			if got := tn.SearchModelled(key, cands, cost); got.Workers != 1 {
+				t.Errorf("picked %+v", got)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := evals.Load(); got != int64(len(cands)) {
+		t.Fatalf("cost model evaluated %d times, want %d", got, len(cands))
+	}
+}
+
+// TestSingleflightSurvivesPanickingSearch checks a panicking searcher does
+// not deadlock waiters: they wake, one retries the search, and the cache
+// ends up populated.
+func TestSingleflightSurvivesPanickingSearch(t *testing.T) {
+	tn := New()
+	tn.SetReps(1)
+	k := newCounting("dslash")
+	k.failures.Store(1) // exactly the first Run panics
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	var recovered atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					recovered.Add(1)
+				}
+			}()
+			tn.Execute(k)
+		}()
+	}
+	wg.Wait()
+	if got := recovered.Load(); got != 1 {
+		t.Fatalf("%d callers saw the panic, want exactly 1", got)
+	}
+	if tn.Len() != 1 {
+		t.Fatalf("cache has %d entries after retry", tn.Len())
+	}
+	// The failed attempt plus the successful retry: two searches total.
+	if got := k.preTunes.Load(); got != 2 {
+		t.Fatalf("%d searches ran, want 2 (failed + retry)", got)
+	}
+}
+
+func TestSearchRunsAccounting(t *testing.T) {
+	tn := New()
+	tn.SetReps(2)
+	k := newCounting("dslash")
+	e := tn.Tune(k)
+	if e.Tried != len(k.cands) {
+		t.Fatalf("Tried = %d, want %d", e.Tried, len(k.cands))
+	}
+	// Warm-up + reps x candidates.
+	want := 1 + 2*len(k.cands)
+	if e.Runs != want {
+		t.Fatalf("Runs = %d, want %d", e.Runs, want)
+	}
+	if got := k.runs.Load(); got != int64(want) {
+		t.Fatalf("kernel ran %d times, want %d", got, want)
+	}
+}
+
+func TestModelCostDurationClamps(t *testing.T) {
+	cases := []struct {
+		cost float64
+		want time.Duration
+	}{
+		{0, 0},
+		{-3, 0},
+		{math.NaN(), 0},
+		{1.5, 1500 * time.Millisecond},
+		{1e40, time.Duration(math.MaxInt64)},
+		{math.Inf(1), time.Duration(math.MaxInt64)},
+	}
+	for _, c := range cases {
+		if got := modelCostDuration(c.cost); got != c.want {
+			t.Fatalf("modelCostDuration(%v) = %v, want %v", c.cost, got, c.want)
+		}
+	}
+}
+
+func TestSearchModelledLargeCostDoesNotOverflow(t *testing.T) {
+	tn := New()
+	key := Key{Kernel: "comms", Volume: "v", Aux: "huge"}
+	tn.SearchModelled(key, []LaunchParams{{Workers: 1}}, func(LaunchParams) float64 { return 1e30 })
+	e, ok := tn.Lookup(key)
+	if !ok {
+		t.Fatal("entry not cached")
+	}
+	if e.Time < 0 {
+		t.Fatalf("model cost overflowed to negative duration %v", e.Time)
+	}
+}
+
+func TestRepsEnabledRaceSafe(t *testing.T) {
+	tn := New()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tn.SetReps(i % 3)
+			tn.SetEnabled(i%2 == 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = tn.Reps()
+			_ = tn.Enabled()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestObserverSeesSearches checks the obs hookup: a completed search lands
+// counters and a per-kernel GFLOPS gauge in the registry and an instant in
+// the trace.
+func TestObserverSeesSearches(t *testing.T) {
+	tn := New()
+	tn.SetReps(1)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(nil)
+	tn.SetObserver(reg, obs.NewScope(tr, 0, 0))
+	k := newCounting("dslash")
+	e := tn.Tune(k)
+	if got := reg.Counter("autotune.searches").Value(); got != 1 {
+		t.Fatalf("searches counter = %d", got)
+	}
+	if got := reg.Counter("autotune.kernel_runs").Value(); got != int64(e.Runs) {
+		t.Fatalf("kernel_runs counter = %d, want %d", got, e.Runs)
+	}
+	if e.GFLOPS > 0 && reg.Gauge("autotune.gflops.dslash").Value() != e.GFLOPS {
+		t.Fatal("GFLOPS gauge not recorded")
+	}
+	// Cache hit: no new search observed.
+	tn.Tune(k)
+	if got := reg.Counter("autotune.searches").Value(); got != 1 {
+		t.Fatalf("cache hit incremented searches to %d", got)
+	}
+}

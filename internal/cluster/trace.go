@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"femtoverse/internal/obs"
+)
+
+// WriteChromeTrace exports the simulated campaign as Chrome trace_event
+// JSON loadable in chrome://tracing and Perfetto - the simulator-side
+// twin of the live runtime's trace, using the same lane convention so
+// the two can be eyeballed side by side: pid 1 carries the GPU (solve)
+// tasks and pid 2 the CPU (contraction) tasks, one thread per lead node.
+// The export is deterministic for a deterministic simulation.
+func (r Report) WriteChromeTrace(w io.Writer) error {
+	tr := obs.NewTracer(nil)
+	tr.SetProcessName(1, "gpu tasks (simulated)")
+	tr.SetProcessName(2, "cpu tasks (simulated)")
+	named := map[[2]int]bool{}
+	for _, st := range r.PerTask {
+		lead := st.Nodes[0]
+		pid := 1
+		if st.Task.Kind == CPUTask {
+			pid = 2
+		}
+		if !named[[2]int{pid, lead}] {
+			named[[2]int{pid, lead}] = true
+			tr.SetThreadName(pid, lead, fmt.Sprintf("node %d", lead))
+		}
+		tr.AddSpan(pid, lead, "sim", fmt.Sprintf("task %d", st.Task.ID),
+			simSeconds(st.Start), simSeconds(st.End-st.Start),
+			map[string]interface{}{
+				"nodes":     len(st.Nodes),
+				"failed":    st.Failed,
+				"scattered": st.Scattered,
+			})
+	}
+	return tr.WriteChromeTrace(w)
+}
+
+// simSeconds converts simulator seconds to a trace offset.
+func simSeconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestWriteChromeTraceMatchesReport runs a small simulation and checks
+// the exported trace against the report's own accounting: one complete
+// span per executed task, GPU-lane busy seconds equal to the report's
+// integrated GPU busy seconds (every task here occupies one GPU), and a
+// byte-identical re-export - the determinism the simulator guarantees.
+func TestWriteChromeTraceMatchesReport(t *testing.T) {
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, Task{ID: i, Kind: GPUTask, GPUs: 1, Seconds: 10})
+		tasks = append(tasks, Task{ID: 6 + i, Kind: CPUTask, CPUs: 1, Seconds: 2, DependsOn: []int{i}})
+	}
+	rep, err := Run(Config{Nodes: 3, GPUsPerNode: 1, CPUSlotsPerNode: 2, Seed: 1},
+		tasks, NaiveBundle{LaunchOverhead: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			PID int     `json:"pid"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	spans := 0
+	gpuBusy := 0.0
+	for _, e := range parsed.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		spans++
+		if e.PID == 1 {
+			gpuBusy += e.Dur / 1e6
+		}
+	}
+	if spans != len(rep.PerTask) {
+		t.Fatalf("%d spans for %d executions", spans, len(rep.PerTask))
+	}
+	if math.Abs(gpuBusy-rep.GPUBusy) > 1e-3*rep.GPUBusy+1e-6 {
+		t.Fatalf("GPU lane busy %.4fs, report GPUBusy %.4fs", gpuBusy, rep.GPUBusy)
+	}
+
+	var again bytes.Buffer
+	if err := rep.WriteChromeTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-export differs byte-wise")
+	}
+}

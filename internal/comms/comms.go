@@ -18,6 +18,7 @@ import (
 
 	"femtoverse/internal/autotune"
 	"femtoverse/internal/machine"
+	"femtoverse/internal/obs"
 )
 
 // Policy enumerates the transfer mechanisms of Section V.
@@ -205,6 +206,12 @@ type Tuner struct {
 func NewTuner(m machine.Machine) *Tuner {
 	return &Tuner{Model: Model{M: m}, T: autotune.New()}
 }
+
+// SetObserver forwards observability sinks to the underlying autotune
+// cache: policy searches then show up as autotune.searches counts in the
+// registry and "search" instants in the trace, alongside the kernel
+// tuner's - one pane of glass for both tuning layers.
+func (t *Tuner) SetObserver(reg *obs.Registry, sc obs.Scope) { t.T.SetObserver(reg, sc) }
 
 // Best returns the optimal choice for the exchange, searching the model
 // once per (machine, volume-key, nodes) and caching thereafter.

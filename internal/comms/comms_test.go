@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"femtoverse/internal/machine"
+	"femtoverse/internal/obs"
 )
 
 func testExchange(compute float64) Exchange {
@@ -107,6 +108,28 @@ func TestTunerCachesPerKey(t *testing.T) {
 	tn.Best("48x48x48x64x20", 128, ex)
 	if tn.T.Len() != 2 {
 		t.Fatalf("cache size %d after second key", tn.T.Len())
+	}
+}
+
+// TestTunerObserverCountsSearches checks the observability pass-through:
+// policy searches land in an attached metrics registry, and cache hits
+// do not re-count.
+func TestTunerObserverCountsSearches(t *testing.T) {
+	tn := NewTuner(machine.Sierra())
+	reg := obs.NewRegistry()
+	tn.SetObserver(reg, obs.Scope{})
+	ex := testExchange(1e-3)
+	tn.Best("48x48x48x64x20", 4, ex)
+	tn.Best("48x48x48x64x20", 4, ex) // cached: no new search
+	tn.Best("48x48x48x64x20", 128, ex)
+	var searches int64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "autotune.searches" {
+			searches = c.Value
+		}
+	}
+	if searches != 2 {
+		t.Fatalf("observer counted %d searches, want 2", searches)
 	}
 }
 

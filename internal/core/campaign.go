@@ -8,6 +8,7 @@ import (
 	"femtoverse/internal/gauge"
 	"femtoverse/internal/hio"
 	"femtoverse/internal/lattice"
+	"femtoverse/internal/obs"
 	"femtoverse/internal/solver"
 	"femtoverse/internal/stats"
 )
@@ -23,6 +24,19 @@ type Campaign struct {
 	// by configuration number; missing entries are still to do.
 	C2  map[int][]float64
 	CFH map[int][]float64
+	// Obs attaches observability sinks to the concurrent drivers. It is
+	// runtime-only state - Save/Load deliberately do not persist it, so a
+	// resumed campaign attaches fresh sinks (or none).
+	Obs ObsConfig
+}
+
+// ObsConfig carries the optional observability sinks a campaign driver
+// threads into the job runtime and the solvers: a metrics registry for
+// counters/gauges/histograms and a tracer for the Chrome-trace timeline.
+// Both nil (the zero value) means fully uninstrumented execution.
+type ObsConfig struct {
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // NewCampaign starts an empty campaign for the spec.

@@ -9,6 +9,7 @@ import (
 	"femtoverse/internal/gauge"
 	"femtoverse/internal/lattice"
 	"femtoverse/internal/linalg"
+	"femtoverse/internal/obs"
 	"femtoverse/internal/prop"
 	jobrt "femtoverse/internal/runtime"
 	"femtoverse/internal/solver"
@@ -22,6 +23,10 @@ type configProps struct {
 	// restarts counts the solver's precision-escalation restarts across
 	// this configuration's solves, surfaced in the runtime report.
 	restarts int
+	// iters and flops accumulate the solver work of this configuration's
+	// 24 component solves, surfaced through the metrics registry.
+	iters int
+	flops int64
 }
 
 // solveConfig runs the full solve stage for one configuration: boundary
@@ -47,7 +52,12 @@ func solveConfig(ctx context.Context, cfg RealConfig, u *gauge.Field) (*configPr
 	if err != nil {
 		return nil, err
 	}
-	return &configProps{base: base, fh: fh, restarts: qs.TotalRestarts}, nil
+	return &configProps{
+		base: base, fh: fh,
+		restarts: qs.TotalRestarts,
+		iters:    qs.TotalIterations,
+		flops:    qs.TotalFlops,
+	}, nil
 }
 
 // contractConfig runs the contraction stage: the proton two-point and FH
@@ -151,6 +161,10 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 				}
 				props[k] = p
 				restarts[k] = p.restarts
+				reg := c.Obs.Metrics
+				reg.Counter("core.configs_solved").Inc()
+				reg.Counter("core.solver_iterations").Add(int64(p.iters))
+				reg.Counter("core.solver_flops").Add(p.flops)
 				return nil, nil
 			},
 		}, jobrt.Task{
@@ -180,11 +194,19 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 	if cw < 1 {
 		cw = 1
 	}
+	// The campaign span brackets the whole batch on the control lane; the
+	// runtime adds per-attempt spans on the worker lanes and the solvers
+	// nest their CG spans under those via the attempt context.
+	campScope := obs.NewScope(c.Obs.Trace, 0, 0)
+	campSpan := campScope.Begin("campaign", fmt.Sprintf("batch n=%d", len(picked)),
+		map[string]interface{}{"configs": len(picked), "workers": workers})
 	_, rep, runErr := jobrt.Run(ctx, jobrt.Config{
 		SolveWorkers:    workers,
 		ContractWorkers: cw,
 		Budget:          budget,
 		Preempt:         preempt,
+		Metrics:         c.Obs.Metrics,
+		Trace:           c.Obs.Trace,
 	}, tasks)
 
 	// Record whatever completed, even if some configuration failed.
@@ -200,6 +222,7 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 	for _, r := range restarts {
 		rep.SolverRestarts += r
 	}
+	campSpan.EndWith(map[string]interface{}{"done": done})
 	return done, &rep, runErr
 }
 
@@ -207,7 +230,16 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 // the same result, computed with `workers` configurations in flight, plus
 // the runtime's utilization report.
 func RunRealConcurrent(ctx context.Context, cfg RealConfig, workers int) (*RealResult, *jobrt.Report, error) {
+	return RunRealConcurrentObs(ctx, cfg, workers, ObsConfig{})
+}
+
+// RunRealConcurrentObs is RunRealConcurrent with observability sinks
+// attached: the campaign span, per-attempt worker spans, solver CG spans
+// and the metrics counters all land in the given registry and tracer.
+// The physics is bit-for-bit identical with or without sinks.
+func RunRealConcurrentObs(ctx context.Context, cfg RealConfig, workers int, sinks ObsConfig) (*RealResult, *jobrt.Report, error) {
 	camp := NewCampaign(cfg)
+	camp.Obs = sinks
 	done, rep, err := camp.RunBatchConcurrent(ctx, cfg.NConfigs, workers)
 	if err != nil {
 		return nil, rep, err

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"femtoverse/internal/obs"
+	jobrt "femtoverse/internal/runtime"
+)
+
+// TestCampaignObservability runs a seeded two-configuration campaign with
+// the full observability stack attached and cross-checks the three
+// accountings of the same run against each other: the trace's per-lane
+// span durations, the runtime report's busy integrals, and the metrics
+// registry's counters. It also checks the solver spans actually nested
+// under the worker lanes - the end-to-end wiring from campaign driver
+// through job runtime into the CG inner loop.
+func TestCampaignObservability(t *testing.T) {
+	cfg := DefaultRealConfig()
+	cfg.NConfigs = 2
+	camp := NewCampaign(cfg)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(nil)
+	camp.Obs = ObsConfig{Metrics: reg, Trace: tr}
+
+	done, rep, err := camp.RunBatchConcurrent(context.Background(), cfg.NConfigs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != cfg.NConfigs {
+		t.Fatalf("completed %d of %d configurations", done, cfg.NConfigs)
+	}
+
+	// Trace vs report: attempt spans on each class lane must integrate to
+	// the report's busy worker-seconds (all tasks here are 1-slot).
+	busy := tr.BusySeconds("attempt")
+	for c, want := range map[jobrt.Class]float64{
+		jobrt.Solve:    rep.SolveBusy.Seconds(),
+		jobrt.Contract: rep.ContractBusy.Seconds(),
+	} {
+		got := busy[int(c)+1]
+		if math.Abs(got-want) > 0.10*want+1e-3 {
+			t.Fatalf("class %v: trace busy %.4fs, report busy %.4fs", c, got, want)
+		}
+	}
+
+	// The timeline is the third accounting of the same window.
+	if got, want := rep.Timeline.BusySeconds(jobrt.Solve), rep.SolveBusy.Seconds(); math.Abs(got-want) > 0.10*want+1e-3 {
+		t.Fatalf("timeline solve busy %.4fs, report %.4fs", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"campaign"`, `"cgne-mixed"`, `"cg-block"`, "solve cfg", "contract cfg"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %s", want)
+		}
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	solverOnWorkerLane := 0
+	for _, e := range parsed.TraceEvents {
+		if e.Cat == "solver" && e.PID == 1 {
+			solverOnWorkerLane++
+		}
+	}
+	if solverOnWorkerLane == 0 {
+		t.Fatal("no solver spans landed on the solve worker lane")
+	}
+
+	// Metrics: the campaign counters must agree with the report.
+	s := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range s.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["core.configs_solved"] != int64(cfg.NConfigs) {
+		t.Fatalf("configs_solved = %d", counters["core.configs_solved"])
+	}
+	if counters["core.solver_iterations"] <= 0 || counters["core.solver_flops"] <= 0 {
+		t.Fatalf("solver work counters empty:\n%s", s.Text())
+	}
+	if counters["runtime.attempts"] < int64(2*cfg.NConfigs) {
+		t.Fatalf("runtime.attempts = %d, want >= %d", counters["runtime.attempts"], 2*cfg.NConfigs)
+	}
+}
+
+// TestCampaignObservabilityDoesNotPerturbPhysics pins the zero-cost
+// contract: the same seeded campaign with and without the observability
+// stack produces bit-for-bit identical correlators.
+func TestCampaignObservabilityDoesNotPerturbPhysics(t *testing.T) {
+	cfg := DefaultRealConfig()
+	cfg.NConfigs = 2
+
+	plain := NewCampaign(cfg)
+	if _, _, err := plain.RunBatchConcurrent(context.Background(), cfg.NConfigs, 2); err != nil {
+		t.Fatal(err)
+	}
+	instr := NewCampaign(cfg)
+	instr.Obs = ObsConfig{Metrics: obs.NewRegistry(), Trace: obs.NewTracer(nil)}
+	if _, _, err := instr.RunBatchConcurrent(context.Background(), cfg.NConfigs, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NConfigs; i++ {
+		for j := range plain.C2[i] {
+			if plain.C2[i][j] != instr.C2[i][j] || plain.CFH[i][j] != instr.CFH[i][j] {
+				t.Fatalf("config %d slot %d: instrumented run changed the physics", i, j)
+			}
+		}
+	}
+}

@@ -108,12 +108,12 @@ func TestNormSqAgreesWithDot(t *testing.T) {
 func TestParallelReductionDeterministicAcrossWorkerCounts(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	v := randVec(rng, 100000)
-	// Different worker counts may differ by rounding, but must agree to
-	// near machine precision because partials are combined in order.
+	// Fixed-chunk reductions make the summation tree a function of n alone,
+	// so every worker count must agree bitwise, not just to rounding.
 	ref := NormSq(v, 1)
 	for _, w := range []int{2, 3, 8, 16} {
 		got := NormSq(v, w)
-		if math.Abs(got-ref) > 1e-9*ref {
+		if got != ref {
 			t.Fatalf("workers=%d: %v vs %v", w, got, ref)
 		}
 	}

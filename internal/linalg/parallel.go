@@ -95,42 +95,70 @@ func ForBlocked(n, workers, block int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
-// ReduceFloat64 evaluates body over chunks of [0, n) in parallel, each chunk
-// returning a partial float64 sum, and combines the partials in chunk order
-// so the result is deterministic for a fixed worker count. All partial and
-// final accumulation happens in float64, matching the paper's convention
-// that reductions are always performed in double precision.
+// ReduceChunk is the fixed reduction chunk size. Reductions accumulate a
+// partial sum per ReduceChunk-sized slab of [0, n) and combine the partials
+// in slab-index order, so the floating-point summation tree is a function of
+// n alone — never of the worker count. This is what keeps Dot/Norm2 (and
+// through them whole CGNE solves and the journal's bit-for-bit resume
+// guarantee) bitwise identical when the autotuner picks a different number
+// of workers on a different machine or tunecache.
+const ReduceChunk = 4096
+
+// ReduceFloat64 evaluates body over fixed-size chunks of [0, n) — in
+// parallel when workers > 1, serially otherwise — and combines the partial
+// sums in chunk-index order. The summation order is identical for every
+// worker count, so results are deterministic across tunecaches. All partial
+// and final accumulation happens in float64, matching the paper's
+// convention that reductions are always performed in double precision.
 func ReduceFloat64(n, workers int, body func(lo, hi int) float64) float64 {
 	if n <= 0 {
 		return 0
 	}
+	if n <= ReduceChunk {
+		return body(0, n)
+	}
+	nChunks := (n + ReduceChunk - 1) / ReduceChunk
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
-	if workers > n {
-		workers = n
+	if workers > nChunks {
+		workers = nChunks
 	}
-	if workers <= 1 || n < 256 {
-		return body(0, n)
-	}
-	partial := make([]float64, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				partial[w] = body(lo, hi)
+	partial := make([]float64, nChunks)
+	if workers <= 1 {
+		// The serial path walks the same chunks so workers=1 is
+		// bit-identical to workers=N.
+		for c := 0; c < nChunks; c++ {
+			lo := c * ReduceChunk
+			hi := lo + ReduceChunk
+			if hi > n {
+				hi = n
 			}
-		}(w, lo, hi)
+			partial[c] = body(lo, hi)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(cursor.Add(1)) - 1
+					if c >= nChunks {
+						return
+					}
+					lo := c * ReduceChunk
+					hi := lo + ReduceChunk
+					if hi > n {
+						hi = n
+					}
+					partial[c] = body(lo, hi)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	sum := 0.0
 	for _, p := range partial {
 		sum += p
@@ -138,39 +166,56 @@ func ReduceFloat64(n, workers int, body func(lo, hi int) float64) float64 {
 	return sum
 }
 
-// ReduceComplex128 is ReduceFloat64 for complex partial sums, again combined
-// in deterministic chunk order with double-precision accumulation.
+// ReduceComplex128 is ReduceFloat64 for complex partial sums: fixed-size
+// chunks combined in chunk-index order, bitwise independent of the worker
+// count, with double-precision accumulation throughout.
 func ReduceComplex128(n, workers int, body func(lo, hi int) complex128) complex128 {
 	if n <= 0 {
 		return 0
 	}
+	if n <= ReduceChunk {
+		return body(0, n)
+	}
+	nChunks := (n + ReduceChunk - 1) / ReduceChunk
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
-	if workers > n {
-		workers = n
+	if workers > nChunks {
+		workers = nChunks
 	}
-	if workers <= 1 || n < 256 {
-		return body(0, n)
-	}
-	partial := make([]complex128, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			if lo < hi {
-				partial[w] = body(lo, hi)
+	partial := make([]complex128, nChunks)
+	if workers <= 1 {
+		for c := 0; c < nChunks; c++ {
+			lo := c * ReduceChunk
+			hi := lo + ReduceChunk
+			if hi > n {
+				hi = n
 			}
-		}(w, lo, hi)
+			partial[c] = body(lo, hi)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(cursor.Add(1)) - 1
+					if c >= nChunks {
+						return
+					}
+					lo := c * ReduceChunk
+					hi := lo + ReduceChunk
+					if hi > n {
+						hi = n
+					}
+					partial[c] = body(lo, hi)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	var sum complex128
 	for _, p := range partial {
 		sum += p

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden trace file")
+
+// traceStart is the fixed epoch of the deterministic test clock.
+var traceStart = time.Date(2018, 11, 11, 0, 0, 0, 0, time.UTC)
+
+// buildCampaignTrace records the span tree of a fixed seeded two-
+// configuration campaign - campaign -> configuration -> solve ->
+// iteration blocks, plus the instants the runtime emits - against a
+// deterministic step clock. It is the fixture behind the golden-file
+// byte-stability test.
+func buildCampaignTrace() *Tracer {
+	tr := NewTracer(StepClock(traceStart, 250*time.Microsecond))
+	tr.SetProcessName(0, "campaign")
+	tr.SetProcessName(1, "solve workers")
+	tr.SetProcessName(2, "contract workers")
+	tr.SetThreadName(1, 0, "solve 0")
+	tr.SetThreadName(2, 0, "contract 0")
+
+	root := NewScope(tr, 0, 0)
+	camp := root.Begin("campaign", "campaign", map[string]interface{}{"configs": 2})
+	for cfg := 0; cfg < 2; cfg++ {
+		sc := NewScope(tr, 1, 0)
+		conf := sc.Begin("task", "solve cfg", map[string]interface{}{"config": cfg})
+		for solve := 0; solve < 2; solve++ {
+			sp := sc.Begin("solver", "cgne-mixed", map[string]interface{}{"solve": solve})
+			blk := sc.Begin("solver", "cg-block", nil)
+			blk.EndWith(map[string]interface{}{"iterations": 7})
+			sc.Instant("solver", "reliable-update", map[string]interface{}{"rnorm": 0.125})
+			sp.EndWith(map[string]interface{}{"iterations": 7, "converged": true})
+		}
+		conf.End()
+		cc := NewScope(tr, 2, 0)
+		ct := cc.Begin("task", "contract cfg", map[string]interface{}{"config": cfg})
+		ct.End()
+	}
+	root.Instant("sched", "drain-soft", map[string]interface{}{"reason": "budget expired"})
+	camp.End()
+	return tr
+}
+
+// TestChromeTraceGolden pins the exporter byte for byte: a fixed seeded
+// campaign's trace on a deterministic clock must match the checked-in
+// golden file exactly. Run with -update-golden after an intentional
+// format change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildCampaignTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace export diverged from golden file\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+
+	// And it must be stable across repeated constructions.
+	var again bytes.Buffer
+	if err := buildCampaignTrace().WriteChromeTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("trace export not byte-stable across identical runs")
+	}
+}
+
+// TestChromeTraceValid checks the exported JSON parses back into the
+// trace_event shape Perfetto expects: a traceEvents array whose complete
+// events carry non-negative ts/dur and whose metadata names the lanes.
+func TestChromeTraceValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildCampaignTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			TS   int64                  `json:"ts"`
+			Dur  int64                  `json:"dur"`
+			PID  int                    `json:"pid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	var spans, instants, metas int
+	lastTS := int64(-1)
+	metaDone := false
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			metaDone = true
+			if e.TS < 0 || e.Dur < 0 {
+				t.Fatalf("negative ts/dur on %q", e.Name)
+			}
+			if e.TS < lastTS {
+				t.Fatalf("events not sorted by ts: %q at %d after %d", e.Name, e.TS, lastTS)
+			}
+			lastTS = e.TS
+		case "i":
+			instants++
+			metaDone = true
+		case "M":
+			metas++
+			if metaDone {
+				t.Fatal("metadata events must precede data events")
+			}
+		default:
+			t.Fatalf("unknown phase %q", e.Ph)
+		}
+	}
+	if spans != 13 || instants != 5 || metas != 5 {
+		t.Fatalf("event counts: %d spans, %d instants, %d metas", spans, instants, metas)
+	}
+}
+
+func TestNilTracerAndScopeNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.SetProcessName(0, "x")
+	tr.SetThreadName(0, 0, "y")
+	sc := NewScope(tr, 1, 2)
+	if sc.Enabled() {
+		t.Fatal("scope over nil tracer claims enabled")
+	}
+	sp := sc.Begin("c", "n", nil)
+	sp.EndWith(map[string]interface{}{"k": 1})
+	sc.Instant("c", "n", nil)
+	if got := tr.BusySeconds("c"); len(got) != 0 {
+		t.Fatal("nil tracer accumulated busy time")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("nil tracer export invalid: %v", err)
+	}
+
+	// The zero scope from an unadorned context is also a no-op.
+	if ScopeFrom(context.Background()).Enabled() {
+		t.Fatal("ScopeFrom on bare context is enabled")
+	}
+	if ScopeFrom(nil).Enabled() {
+		t.Fatal("ScopeFrom(nil) is enabled")
+	}
+}
+
+func TestScopeContextRoundTrip(t *testing.T) {
+	tr := NewTracer(StepClock(traceStart, time.Microsecond))
+	sc := NewScope(tr, 3, 7)
+	ctx := WithScope(context.Background(), sc)
+	got := ScopeFrom(ctx)
+	if !got.Enabled() || got.pid != 3 || got.tid != 7 {
+		t.Fatalf("scope did not round-trip: %+v", got)
+	}
+	moved := got.With(1, 2)
+	if moved.pid != 1 || moved.tid != 2 || moved.tr != tr {
+		t.Fatalf("With did not rehome the scope: %+v", moved)
+	}
+}
+
+// TestTracerConcurrent drives spans and instants from many goroutines
+// under -race and checks the busy accounting adds up.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(StepClock(traceStart, 100*time.Microsecond))
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			sc := NewScope(tr, 1, w)
+			for i := 0; i < per; i++ {
+				sp := sc.Begin("work", "attempt", nil)
+				sp.End()
+				sc.Instant("work", "tick", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	busy := tr.BusySeconds("work")
+	// Every span took exactly one clock step (100us).
+	want := float64(workers*per) * 100e-6
+	if got := busy[1]; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("busy seconds = %v, want %v", got, want)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"femtoverse/internal/gauge"
 	"femtoverse/internal/lattice"
 	"femtoverse/internal/linalg"
+	"femtoverse/internal/obs"
 	"femtoverse/internal/solver"
 )
 
@@ -184,7 +185,14 @@ func (qs *QuarkSolver) Solve5DCtx(ctx context.Context, b4 []complex128) ([]compl
 	}
 	b5 := Inject5D(b4, qs.EO.M.Ls)
 	bhat, etaOdd := qs.EO.PrepareSource(b5)
-	xe, st, err := solver.CGNEMixed(ctx, qs.EO, qs.Sloppy, bhat, qs.Par)
+	par := qs.Par
+	if sc := obs.ScopeFrom(ctx); sc.Enabled() {
+		// The job runtime stamps each attempt's worker lane into the task
+		// context; adopting it here makes the solver's spans nest under
+		// the attempt span in the exported trace.
+		par.Obs = sc
+	}
+	xe, st, err := solver.CGNEMixed(ctx, qs.EO, qs.Sloppy, bhat, par)
 	qs.TotalIterations += st.Iterations
 	qs.TotalFlops += st.Flops
 	qs.Solves++

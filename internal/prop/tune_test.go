@@ -24,7 +24,7 @@ func TestQuarkSolverTuneConfiguresWorkers(t *testing.T) {
 	qs := NewQuarkSolver(eo, solver.Params{Tol: 1e-7, Precision: solver.Double})
 
 	tn := autotune.New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	p := qs.Tune(tn)
 	if p.Workers <= 0 {
 		t.Fatalf("tuned workers %d", p.Workers)
@@ -61,7 +61,7 @@ func TestTuneKeyDistinguishesVolumes(t *testing.T) {
 		return NewQuarkSolver(eo, solver.Params{Tol: 1e-6})
 	}
 	tn := autotune.New()
-	tn.Reps = 1
+	tn.SetReps(1)
 	mk(2).Tune(tn)
 	mk(4).Tune(tn)
 	if tn.Len() != 2 {

@@ -195,6 +195,7 @@ func (p *Pool) drainLocked(reason string) {
 	p.drainLevel = drainSoft
 	p.drainReason = reason
 	p.drainedAt = time.Since(p.t0)
+	p.trace.Instant("sched", "drain-soft", map[string]interface{}{"reason": reason})
 	p.refuseQueuedLocked(reason)
 	p.graceTimer = time.AfterFunc(p.cfg.Budget.DrainGrace, p.hardCancel)
 	p.room.Broadcast()
@@ -237,6 +238,7 @@ func (p *Pool) hardCancel() {
 		p.drainLocked("hard cancel")
 	}
 	p.drainLevel = drainHard
+	p.trace.Instant("sched", "drain-hard", nil)
 	close(p.hardCh)
 	for j := range p.runningSet {
 		if j.attemptCancel != nil {

@@ -1,0 +1,215 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"femtoverse/internal/fault"
+	"femtoverse/internal/obs"
+)
+
+// obsScenario runs a small two-class batch with metrics and tracing
+// attached and returns everything the crosscheck tests need.
+func obsScenario(t *testing.T) (Report, *obs.Registry, *obs.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(nil)
+	var tasks []Task
+	for i := 0; i < 8; i++ {
+		tasks = append(tasks, sleepTask(2*i, Solve, 20*time.Millisecond))
+		tasks = append(tasks, sleepTask(2*i+1, Contract, 8*time.Millisecond, 2*i))
+	}
+	_, rep, err := Run(context.Background(), Config{
+		SolveWorkers:    4,
+		ContractWorkers: 2,
+		Metrics:         reg,
+		Trace:           tr,
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, reg, tr
+}
+
+// TestTimelineMatchesBusyIntegrals pins the live timeline against the
+// report's busy worker-second integrals: the bucketed fractions must
+// integrate back to the same totals the pool accumulated directly.
+func TestTimelineMatchesBusyIntegrals(t *testing.T) {
+	rep, _, _ := obsScenario(t)
+	if len(rep.Timeline.Buckets) == 0 {
+		t.Fatal("timeline empty")
+	}
+	for _, c := range []Class{Solve, Contract} {
+		want := rep.SolveBusy.Seconds()
+		if c == Contract {
+			want = rep.ContractBusy.Seconds()
+		}
+		got := rep.Timeline.BusySeconds(c)
+		// Attempts starting before firstStart or ending after lastEnd are
+		// clipped to the window, so allow a small tolerance.
+		if math.Abs(got-want) > 0.10*want+1e-3 {
+			t.Fatalf("%v: timeline integrates to %.4fs, report says %.4fs", c, got, want)
+		}
+	}
+	r := rep.Timeline.Render()
+	for _, want := range []string{"solve", "contract", "utilization"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("render missing %q:\n%s", want, r)
+		}
+	}
+}
+
+// TestTraceAgreesWithReport cross-checks the exported trace against the
+// report: per-class busy seconds summed from attempt spans must match the
+// pool's own integrals, which is the acceptance criterion for the trace
+// being a faithful utilization record.
+func TestTraceAgreesWithReport(t *testing.T) {
+	rep, _, tr := obsScenario(t)
+	busy := tr.BusySeconds("attempt")
+	for _, c := range []Class{Solve, Contract} {
+		// Spans carry per-attempt wall time; busy integrals weight by
+		// slots. Every task here is 1-slot, so the totals must agree.
+		reportBusy := rep.SolveBusy.Seconds()
+		if c == Contract {
+			reportBusy = rep.ContractBusy.Seconds()
+		}
+		got := busy[classPID(c)]
+		if math.Abs(got-reportBusy) > 0.10*reportBusy+1e-3 {
+			t.Fatalf("%v: trace busy %.4fs, report busy %.4fs", c, got, reportBusy)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != 16 {
+		t.Fatalf("trace has %d attempt spans, want 16", spans)
+	}
+}
+
+func TestPoolMetricsCounters(t *testing.T) {
+	rep, reg, _ := obsScenario(t)
+	s := reg.Snapshot()
+	get := func(name string) int64 {
+		for _, c := range s.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		t.Fatalf("counter %q missing from snapshot:\n%s", name, s.Text())
+		return 0
+	}
+	if got := get("runtime.attempts"); got != 16 {
+		t.Fatalf("attempts = %d", got)
+	}
+	if got := get("runtime.tasks_succeeded"); got != int64(rep.Succeeded) {
+		t.Fatalf("tasks_succeeded = %d, report says %d", got, rep.Succeeded)
+	}
+	found := false
+	for _, g := range s.Gauges {
+		if g.Name == "runtime.solve_util" {
+			found = true
+			if math.Abs(g.Value-rep.SolveUtil) > 1e-9 {
+				t.Fatalf("solve_util gauge %v, report %v", g.Value, rep.SolveUtil)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("solve_util gauge missing")
+	}
+}
+
+// TestRetryInstantInTrace checks a transient-faulted, retried task emits
+// a retry instant on the scheduler lane.
+func TestRetryInstantInTrace(t *testing.T) {
+	tr := obs.NewTracer(nil)
+	_, rep, err := Run(context.Background(), Config{
+		SolveWorkers: 2,
+		MaxRetries:   2,
+		Trace:        tr,
+		Fault:        fault.Plan{Seed: 7, Transient: 0.95, MaxInjections: 1},
+	}, []Task{sleepTask(1, Solve, 2*time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedAttempts == 0 {
+		t.Fatal("fault plan injected nothing; test is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"retry"`) {
+		t.Fatalf("trace missing retry instant:\n%s", buf.String())
+	}
+}
+
+// TestDrainInstantInTrace checks a drained pool records the drain-soft
+// marker on the scheduler lane.
+func TestDrainInstantInTrace(t *testing.T) {
+	tr := obs.NewTracer(nil)
+	p, err := New(context.Background(), Config{SolveWorkers: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(sleepTask(1, Solve, 2*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain("test drain")
+	p.Close()
+	if _, _, err := p.Wait(); err != nil {
+		// The in-flight task may finish or strand depending on drain
+		// timing; this test only inspects the trace.
+		t.Logf("wait after drain: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "drain-soft") {
+		t.Fatalf("trace missing drain-soft instant:\n%s", buf.String())
+	}
+}
+
+// TestUninstrumentedPoolUnchanged pins the no-op default: a pool with no
+// registry and no tracer must behave identically (and not crash in any
+// instrumented path).
+func TestUninstrumentedPoolUnchanged(t *testing.T) {
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, sleepTask(i, Solve, time.Millisecond))
+	}
+	_, rep, err := Run(context.Background(), Config{SolveWorkers: 2}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded != 6 {
+		t.Fatalf("%d succeeded", rep.Succeeded)
+	}
+	if len(rep.Timeline.Buckets) == 0 {
+		t.Fatal("timeline should be built even without a registry")
+	}
+}

@@ -114,6 +114,11 @@ type Report struct {
 	// over the busy window: the paper's utilization metric (Fig. 6).
 	SolveUtil    float64
 	ContractUtil float64
+	// Timeline is the live per-class utilization timeline assembled from
+	// completed attempts: bucketed busy/backfill fractions over the busy
+	// window, renderable as ASCII (Timeline.Render) and cross-checkable
+	// against the busy integrals above and the exported trace.
+	Timeline Timeline
 	// Queue-wait statistics over all started tasks.
 	MeanQueueWait time.Duration
 	MaxQueueWait  time.Duration

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"femtoverse/internal/fault"
+	"femtoverse/internal/obs"
 )
 
 // Class is a worker class: the runtime analogue of cluster.TaskKind.
@@ -185,6 +186,18 @@ type Config struct {
 	// Fault is the chaos plan: seeded, typed fault injection keyed by
 	// task identity (see internal/fault). The zero plan injects nothing.
 	Fault fault.Plan
+	// Metrics, when non-nil, receives the pool's scheduling counters,
+	// attempt-duration histograms, and end-of-run utilization gauges
+	// (names under "runtime."). Nil costs nothing on any path.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records one span per execution attempt on the
+	// lane of its lead worker (pid 1 = solve class, pid 2 = contract
+	// class, tid = worker ID) plus scheduler instants (retries,
+	// quarantines, watchdog kills, domain losses, drain phases, backfills)
+	// on the control lane (pid 0), exportable as Chrome trace JSON. The
+	// attempt's context carries the worker-lane obs.Scope, so task bodies
+	// (the solvers) land their own spans on the same lane.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -325,6 +338,13 @@ type Pool struct {
 	budgetTimer *time.Timer
 	graceTimer  *time.Timer
 
+	// Observability: the control-lane trace scope, the metric instruments
+	// resolved once at New (all nil-safe no-ops without a registry), and
+	// the completed-attempt segments behind the live utilization timeline.
+	trace    obs.Scope
+	met      poolMetrics
+	segments []segment
+
 	firstStart       time.Time
 	lastEnd          time.Time
 	busy             [numClasses]time.Duration
@@ -335,6 +355,24 @@ type Pool struct {
 	watchdogKills    int
 	domainCasualties int
 	requeues         int
+}
+
+// nameTraceLanes labels the trace's process/thread lanes after the
+// pid/tid convention: pid 0 scheduler, one pid per worker class, one
+// thread per worker. A nil tracer is a no-op.
+func nameTraceLanes(tr *obs.Tracer, solveWorkers, contractWorkers int) {
+	if tr == nil {
+		return
+	}
+	tr.SetProcessName(controlPID, "scheduler")
+	tr.SetProcessName(classPID(Solve), "solve workers")
+	tr.SetProcessName(classPID(Contract), "contract workers")
+	for w := 0; w < solveWorkers; w++ {
+		tr.SetThreadName(classPID(Solve), w, fmt.Sprintf("solve %d", w))
+	}
+	for w := 0; w < contractWorkers; w++ {
+		tr.SetThreadName(classPID(Contract), w, fmt.Sprintf("contract %d", w))
+	}
 }
 
 // New creates a pool. Cancelling ctx aborts in-flight tasks (their Run
@@ -365,6 +403,9 @@ func New(ctx context.Context, cfg Config) (*Pool, error) {
 	}
 	p.room = sync.NewCond(&p.mu)
 	p.idle = sync.NewCond(&p.mu)
+	p.trace = obs.NewScope(cfg.Trace, controlPID, 0)
+	p.met = newPoolMetrics(cfg.Metrics)
+	nameTraceLanes(cfg.Trace, cfg.SolveWorkers, cfg.ContractWorkers)
 	p.free[Solve] = cfg.SolveWorkers
 	p.free[Contract] = cfg.ContractWorkers
 	p.freeWorkers[Solve] = make([]int, cfg.SolveWorkers)
@@ -779,6 +820,10 @@ func (p *Pool) startLocked(j *job, now time.Time, backfilled bool) {
 	j.backfilled = backfilled
 	if backfilled {
 		p.backfills++
+		p.met.backfills.Inc()
+		p.trace.Instant("sched", "backfill", map[string]interface{}{
+			"task": j.t.ID, "slots": j.slots,
+		})
 	}
 	if p.firstStart.IsZero() || now.Before(p.firstStart) {
 		p.firstStart = now
@@ -807,6 +852,22 @@ func (p *Pool) retryDelay(taskID, failCount int) time.Duration {
 // backoffSalt decorrelates backoff jitter from fault draws sharing the
 // same seed.
 const backoffSalt = 0x6261636b // "back"
+
+// taskLabel names a task in trace spans.
+func taskLabel(t Task) string {
+	if t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("task %d", t.ID)
+}
+
+// errLabel renders an attempt error for trace args ("" on success).
+func errLabel(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
 
 // attemptOutcome carries one execution attempt's result from the attempt
 // goroutine to the supervising execute loop.
@@ -878,8 +939,13 @@ func (p *Pool) execute(j *job) {
 
 		p.mu.Lock()
 		j.attempts++
+		attempt := j.attempts
 		j.domainKilled = false
 		j.attemptCancel = cancel
+		lead := 0
+		if len(j.workers) > 0 {
+			lead = j.workers[0]
+		}
 		fk := p.injector.Draw(j.t.ID, j.injKey+1)
 		drawn := fk
 		if fk == fault.Preempt {
@@ -891,6 +957,15 @@ func (p *Pool) execute(j *job) {
 			fk = fault.None
 		}
 		p.mu.Unlock()
+
+		// The attempt's span lives on its lead worker's lane, and the
+		// attempt context carries the same scope so the task body (the
+		// solver) lands its spans there too.
+		attemptScope := p.trace.With(classPID(j.t.Class), lead)
+		span := attemptScope.Begin("attempt", taskLabel(j.t), map[string]interface{}{
+			"task": j.t.ID, "attempt": attempt, "slots": j.slots,
+		})
+		runCtx = obs.WithScope(runCtx, attemptScope)
 
 		t0 := time.Now()
 		ch := make(chan attemptOutcome, 1)
@@ -917,11 +992,21 @@ func (p *Pool) execute(j *job) {
 		}
 		cancel()
 		dt := time.Since(t0)
+		span.EndWith(map[string]interface{}{"err": errLabel(out.err)})
+		p.met.attempts.Inc()
+		p.met.attemptSeconds.Observe(dt.Seconds())
 
 		p.mu.Lock()
 		j.attemptCancel = nil
 		j.runTotal += dt
 		p.busy[j.t.Class] += time.Duration(j.slots) * dt
+		p.segments = append(p.segments, segment{
+			class:      j.t.Class,
+			start:      t0.Sub(p.t0),
+			end:        t0.Add(dt).Sub(p.t0),
+			slots:      j.slots,
+			backfilled: j.backfilled,
+		})
 
 		casualty := j.domainKilled
 		value, err := out.value, out.err
@@ -932,6 +1017,8 @@ func (p *Pool) execute(j *job) {
 			value, err = nil, ErrDomainCasualty
 			p.domainCasualties++
 			p.failedAttempts++
+			p.met.domainCasualties.Inc()
+			p.met.failures.Inc()
 		} else {
 			j.injKey++
 			if drawn != fault.None {
@@ -940,13 +1027,19 @@ func (p *Pool) execute(j *job) {
 			}
 			if out.panicked {
 				p.recoveredPanics++
+				p.met.recoveredPanics.Inc()
 			}
 			if watchdogFired {
 				p.watchdogKills++
+				p.met.watchdogKills.Inc()
+				p.trace.Instant("sched", "watchdog-kill", map[string]interface{}{
+					"task": j.t.ID, "attempt": attempt,
+				})
 			}
 			if err != nil {
 				j.failCount++
 				p.failedAttempts++
+				p.met.failures.Inc()
 			} else {
 				// A clean completion calibrates the class's cost
 				// estimates for admission control and backfill planning.
@@ -979,6 +1072,7 @@ func (p *Pool) execute(j *job) {
 			// instead, with its slots released first so drain accounting
 			// never counts a benched worker as busy.
 			p.requeues++
+			p.met.requeues.Inc()
 			p.releaseWorkersLocked(j)
 			if p.drainLevel > drainNone {
 				p.finishLocked(j, nil, fmt.Errorf("%w (draining: %s)", ErrRefused, p.drainReason), false)
@@ -1004,6 +1098,10 @@ func (p *Pool) execute(j *job) {
 			return
 		}
 		if !casualty {
+			p.met.retries.Inc()
+			p.trace.Instant("sched", "retry", map[string]interface{}{
+				"task": j.t.ID, "failures": j.failCount,
+			})
 			select {
 			case <-time.After(p.retryDelay(j.t.ID, j.failCount)):
 			case <-p.hardCh:
@@ -1053,6 +1151,9 @@ func (p *Pool) killDomainLocked(j *job) {
 		if hit {
 			r.domainKilled = true
 			r.attemptCancel()
+			p.trace.Instant("sched", "domain-loss", map[string]interface{}{
+				"task": j.t.ID, "victim": r.t.ID,
+			})
 		}
 	}
 }
@@ -1080,6 +1181,10 @@ func (p *Pool) noteAttemptWorkersLocked(j *job, failed bool) bool {
 			p.quarantined[cls][w] = true
 			p.benched[cls]++
 			benched = true
+			p.met.quarantines.Inc()
+			p.trace.Instant("sched", "quarantine", map[string]interface{}{
+				"class": cls.String(), "worker": w,
+			})
 		}
 	}
 	return benched
@@ -1201,6 +1306,7 @@ func (p *Pool) collectLocked() ([]Result, Report) {
 			if m.QueueWait > rep.MaxQueueWait {
 				rep.MaxQueueWait = m.QueueWait
 			}
+			p.met.queueWaitSeconds.Observe(m.QueueWait.Seconds())
 		}
 		switch {
 		case j.err == nil:
@@ -1223,6 +1329,9 @@ func (p *Pool) collectLocked() ([]Result, Report) {
 		rep.Wall = p.lastEnd.Sub(p.firstStart)
 		rep.SolveUtil = float64(p.busy[Solve]) / (float64(p.cfg.SolveWorkers) * float64(rep.Wall))
 		rep.ContractUtil = float64(p.busy[Contract]) / (float64(p.cfg.ContractWorkers) * float64(rep.Wall))
+		rep.Timeline = buildTimeline(p.segments,
+			p.firstStart.Sub(p.t0), p.lastEnd.Sub(p.t0),
+			p.cfg.SolveWorkers, p.cfg.ContractWorkers)
 	}
 	rep.Drained = p.drainLevel > drainNone
 	rep.DrainReason = p.drainReason
@@ -1237,5 +1346,14 @@ func (p *Pool) collectLocked() ([]Result, Report) {
 		rep.BudgetUsed = used
 		rep.BudgetUtil = float64(used) / float64(p.cfg.Budget.WallClock)
 	}
+	// End-of-run aggregates into the registry (all no-ops without one).
+	reg := p.cfg.Metrics
+	reg.Gauge("runtime.solve_util").Set(rep.SolveUtil)
+	reg.Gauge("runtime.contract_util").Set(rep.ContractUtil)
+	reg.Gauge("runtime.wall_seconds").Set(rep.Wall.Seconds())
+	reg.Counter("runtime.tasks").Add(int64(rep.Tasks))
+	reg.Counter("runtime.tasks_succeeded").Add(int64(rep.Succeeded))
+	reg.Counter("runtime.tasks_failed").Add(int64(rep.Failed))
+	p.met.refused.Add(int64(rep.Refused))
 	return results, rep
 }

@@ -41,8 +41,19 @@ func CGNEFrom(ctx context.Context, op Linear, b, x0 []complex128, p Params) ([]c
 	}
 	w := p.Workers
 
-	bNorm := math.Sqrt(linalg.NormSq(b, w))
 	st := Stats{Precision: Double}
+	if p.Obs.Enabled() {
+		span := p.Obs.Begin("solver", "cgne", map[string]interface{}{"n": n})
+		defer func() {
+			span.EndWith(map[string]interface{}{
+				"iterations": st.Iterations,
+				"converged":  st.Converged,
+				"residual":   st.TrueResidual,
+			})
+		}()
+	}
+
+	bNorm := math.Sqrt(linalg.NormSq(b, w))
 	x := make([]complex128, n)
 	if x0 != nil {
 		if len(x0) != n {
@@ -121,6 +132,9 @@ func CGNEFrom(ctx context.Context, op Linear, b, x0 []complex128, p Params) ([]c
 		linalg.Axpy(alpha, pv, x, w)
 		linalg.Axpy(-alpha, ap, r, w)
 		rrNew := linalg.NormSq(r, w)
+		if p.RecordResiduals {
+			st.Residuals = append(st.Residuals, math.Sqrt(rrNew))
+		}
 		if math.IsNaN(rrNew) || math.IsInf(rrNew, 0) {
 			st.Elapsed = time.Since(start)
 			return x, st, ErrDiverged

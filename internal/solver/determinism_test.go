@@ -1,0 +1,113 @@
+package solver
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"femtoverse/internal/dirac"
+)
+
+// solverWorkerCounts is the worker grid the bitwise-determinism tests
+// sweep: serial, even/odd small counts, a count that does not divide
+// typical problem sizes, and whatever the host really has.
+func solverWorkerCounts() []int {
+	return []int{1, 2, 3, 7, runtime.GOMAXPROCS(0)}
+}
+
+// bitwiseEqual compares solutions exactly - no tolerance. The fixed-chunk
+// reductions in linalg make the whole Krylov iteration a deterministic
+// function of the inputs, independent of the worker count, and these
+// tests are the end-to-end proof.
+func bitwiseEqual(t *testing.T, label string, w int, got, ref []complex128) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%s: workers=%d: length %d vs %d", label, w, len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("%s: workers=%d: element %d differs bitwise: %v vs %v",
+				label, w, i, got[i], ref[i])
+		}
+	}
+}
+
+func sameResiduals(t *testing.T, label string, w int, got, ref []float64) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%s: workers=%d: residual history length %d vs %d", label, w, len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("%s: workers=%d: residual %d differs bitwise: %v vs %v",
+				label, w, i, got[i], ref[i])
+		}
+	}
+}
+
+// TestCGNEBitwiseDeterministicAcrossWorkerCounts runs the full
+// double-precision CGNE on the Mobius operator at every worker count and
+// demands the solution vector AND the per-iteration residual trajectory
+// be bit-for-bit identical: the property that lets a journaled campaign
+// resume on a different node width without changing the physics.
+func TestCGNEBitwiseDeterministicAcrossWorkerCounts(t *testing.T) {
+	op := newTestEO(t, 21, 0.2)
+	rng := rand.New(rand.NewSource(42))
+	b := randRHS(rng, op.Size())
+
+	run := func(w int) ([]complex128, Stats) {
+		x, st, err := CGNE(context.Background(), op, b,
+			Params{Tol: 1e-8, Workers: w, RecordResiduals: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return x, st
+	}
+	refX, refSt := run(1)
+	if len(refSt.Residuals) != refSt.Iterations {
+		t.Fatalf("residual history has %d entries for %d iterations",
+			len(refSt.Residuals), refSt.Iterations)
+	}
+	for _, w := range solverWorkerCounts()[1:] {
+		x, st := run(w)
+		if st.Iterations != refSt.Iterations {
+			t.Fatalf("workers=%d: %d iterations vs %d serial", w, st.Iterations, refSt.Iterations)
+		}
+		bitwiseEqual(t, "cgne", w, x, refX)
+		sameResiduals(t, "cgne", w, st.Residuals, refSt.Residuals)
+	}
+}
+
+// TestCGNEMixedBitwiseDeterministicAcrossWorkerCounts is the same sweep
+// through the production mixed-precision path: sloppy single-precision
+// inner stage, double-precision reliable updates. The recorded residuals
+// here are the reliable-update trajectory.
+func TestCGNEMixedBitwiseDeterministicAcrossWorkerCounts(t *testing.T) {
+	op := newTestEO(t, 23, 0.25)
+	sloppy := dirac.NewMobiusEO32(op)
+	rng := rand.New(rand.NewSource(43))
+	b := randRHS(rng, op.Size())
+
+	run := func(w int) ([]complex128, Stats) {
+		x, st, err := CGNEMixed(context.Background(), op, sloppy, b,
+			Params{Tol: 1e-8, Precision: Single, Workers: w, RecordResiduals: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		return x, st
+	}
+	refX, refSt := run(1)
+	if refSt.ReliableUpdates == 0 || len(refSt.Residuals) == 0 {
+		t.Fatal("no reliable updates recorded; the sweep is vacuous")
+	}
+	for _, w := range solverWorkerCounts()[1:] {
+		x, st := run(w)
+		if st.Iterations != refSt.Iterations || st.ReliableUpdates != refSt.ReliableUpdates {
+			t.Fatalf("workers=%d: %d iters/%d updates vs %d/%d serial",
+				w, st.Iterations, st.ReliableUpdates, refSt.Iterations, refSt.ReliableUpdates)
+		}
+		bitwiseEqual(t, "cgne-mixed", w, x, refX)
+		sameResiduals(t, "cgne-mixed", w, st.Residuals, refSt.Residuals)
+	}
+}

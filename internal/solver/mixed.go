@@ -8,6 +8,7 @@ import (
 
 	"femtoverse/internal/dirac"
 	"femtoverse/internal/linalg"
+	"femtoverse/internal/obs"
 )
 
 // CGNEMixed solves D x = b with the paper's production scheme: conjugate
@@ -39,6 +40,57 @@ func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, 
 	}
 	w := p.Workers
 	st := Stats{Precision: p.Precision}
+
+	// Trace spans: one "cgne-mixed" span over the whole solve, one
+	// "cg-block" span per reliable-update segment (the paper's CG iteration
+	// blocks), plus instants for reliable updates and restarts. All no-ops
+	// on the zero Scope.
+	var block obs.Span
+	blockOpen := false
+	blockIter0 := 0
+	beginBlock := func() {
+		if p.Obs.Enabled() {
+			block = p.Obs.Begin("solver", "cg-block", nil)
+			blockOpen = true
+		}
+	}
+	endBlock := func() {
+		if blockOpen {
+			block.EndWith(map[string]interface{}{"iterations": st.Iterations - blockIter0})
+			blockIter0 = st.Iterations
+			blockOpen = false
+		}
+	}
+	// noteReliableUpdate records the post-update residual and rolls the
+	// cg-block span over; defined here (outside the iteration nest) so the
+	// bookkeeping allocations stay off the hot path proper.
+	noteReliableUpdate := func(rNorm float64) {
+		if p.RecordResiduals {
+			st.Residuals = append(st.Residuals, rNorm)
+		}
+		endBlock()
+		if p.Obs.Enabled() {
+			p.Obs.Instant("solver", "reliable-update", map[string]interface{}{
+				"update": st.ReliableUpdates, "residual": rNorm,
+			})
+		}
+		beginBlock()
+	}
+	if p.Obs.Enabled() {
+		span := p.Obs.Begin("solver", "cgne-mixed", map[string]interface{}{
+			"n": n, "precision": p.Precision.String(),
+		})
+		defer func() {
+			endBlock()
+			span.EndWith(map[string]interface{}{
+				"iterations":       st.Iterations,
+				"converged":        st.Converged,
+				"residual":         st.TrueResidual,
+				"reliable_updates": st.ReliableUpdates,
+				"restarts":         st.Restarts,
+			})
+		}()
+	}
 
 	bNorm := math.Sqrt(linalg.NormSq(b, w))
 	x := make([]complex128, n)
@@ -143,6 +195,7 @@ func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, 
 		staleUpdates = 0
 	}
 
+	beginBlock()
 	for {
 		diverged := false
 		for st.Iterations < p.MaxIter {
@@ -198,6 +251,7 @@ func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, 
 					break
 				}
 				rNorm = math.Sqrt(rrNew)
+				noteReliableUpdate(rNorm)
 				maxSinceUpdate = rNorm
 				if rNorm < bestReliable {
 					bestReliable = rNorm
@@ -232,17 +286,29 @@ func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, 
 			return x, st, ErrDiverged
 		}
 		st.Restarts++
+		endBlock()
 		if st.Precision == Half {
 			// One tier up: drop the 16-bit storage rounding, keep the
 			// single-precision sloppy operator.
 			st.Precision = Single
+			if p.Obs.Enabled() {
+				p.Obs.Instant("solver", "restart", map[string]interface{}{
+					"restart": st.Restarts, "precision": st.Precision.String(),
+				})
+			}
 			hbuf = nil
 			restart()
+			beginBlock()
 			continue
 		}
 		// Already single: finish the solve in full double precision from
 		// the last reliable iterate.
 		st.Precision = Double
+		if p.Obs.Enabled() {
+			p.Obs.Instant("solver", "restart", map[string]interface{}{
+				"restart": st.Restarts, "precision": st.Precision.String(),
+			})
+		}
 		pd := p
 		pd.Precision = Double
 		pd.MaxIter = p.MaxIter - st.Iterations
@@ -253,6 +319,7 @@ func CGNEMixed(ctx context.Context, op Linear, sloppy Linear32, b []complex128, 
 		st.Iterations += dst.Iterations
 		st.Flops += dst.Flops
 		st.ReliableUpdates += dst.ReliableUpdates
+		st.Residuals = append(st.Residuals, dst.Residuals...)
 		st.Converged = dst.Converged
 		st.TrueResidual = dst.TrueResidual
 		st.Elapsed = time.Since(start)

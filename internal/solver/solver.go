@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"femtoverse/internal/obs"
 )
 
 // Linear is a general (non-Hermitian) linear operator with an exact
@@ -96,6 +98,20 @@ type Params struct {
 	// with ErrDiverged instead of burning the rest of MaxIter. Default
 	// MaxIter/10 (at least 100); negative disables.
 	StagnationWindow int
+	// Obs, when enabled, receives the solve's trace events on the caller's
+	// lane: a "cgne"/"cgne-mixed" span over the whole solve, a "cg-block"
+	// span per reliable-update segment, and instants for reliable updates
+	// and precision-escalation restarts. The zero Scope is a no-op, and
+	// campaign drivers fill it from the attempt context (obs.ScopeFrom) so
+	// solver spans nest under the worker's attempt span.
+	Obs obs.Scope
+	// RecordResiduals, when set, captures the residual trajectory in
+	// Stats.Residuals: the per-iteration normal-equation residual norm for
+	// pure double CGNE, the per-reliable-update double-precision residual
+	// norm for CGNEMixed. Every recorded value derives from deterministic
+	// fixed-chunk reductions, so the trajectory is bitwise identical at
+	// any Workers count.
+	RecordResiduals bool
 }
 
 func (p Params) withDefaults() Params {
@@ -136,6 +152,10 @@ type Stats struct {
 	// diverged, its accumulation was discarded, and the solve resumed
 	// from the last reliable iterate one precision tier up.
 	Restarts int
+	// Residuals is the residual trajectory, recorded only when
+	// Params.RecordResiduals is set (see there for what each solver
+	// records). Bitwise identical across worker counts.
+	Residuals []float64
 }
 
 // TFLOPS returns the sustained matvec teraflop rate of the solve.
