@@ -35,6 +35,17 @@ go test -race -count=2 ./internal/obs/
 go test -race -count=2 -run 'Singleflight|SearchModelled|RepsEnabled|Observer' ./internal/autotune/
 go test -race -count=2 -run 'Bitwise|ReduceChunk|Deterministic' ./internal/linalg/ ./internal/solver/
 go test -race -run 'Obs|Timeline|Trace' ./internal/runtime/ ./internal/core/ ./internal/cluster/
+# Cache gate: the content-addressed result cache must be race-free and
+# deterministic - the LRU eviction order, the byte budget, the disk
+# tier's corruption-is-a-miss contract and the per-key singleflight all
+# re-run under -race against fresh interleavings (-count=2). The driver
+# suites then prove the product contract: a warm campaign is bit-for-bit
+# the cold one with zero solver iterations, concurrent campaigns on one
+# store solve each configuration exactly once, and an FH campaign reuses
+# cached base propagators across insertions.
+go test -race -count=2 ./internal/cache/
+go test -race -run 'WarmCache|ShareSolves|SequentialWarm|CacheBitForBit' ./internal/core/
+go test -race -run 'FH' ./internal/workflow/
 # The femtolint suppression budget: the tree carries 8 reviewed
 # //femtolint:ignore directives (the runtime's deliberate post-drain
 # Wait, the journal's best-effort Close-after-error cleanups). New code

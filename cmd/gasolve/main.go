@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"femtoverse/internal/cache"
 	"femtoverse/internal/core"
 	"femtoverse/internal/dirac"
 	"femtoverse/internal/hio"
@@ -78,6 +79,14 @@ func (s obsSinks) flush() error {
 	return nil
 }
 
+// printCacheStats reports the result cache's hit economics after a run.
+func printCacheStats(store *cache.Cache) {
+	if store == nil {
+		return
+	}
+	fmt.Printf("cache: %s\n", store.Stats())
+}
+
 // watchSignals installs the SIGINT/SIGTERM handler. In graceful mode the
 // first two signals are forwarded on the returned preemption channel -
 // the job pool drains on the first and hard-cancels in-flight work on the
@@ -129,6 +138,8 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "journal mode: how long in-flight solves may keep running once a drain begins")
 		metrics    = flag.Bool("metrics", false, "print a metrics snapshot (runtime counters, solver work, utilization timeline) after the run; needs -workers")
 		traceOut   = flag.String("trace", "", "write a Chrome trace of the campaign to this file (open in Perfetto); needs -workers")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory, shared across campaigns and restarts: cached solves are skipped, bit-for-bit")
+		cacheMem   = flag.Int("cache-mem", 0, "result cache in-memory budget in MiB (0 = 64 MiB default; a value > 0 enables caching even without -cache-dir)")
 	)
 	flag.Parse()
 
@@ -148,7 +159,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gasolve: -metrics and -trace instrument the concurrent pipeline; add -workers N")
 		os.Exit(2)
 	}
+	if *cacheMem < 0 {
+		fmt.Fprintln(os.Stderr, "gasolve: -cache-mem must be non-negative")
+		os.Exit(2)
+	}
 	sinks := newObsSinks(*metrics, *traceOut)
+
+	// The result cache dedupes identical solves across campaigns and
+	// process restarts; it is attached to every campaign mode. Synthetic
+	// mode has no solves to cache.
+	var store *cache.Cache
+	if *cacheDir != "" || *cacheMem > 0 {
+		var err error
+		store, err = cache.New(cache.Config{
+			Dir:      *cacheDir,
+			MemBytes: int64(*cacheMem) << 20,
+			Metrics:  sinks.cfg.Metrics,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -168,7 +200,7 @@ func main() {
 
 	if *journal != "" {
 		if err := runJournaled(ctx, *journal, *workers,
-			jobrt.Budget{WallClock: *walltime, DrainGrace: *drainGrace}, preempt, spec, sinks); err != nil {
+			jobrt.Budget{WallClock: *walltime, DrainGrace: *drainGrace}, preempt, spec, sinks, store); err != nil {
 			fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 			os.Exit(1)
 		}
@@ -176,7 +208,7 @@ func main() {
 	}
 
 	if *checkpoint != "" {
-		if err := runCheckpointed(ctx, *checkpoint, *batch, *workers, spec, sinks); err != nil {
+		if err := runCheckpointed(ctx, *checkpoint, *batch, *workers, spec, sinks, store); err != nil {
 			fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 			os.Exit(1)
 		}
@@ -205,8 +237,10 @@ func main() {
 	var err error
 	if *workers > 0 {
 		var rep *jobrt.Report
-		res, rep, err = core.RunRealConcurrentObs(ctx, spec, *workers, sinks.cfg)
+		res, rep, err = core.RunRealConcurrentCached(ctx, spec, *workers, sinks.cfg, store)
 		sinks.printReport(rep)
+	} else if store != nil {
+		res, err = core.RunRealCached(spec, store)
 	} else {
 		res, err = core.RunReal(spec)
 	}
@@ -214,6 +248,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 		os.Exit(1)
 	}
+	printCacheStats(store)
 	if err := sinks.flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "gasolve: %v\n", err)
 		os.Exit(1)
@@ -231,7 +266,7 @@ func main() {
 // at expiry or on SIGINT/SIGTERM, and every finished configuration is
 // durable in the journal - so simply re-running the same command resumes
 // from where the previous allocation stopped, bit-for-bit.
-func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Budget, preempt <-chan string, spec core.RealConfig, sinks obsSinks) error {
+func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Budget, preempt <-chan string, spec core.RealConfig, sinks obsSinks, store *cache.Cache) error {
 	var (
 		camp *core.Campaign
 		j    *core.Journal
@@ -255,8 +290,10 @@ func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Bu
 		workers = 1
 	}
 	camp.Obs = sinks.cfg
+	camp.Cache = store
 	n, rep, err := camp.RunBatchConcurrentBudgeted(ctx, camp.Spec.NConfigs, workers, j, budget, preempt)
 	sinks.printReport(rep)
+	printCacheStats(store)
 	if cerr := j.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -287,7 +324,7 @@ func runJournaled(ctx context.Context, path string, workers int, budget jobrt.Bu
 // runCheckpointed resumes (or starts) a persistent campaign, measures one
 // batch, saves, and reports progress - the pattern a real allocation-by-
 // allocation campaign uses.
-func runCheckpointed(ctx context.Context, path string, batch, workers int, spec core.RealConfig, sinks obsSinks) error {
+func runCheckpointed(ctx context.Context, path string, batch, workers int, spec core.RealConfig, sinks obsSinks, store *cache.Cache) error {
 	var camp *core.Campaign
 	if file, err := hio.Load(path); err == nil {
 		camp, err = core.LoadCampaign(file.Root())
@@ -299,6 +336,7 @@ func runCheckpointed(ctx context.Context, path string, batch, workers int, spec 
 		camp = core.NewCampaign(spec)
 		fmt.Printf("new campaign: %d configurations planned\n", spec.NConfigs)
 	}
+	camp.Cache = store
 	var n int
 	var err error
 	if workers > 0 {
@@ -312,6 +350,7 @@ func runCheckpointed(ctx context.Context, path string, batch, workers int, spec 
 	if err != nil {
 		return err
 	}
+	printCacheStats(store)
 	if err := sinks.flush(); err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,23 @@ import (
 	"femtoverse/internal/obs"
 )
 
+// jsonExperiment is one experiment in the -json report. Experiments that
+// expose structured values (figures.DataResult) fill Data; the rendered
+// text is always included so a consumer never loses information.
+type jsonExperiment struct {
+	Name  string                 `json:"name"`
+	Title string                 `json:"title"`
+	Data  map[string]interface{} `json:"data,omitempty"`
+	Text  string                 `json:"text"`
+}
+
+// jsonReport is the -json document: the run configuration plus every
+// experiment in execution order.
+type jsonReport struct {
+	Quick       bool             `json:"quick"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
@@ -30,6 +48,7 @@ func main() {
 		outDir   = flag.String("out", "", "also write each experiment to <out>/<name>.txt")
 		metrics  = flag.Bool("metrics", false, "print a metrics snapshot (per-experiment wall time) after the run")
 		traceOut = flag.String("trace", "", "write a Chrome trace of the experiment runs to this file (open in Perfetto)")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report on stdout instead of text")
 	)
 	flag.Parse()
 
@@ -72,6 +91,7 @@ func main() {
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
+	report := jsonReport{Quick: *quick}
 	for _, name := range names {
 		span := sc.Begin("experiment", strings.TrimSpace(name), nil)
 		t0 := tr.Now()
@@ -86,7 +106,15 @@ func main() {
 			expSeconds.Observe(tr.Now().Sub(t0).Seconds())
 		}
 		body := fmt.Sprintf("==== %s: %s ====\n%s\n", res.Name(), res.Title(), res.Render())
-		fmt.Print(body)
+		if *jsonOut {
+			je := jsonExperiment{Name: res.Name(), Title: res.Title(), Text: res.Render()}
+			if dr, ok := res.(figures.DataResult); ok {
+				je.Data = dr.Data()
+			}
+			report.Experiments = append(report.Experiments, je)
+		} else {
+			fmt.Print(body)
+		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, res.Name()+".txt")
 			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
@@ -95,8 +123,22 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "latbench: encode report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	}
 	if reg != nil {
-		fmt.Print(reg.Snapshot().Text())
+		// The snapshot goes to stderr under -json so stdout stays a single
+		// valid JSON document.
+		if *jsonOut {
+			fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+		} else {
+			fmt.Print(reg.Snapshot().Text())
+		}
 	}
 	if tr != nil && *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -27,6 +27,7 @@ import (
 	"io"
 
 	"femtoverse/internal/autotune"
+	"femtoverse/internal/cache"
 	"femtoverse/internal/cluster"
 	"femtoverse/internal/comms"
 	"femtoverse/internal/contract"
@@ -500,6 +501,70 @@ func NewTracer(clock TraceClock) *Tracer { return obs.NewTracer(clock) }
 // the tracer and the runtime and solver-work counters in the registry.
 func RunRealPipelineConcurrentObs(ctx context.Context, cfg RealPipelineConfig, workers int, sinks CampaignObs) (*RealPipelineResult, *JobReport, error) {
 	return core.RunRealConcurrentObs(ctx, cfg, workers, sinks)
+}
+
+// Content-addressed result cache: dedupe identical solves across
+// campaigns, processes and restarts. Results are keyed by the canonical
+// hash of the full solve identity, so a warm campaign is bit-for-bit the
+// cold one with the solver work skipped.
+type (
+	// ResultCache is the two-tier (memory LRU + disk) result store.
+	ResultCache = cache.Cache
+	// ResultCacheConfig shapes a store: directory, memory budget, sinks.
+	ResultCacheConfig = cache.Config
+	// ResultCacheStats is a point-in-time hit/miss/eviction census.
+	ResultCacheStats = cache.Stats
+	// CacheKey is a built content address.
+	CacheKey = cache.Key
+	// CacheKeyBuilder accumulates named fields into a canonical CacheKey.
+	CacheKeyBuilder = cache.KeyBuilder
+)
+
+// NewResultCache opens (or creates) a result store. The zero Config is a
+// memory-only store with the default budget.
+func NewResultCache(cfg ResultCacheConfig) (*ResultCache, error) { return cache.New(cfg) }
+
+// NewCacheKey starts a canonical key in the given namespace; bump the
+// namespace version whenever the encoded value layout changes.
+func NewCacheKey(namespace string) *CacheKeyBuilder { return cache.NewKey(namespace) }
+
+// RunRealPipelineCached is RunRealPipeline with a result cache attached:
+// configurations already cached by any campaign or process sharing the
+// store are served without a solve. A nil store runs uncached.
+func RunRealPipelineCached(cfg RealPipelineConfig, store *ResultCache) (*RealPipelineResult, error) {
+	return core.RunRealCached(cfg, store)
+}
+
+// RunRealPipelineConcurrentCached is RunRealPipelineConcurrentObs with a
+// result cache attached; cached configurations never become pool tasks.
+func RunRealPipelineConcurrentCached(ctx context.Context, cfg RealPipelineConfig, workers int, sinks CampaignObs, store *ResultCache) (*RealPipelineResult, *JobReport, error) {
+	return core.RunRealConcurrentCached(ctx, cfg, workers, sinks, store)
+}
+
+// Feynman-Hellmann campaigns over the cache: the workflow layer caches
+// propagators (not just correlators), so adding a new current insertion
+// to an already-measured ensemble reuses every base propagator.
+type (
+	// FHInsertion names one current insertion and its spin structure.
+	FHInsertion = workflow.Insertion
+	// FHPipelineConfig is the workflow layer's campaign specification
+	// (geometry, action, ensemble, solver policy) an FH campaign embeds.
+	FHPipelineConfig = workflow.RealConfig
+	// FHCampaignConfig is a real campaign plus its insertion list.
+	FHCampaignConfig = workflow.FHCampaignConfig
+	// FHCampaignResult holds per-insertion FH correlators and the solve
+	// counts that show what the cache saved.
+	FHCampaignResult = workflow.FHCampaignResult
+)
+
+// DefaultFHPipelineConfig returns a laptop-scale FH campaign spec.
+func DefaultFHPipelineConfig() FHPipelineConfig { return workflow.DefaultRealConfig() }
+
+// RunFHCampaign measures every insertion on every configuration through
+// the propagator cache; base propagators are solved once per
+// configuration and shared across insertions.
+func RunFHCampaign(ctx context.Context, cfg FHCampaignConfig, store *ResultCache) (*FHCampaignResult, error) {
+	return workflow.RunFHCampaign(ctx, cfg, store)
 }
 
 // Workflow and I/O.

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	rcache "femtoverse/internal/cache"
 	"femtoverse/internal/obs"
 )
 
@@ -73,13 +74,14 @@ type Tunable interface {
 }
 
 // Tuner owns the cache. It is safe for concurrent use: cache lookups are
-// mutex-guarded, and cold-key searches are singleflighted so N workers
-// hitting the same un-tuned kernel perform exactly one search instead of
-// N concurrent ones timing candidates against each other's load.
+// mutex-guarded, and cold-key searches are singleflighted (through the
+// shared cache.Flight primitive) so N workers hitting the same un-tuned
+// kernel perform exactly one search instead of N concurrent ones timing
+// candidates against each other's load.
 type Tuner struct {
-	mu       sync.Mutex
-	cache    map[Key]Entry
-	inflight map[Key]*flight
+	mu     sync.Mutex
+	cache  map[Key]Entry
+	flight *rcache.Flight[Key, Entry]
 
 	reps    atomic.Int64
 	enabled atomic.Bool
@@ -89,17 +91,9 @@ type Tuner struct {
 	scope   obs.Scope
 }
 
-// flight is one in-progress search; waiters block on done. ok is false if
-// the searcher panicked, in which case waiters retry (and may search).
-type flight struct {
-	done chan struct{}
-	e    Entry
-	ok   bool
-}
-
 // New returns an enabled tuner with an empty cache.
 func New() *Tuner {
-	t := &Tuner{cache: make(map[Key]Entry), inflight: make(map[Key]*flight)}
+	t := &Tuner{cache: make(map[Key]Entry), flight: rcache.NewFlight[Key, Entry]()}
 	t.reps.Store(3)
 	t.enabled.Store(true)
 	return t
@@ -151,41 +145,31 @@ func (t *Tuner) observeSearch(key Key, e Entry) {
 }
 
 // lookupOrSearch returns the cached entry for key, or runs search exactly
-// once across all concurrent callers (per-key singleflight) and caches its
-// result. If the searcher panics, waiters wake and retry — one of them
+// once across all concurrent callers (per-key singleflight via the shared
+// cache.Flight) and caches its result. If the searcher panics, waiters
+// wake with completed=false, re-check the cache, and retry — one of them
 // becomes the next searcher — while the panic propagates to the caller
 // that ran the search.
 func (t *Tuner) lookupOrSearch(key Key, search func() Entry) Entry {
 	for {
-		t.mu.Lock()
-		if e, ok := t.cache[key]; ok {
-			t.mu.Unlock()
+		if e, ok := t.Lookup(key); ok {
 			return e
 		}
-		if f, ok := t.inflight[key]; ok {
-			t.mu.Unlock()
-			<-f.done
-			if f.ok {
-				return f.e
-			}
-			continue
-		}
-		f := &flight{done: make(chan struct{})}
-		t.inflight[key] = f
-		t.mu.Unlock()
-
-		defer func() {
+		e, err, _, completed := t.flight.Do(key, func() (Entry, error) {
+			e := search()
 			t.mu.Lock()
-			delete(t.inflight, key)
-			if f.ok {
-				t.cache[key] = f.e
-			}
+			t.cache[key] = e
 			t.mu.Unlock()
-			close(f.done)
-		}()
-		f.e = search()
-		f.ok = true
-		return f.e
+			return e, nil
+		})
+		if err != nil {
+			// The search closure never returns an error; a non-nil error
+			// here is a programming bug, not a tunable condition.
+			panic(err)
+		}
+		if completed {
+			return e
+		}
 	}
 }
 

@@ -1,0 +1,269 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testKey(s string) Key {
+	return NewKey("test/v1").Str("name", s).Build()
+}
+
+func TestKeyCanonicalAndStable(t *testing.T) {
+	k1 := NewKey("ns/v1").Int("a", 1).Float("b", 0.5).Str("c", "x|y=z").Build()
+	k2 := NewKey("ns/v1").Int("a", 1).Float("b", 0.5).Str("c", "x|y=z").Build()
+	if k1 != k2 {
+		t.Fatalf("identical fields gave different keys:\n%q\n%q", k1.Canonical, k2.Canonical)
+	}
+	if len(k1.ID) != 64 {
+		t.Fatalf("ID %q is not a sha256 hex", k1.ID)
+	}
+	// Field order is part of the identity.
+	k3 := NewKey("ns/v1").Float("b", 0.5).Int("a", 1).Str("c", "x|y=z").Build()
+	if k3.ID == k1.ID {
+		t.Fatal("reordered fields collided")
+	}
+	// A value containing the separator cannot alias a field boundary.
+	k4 := NewKey("ns/v1").Int("a", 1).Float("b", 0.5).Str("c", "x").Str("y", "z").Build()
+	if k4.ID == k1.ID {
+		t.Fatal("embedded separator aliased a field boundary")
+	}
+}
+
+func TestKeyFloatExactness(t *testing.T) {
+	// Adjacent doubles, signed zero, and distinct NaN payloads must all
+	// produce distinct keys.
+	pairs := [][2]float64{
+		{1.0, math.Nextafter(1.0, 2.0)},
+		{0.0, math.Copysign(0, -1)},
+		{math.NaN(), 1.0},
+	}
+	for _, p := range pairs {
+		a := NewKey("ns").Float("v", p[0]).Build()
+		b := NewKey("ns").Float("v", p[1]).Build()
+		if a.ID == b.ID {
+			t.Fatalf("floats %v and %v collided (%q)", p[0], p[1], a.Canonical)
+		}
+	}
+}
+
+func TestMemoryTierGetPut(t *testing.T) {
+	c, err := New(Config{MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	val := []byte("payload")
+	if err := c.Put(k, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("got %q, %v", got, ok)
+	}
+	// The returned slice is a copy: mutating it must not poison the cache.
+	got[0] = 'X'
+	again, ok := c.Get(k)
+	if !ok || !bytes.Equal(again, val) {
+		t.Fatalf("cache poisoned: %q", again)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDiskTierRoundTripAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey("persist")
+	val := []byte("survives restarts")
+
+	c1, err := New(Config{MemBytes: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(k, val); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh instance (a "restarted process") serves the entry from disk.
+	c2, err := New(Config{MemBytes: 1 << 20, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(k)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("disk tier missed after restart: %q, %v", got, ok)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The disk hit was promoted: the next Get is a memory hit.
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("promotion lost the entry")
+	}
+	if st := c2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats after promotion: %+v", st)
+	}
+}
+
+func TestGetOrComputeColdAndWarm(t *testing.T) {
+	c, err := New(Config{MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("solve")
+	var computes atomic.Int64
+	compute := func() ([]byte, error) {
+		computes.Add(1)
+		return []byte("result"), nil
+	}
+	v, cached, err := c.GetOrCompute(k, compute)
+	if err != nil || cached || string(v) != "result" {
+		t.Fatalf("cold: %q cached=%v err=%v", v, cached, err)
+	}
+	v, cached, err = c.GetOrCompute(k, compute)
+	if err != nil || !cached || string(v) != "result" {
+		t.Fatalf("warm: %q cached=%v err=%v", v, cached, err)
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("computed %d times", computes.Load())
+	}
+}
+
+// TestGetOrComputeSingleflight: concurrent cold requests for one key run
+// the compute exactly once; everyone gets the value.
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c, err := New(Config{MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("cold")
+	var computes atomic.Int64
+	const goroutines = 16
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute(k, func() ([]byte, error) {
+				computes.Add(1)
+				return []byte("once"), nil
+			})
+			if err != nil || string(v) != "once" {
+				t.Errorf("%q, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	st := c.Stats()
+	if st.Computes != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Coalesced+st.Hits < goroutines-1 {
+		t.Fatalf("coalesced=%d hits=%d do not cover %d callers", st.Coalesced, st.Hits, goroutines)
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c, err := New(Config{MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("flaky")
+	var computes atomic.Int64
+	_, _, err = c.GetOrCompute(k, func() ([]byte, error) {
+		computes.Add(1)
+		return nil, fmt.Errorf("transient")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	v, cached, err := c.GetOrCompute(k, func() ([]byte, error) {
+		computes.Add(1)
+		return []byte("ok"), nil
+	})
+	if err != nil || cached || string(v) != "ok" {
+		t.Fatalf("retry after error: %q cached=%v err=%v", v, cached, err)
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("computed %d times, want 2 (errors are not cached)", computes.Load())
+	}
+}
+
+func TestFloatSeriesCodecBitExact(t *testing.T) {
+	c2 := []float64{1.5, -0.0, math.Nextafter(2, 3), 1e-300}
+	cfh := []float64{math.Pi, -math.MaxFloat64, 4.25}
+	blob, err := EncodeFloatSeries(c2, cfh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFloatSeries(blob, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]float64{c2, cfh} {
+		if len(out[i]) != len(want) {
+			t.Fatalf("series %d: %d values", i, len(out[i]))
+		}
+		for j := range want {
+			if math.Float64bits(out[i][j]) != math.Float64bits(want[j]) {
+				t.Fatalf("series %d value %d: %v != %v", i, j, out[i][j], want[j])
+			}
+		}
+	}
+	if _, err := DecodeFloatSeries(blob, 3); err == nil {
+		t.Fatal("wrong series count accepted")
+	}
+}
+
+func TestComplexColsCodecBitExact(t *testing.T) {
+	cols := [][]complex128{
+		{complex(1.5, -2.5), complex(math.Nextafter(0, 1), math.Copysign(0, -1))},
+		{complex(-1e300, 1e-300), complex(0, 0)},
+	}
+	blob, err := EncodeComplexCols(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeComplexCols(blob, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cols {
+		for j := range cols[i] {
+			if math.Float64bits(real(out[i][j])) != math.Float64bits(real(cols[i][j])) ||
+				math.Float64bits(imag(out[i][j])) != math.Float64bits(imag(cols[i][j])) {
+				t.Fatalf("col %d value %d differs", i, j)
+			}
+		}
+	}
+	if _, err := DecodeComplexCols(blob, 12); err == nil {
+		t.Fatal("wrong column count accepted")
+	}
+}
+
+func TestDiskPathSharding(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("shard")
+	want := filepath.Join(dir, k.ID[:2], k.ID+".fhio")
+	if got := c.diskPath(k); got != want {
+		t.Fatalf("diskPath = %q, want %q", got, want)
+	}
+}

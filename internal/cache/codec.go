@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+
+	"femtoverse/internal/hio"
+)
+
+// Value codecs. Cached values travel as hio-encoded containers, for two
+// reasons: the encoding preserves float64/complex128 bit patterns
+// exactly (Float64bits round-trip), which the warm-equals-cold
+// bit-identity guarantee requires, and every dataset carries hio's CRC,
+// so a decoded value is known-intact end to end.
+
+// EncodeFloatSeries packs an ordered set of float64 series (for the
+// campaigns: the C2 and CFH correlators of one configuration) into one
+// value blob.
+func EncodeFloatSeries(series ...[]float64) ([]byte, error) {
+	file := hio.New()
+	grp, err := file.Root().CreateGroup("value")
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range series {
+		if err := grp.WriteFloat64(fmt.Sprintf("f%04d", i), []int{len(s)}, s); err != nil {
+			return nil, err
+		}
+	}
+	if err := grp.WriteInt64("count", []int{1}, []int64{int64(len(series))}); err != nil {
+		return nil, err
+	}
+	return file.Encode(), nil
+}
+
+// DecodeFloatSeries unpacks a blob written by EncodeFloatSeries,
+// verifying it holds exactly want series (want < 0 accepts any count).
+func DecodeFloatSeries(data []byte, want int) ([][]float64, error) {
+	file, err := hio.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("cache: decode value: %w", err)
+	}
+	grp, err := file.Root().Group("value")
+	if err != nil {
+		return nil, fmt.Errorf("cache: decode value: %w", err)
+	}
+	_, count, err := grp.ReadInt64("count")
+	if err != nil || len(count) != 1 {
+		return nil, fmt.Errorf("cache: decode value: bad series count")
+	}
+	n := int(count[0])
+	if want >= 0 && n != want {
+		return nil, fmt.Errorf("cache: decode value: %d series, want %d", n, want)
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		_, s, err := grp.ReadFloat64(fmt.Sprintf("f%04d", i))
+		if err != nil {
+			return nil, fmt.Errorf("cache: decode value: %w", err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// EncodeComplexCols packs an ordered set of complex128 columns (for the
+// workflow: the 12 spin-color columns of one propagator) into one value
+// blob, bit-exactly.
+func EncodeComplexCols(cols [][]complex128) ([]byte, error) {
+	file := hio.New()
+	grp, err := file.Root().CreateGroup("value")
+	if err != nil {
+		return nil, err
+	}
+	for i, col := range cols {
+		if err := grp.WriteComplex128(fmt.Sprintf("c%04d", i), []int{len(col)}, col); err != nil {
+			return nil, err
+		}
+	}
+	if err := grp.WriteInt64("count", []int{1}, []int64{int64(len(cols))}); err != nil {
+		return nil, err
+	}
+	return file.Encode(), nil
+}
+
+// DecodeComplexCols unpacks a blob written by EncodeComplexCols,
+// verifying it holds exactly want columns (want < 0 accepts any count).
+func DecodeComplexCols(data []byte, want int) ([][]complex128, error) {
+	file, err := hio.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("cache: decode value: %w", err)
+	}
+	grp, err := file.Root().Group("value")
+	if err != nil {
+		return nil, fmt.Errorf("cache: decode value: %w", err)
+	}
+	_, count, err := grp.ReadInt64("count")
+	if err != nil || len(count) != 1 {
+		return nil, fmt.Errorf("cache: decode value: bad column count")
+	}
+	n := int(count[0])
+	if want >= 0 && n != want {
+		return nil, fmt.Errorf("cache: decode value: %d columns, want %d", n, want)
+	}
+	out := make([][]complex128, n)
+	for i := range out {
+		_, col, err := grp.ReadComplex128(fmt.Sprintf("c%04d", i))
+		if err != nil {
+			return nil, fmt.Errorf("cache: decode value: %w", err)
+		}
+		out[i] = col
+	}
+	return out, nil
+}

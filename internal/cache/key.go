@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Key is the content address of one cacheable result: a stable hash of
+// every input that determines the result bitwise, plus the canonical
+// human-readable form the hash was computed from. Two solves with equal
+// keys are guaranteed to produce bit-identical results (given the repo's
+// determinism contracts), so a cached value can stand in for a recompute
+// across campaigns, tenants, and process restarts.
+type Key struct {
+	// ID is the hex SHA-256 of the canonical form: the disk filename and
+	// the singleflight key.
+	ID string
+	// Canonical is the pipe-separated name=value rendering of the
+	// identity, stored alongside the value on disk so a hash collision or
+	// a misfiled entry is detected as a miss instead of returned as a
+	// wrong answer.
+	Canonical string
+}
+
+// KeyBuilder assembles a canonical key field by field. Field order is
+// part of the identity: append fields in one fixed order per namespace
+// and never reorder them without bumping the namespace version.
+type KeyBuilder struct {
+	parts []string
+}
+
+// NewKey starts a key in the given namespace. Namespaces version the
+// value encoding too ("core/fh-correlators/v1"): changing what is stored
+// under a namespace requires a new one, which cleanly orphans old disk
+// entries instead of misreading them.
+func NewKey(namespace string) *KeyBuilder {
+	return &KeyBuilder{parts: []string{namespace}}
+}
+
+// Str appends a string field. The value is quoted, so separators inside
+// it cannot alias another field boundary.
+func (b *KeyBuilder) Str(name, v string) *KeyBuilder {
+	b.parts = append(b.parts, name+"="+strconv.Quote(v))
+	return b
+}
+
+// Int appends an integer field.
+func (b *KeyBuilder) Int(name string, v int64) *KeyBuilder {
+	b.parts = append(b.parts, name+"="+strconv.FormatInt(v, 10))
+	return b
+}
+
+// Float appends a float field, rendered as the shortest decimal that
+// round-trips the exact bit pattern - so keys distinguish every distinct
+// double, including negative zero (rendered "-0") and the subnormals.
+// NaNs (which a sane solve identity never contains, but a defensive
+// encoder must not alias) are rendered by bit pattern, since FormatFloat
+// collapses every NaN payload to the same "NaN" string.
+func (b *KeyBuilder) Float(name string, v float64) *KeyBuilder {
+	if math.IsNaN(v) {
+		b.parts = append(b.parts, name+"=NaN:0x"+strconv.FormatUint(math.Float64bits(v), 16))
+		return b
+	}
+	b.parts = append(b.parts, name+"="+strconv.FormatFloat(v, 'g', -1, 64))
+	return b
+}
+
+// Complex appends a complex field as its two exact float components.
+func (b *KeyBuilder) Complex(name string, v complex128) *KeyBuilder {
+	b.Float(name+".re", real(v))
+	b.Float(name+".im", imag(v))
+	return b
+}
+
+// Build finalizes the key.
+func (b *KeyBuilder) Build() Key {
+	canonical := strings.Join(b.parts, "|")
+	sum := sha256.Sum256([]byte(canonical))
+	return Key{ID: hex.EncodeToString(sum[:]), Canonical: canonical}
+}

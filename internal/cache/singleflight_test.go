@@ -1,0 +1,179 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightColdKeyRunsOnce: N concurrent callers on one cold key run fn
+// exactly once and all observe the leader's value.
+func TestFlightColdKeyRunsOnce(t *testing.T) {
+	f := NewFlight[string, int]()
+	var calls atomic.Int64
+	const goroutines = 16
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	vals := make([]int, goroutines)
+	sharedCount := atomic.Int64{}
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			v, err, shared, completed := f.Do("k", func() (int, error) {
+				calls.Add(1)
+				time.Sleep(200 * time.Microsecond)
+				return 42, nil
+			})
+			if err != nil || !completed {
+				t.Errorf("caller %d: err=%v completed=%v", g, err, completed)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			vals[g] = v
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for g, v := range vals {
+		if v != 42 {
+			t.Fatalf("caller %d got %d", g, v)
+		}
+	}
+	if got := sharedCount.Load(); got != goroutines-1 {
+		t.Fatalf("%d callers coalesced, want %d", got, goroutines-1)
+	}
+	if f.Inflight() != 0 {
+		t.Fatalf("flight table not drained: %d", f.Inflight())
+	}
+}
+
+// TestFlightSharesErrors: a leader's error is delivered to every waiter,
+// not retried - identical inputs would fail identically.
+func TestFlightSharesErrors(t *testing.T) {
+	f := NewFlight[string, int]()
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	var errs atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			_, err, _, completed := f.Do("k", func() (int, error) {
+				calls.Add(1)
+				time.Sleep(200 * time.Microsecond)
+				return 0, boom
+			})
+			if !completed {
+				t.Error("error flight reported incomplete")
+			}
+			if errors.Is(err, boom) {
+				errs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := errs.Load(); got != goroutines {
+		t.Fatalf("%d callers saw the error, want %d", got, goroutines)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+}
+
+// TestFlightLeaderPanicWakesWaiters: a panicking leader propagates the
+// panic to itself only; waiters wake with completed=false and a retry
+// (per the documented contract) elects a new leader.
+func TestFlightLeaderPanicWakesWaiters(t *testing.T) {
+	f := NewFlight[string, int]()
+	var fails atomic.Int64
+	fails.Store(1) // exactly the first execution panics
+	var calls, panics, retries atomic.Int64
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	vals := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if recover() != nil {
+					panics.Add(1)
+				}
+			}()
+			for {
+				v, err, _, completed := f.Do("k", func() (int, error) {
+					calls.Add(1)
+					time.Sleep(200 * time.Microsecond)
+					if fails.Add(-1) >= 0 {
+						panic("injected leader failure")
+					}
+					return 7, nil
+				})
+				if !completed {
+					retries.Add(1)
+					continue
+				}
+				if err != nil {
+					t.Errorf("caller %d: %v", g, err)
+				}
+				vals[g] = v
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	if got := panics.Load(); got != 1 {
+		t.Fatalf("%d callers saw the panic, want exactly 1", got)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("fn ran %d times, want 2 (failed + retry)", got)
+	}
+	if retries.Load() == 0 {
+		t.Fatal("no waiter reported an incomplete flight")
+	}
+	for g, v := range vals {
+		// The panicking caller never writes its slot.
+		if v != 7 && v != 0 {
+			t.Fatalf("caller %d got %d", g, v)
+		}
+	}
+	if f.Inflight() != 0 {
+		t.Fatalf("flight table not drained: %d", f.Inflight())
+	}
+}
+
+// TestFlightIndependentKeys: flights on different keys do not serialize
+// against each other.
+func TestFlightIndependentKeys(t *testing.T) {
+	f := NewFlight[int, int]()
+	var calls atomic.Int64
+	const keys = 10
+	var wg sync.WaitGroup
+	wg.Add(keys)
+	for k := 0; k < keys; k++ {
+		k := k
+		go func() {
+			defer wg.Done()
+			v, err, _, _ := f.Do(k, func() (int, error) {
+				calls.Add(1)
+				return k * k, nil
+			})
+			if err != nil || v != k*k {
+				t.Errorf("key %d: v=%d err=%v", k, v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != keys {
+		t.Fatalf("fn ran %d times, want %d", got, keys)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"femtoverse/internal/cache"
+	"femtoverse/internal/obs"
+)
+
+// TestSolveKeyIdentity: the content address covers every physics input
+// and excludes the batch size, so campaigns of different lengths over
+// one ensemble share their prefix solves.
+func TestSolveKeyIdentity(t *testing.T) {
+	spec := campaignSpec()
+	base := solveKey(spec, 0)
+	if base != solveKey(spec, 0) {
+		t.Fatal("identical specs gave different keys")
+	}
+	if base.ID == solveKey(spec, 1).ID {
+		t.Fatal("configuration index not in the key")
+	}
+	longer := spec
+	longer.NConfigs = spec.NConfigs * 4
+	if solveKey(longer, 0) != base {
+		t.Fatal("batch size leaked into the key; cross-campaign dedupe broken")
+	}
+	for _, mutate := range []func(*RealConfig){
+		func(s *RealConfig) { s.Seed++ },
+		func(s *RealConfig) { s.Beta += 1e-15 },
+		func(s *RealConfig) { s.Tol *= 2 },
+		func(s *RealConfig) { s.Params.M += 1e-16 },
+		func(s *RealConfig) { s.ThermSweeps++ },
+		func(s *RealConfig) { s.Dims[3]++ },
+	} {
+		m := spec
+		mutate(&m)
+		if solveKey(m, 0).ID == base.ID {
+			t.Fatalf("mutated spec %+v collided with base key", m)
+		}
+	}
+}
+
+// TestCampaignWarmCacheBitForBit is the PR's acceptance test: a cold
+// cached campaign matches an uncached reference bit for bit, and a warm
+// campaign over the same store reproduces it again with zero solver
+// iterations - every configuration served from the cache.
+func TestCampaignWarmCacheBitForBit(t *testing.T) {
+	ref := NewCampaign(campaignSpec())
+	if n, err := ref.RunBatch(10); err != nil || n != 4 {
+		t.Fatalf("uncached reference: %d, %v", n, err)
+	}
+
+	dir := t.TempDir()
+	store, err := cache.New(cache.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewCampaign(campaignSpec())
+	cold.Cache = store
+	n, rep, err := cold.RunBatchConcurrent(context.Background(), 10, 2)
+	if err != nil || n != 4 {
+		t.Fatalf("cold cached run: %d, %v", n, err)
+	}
+	if rep == nil || rep.Failed != 0 {
+		t.Fatalf("cold report: %+v", rep)
+	}
+	requireIdentical(t, ref, cold)
+
+	// Warm: a fresh campaign and a fresh cache instance over the same
+	// directory (a "restarted tenant"). Zero solver work is the contract:
+	// the metrics registry must never see a solver iteration.
+	warmStore, err := cache.New(cache.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	warm := NewCampaign(campaignSpec())
+	warm.Cache = warmStore
+	warm.Obs = ObsConfig{Metrics: reg}
+	n, _, err = warm.RunBatchConcurrent(context.Background(), 10, 2)
+	if err != nil || n != 4 {
+		t.Fatalf("warm cached run: %d, %v", n, err)
+	}
+	requireIdentical(t, ref, warm)
+	if v := reg.Counter("core.solver_iterations").Value(); v != 0 {
+		t.Fatalf("warm run performed %d solver iterations, want 0", v)
+	}
+	if v := reg.Counter("core.configs_solved").Value(); v != 0 {
+		t.Fatalf("warm run solved %d configurations, want 0", v)
+	}
+	st := warmStore.Stats()
+	if st.Hits < 4 || st.Computes != 0 {
+		t.Fatalf("warm store stats: %v", st)
+	}
+}
+
+// TestCampaignSequentialWarmCache: the sequential driver consults the
+// same store, so a warm sequential rerun is also solve-free and
+// bit-identical.
+func TestCampaignSequentialWarmCache(t *testing.T) {
+	ref := NewCampaign(campaignSpec())
+	if n, err := ref.RunBatch(10); err != nil || n != 4 {
+		t.Fatalf("uncached reference: %d, %v", n, err)
+	}
+	store, err := cache.New(cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCampaign(campaignSpec())
+	cold.Cache = store
+	if n, err := cold.RunBatch(10); err != nil || n != 4 {
+		t.Fatalf("cold sequential: %d, %v", n, err)
+	}
+	requireIdentical(t, ref, cold)
+
+	warm := NewCampaign(campaignSpec())
+	warm.Cache = store
+	if n, err := warm.RunBatch(10); err != nil || n != 4 {
+		t.Fatalf("warm sequential: %d, %v", n, err)
+	}
+	requireIdentical(t, ref, warm)
+	if st := store.Stats(); st.Computes != 4 {
+		t.Fatalf("store computed %d times across both runs, want 4: %v", st.Computes, st)
+	}
+}
+
+// TestConcurrentCampaignsShareSolves: two campaigns racing over one store
+// solve each configuration exactly once between them - the singleflight
+// coalesces concurrent cold keys and the cache serves everything else.
+func TestConcurrentCampaignsShareSolves(t *testing.T) {
+	spec := campaignSpec()
+	ref := NewCampaign(spec)
+	if n, err := ref.RunBatch(10); err != nil || n != 4 {
+		t.Fatalf("reference: %d, %v", n, err)
+	}
+
+	store, err := cache.New(cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	camps := [2]*Campaign{NewCampaign(spec), NewCampaign(spec)}
+	var wg sync.WaitGroup
+	errs := make([]error, len(camps))
+	for ci, camp := range camps {
+		camp.Cache = store
+		camp.Obs = ObsConfig{Metrics: reg}
+		ci, camp := ci, camp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, _, err := camp.RunBatchConcurrent(context.Background(), 10, 2)
+			if err == nil && n != 4 {
+				errs[ci] = context.DeadlineExceeded // any sentinel: wrong count
+			} else {
+				errs[ci] = err
+			}
+		}()
+	}
+	wg.Wait()
+	for ci, err := range errs {
+		if err != nil {
+			t.Fatalf("campaign %d: %v", ci, err)
+		}
+	}
+	for _, camp := range camps {
+		requireIdentical(t, ref, camp)
+	}
+	if v := reg.Counter("core.configs_solved").Value(); v != int64(spec.NConfigs) {
+		t.Fatalf("two racing campaigns solved %d configurations, want exactly %d", v, spec.NConfigs)
+	}
+	if st := store.Stats(); st.Computes != int64(spec.NConfigs) {
+		t.Fatalf("store stats: %v", st)
+	}
+}
+
+// TestJournaledWarmCacheCheckpoints: cache hits recorded before admission
+// still reach the journal, so a warm journaled campaign remains crash-
+// recoverable without re-entering the pool.
+func TestJournaledWarmCacheCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.New(cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCampaign(campaignSpec())
+	cold.Cache = store
+	if n, err := cold.RunBatch(10); err != nil || n != 4 {
+		t.Fatalf("cold fill: %d, %v", n, err)
+	}
+
+	j, err := CreateJournal(dir+"/warm.fwal", campaignSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewCampaign(campaignSpec())
+	warm.Cache = store
+	n, _, err := warm.RunBatchConcurrentJournaled(context.Background(), 10, 2, j)
+	if err != nil || n != 4 {
+		t.Fatalf("warm journaled: %d, %v", n, err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journal alone reconstructs the warm campaign.
+	j2, recovered, err := OpenJournal(dir+"/warm.fwal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Done() != 4 {
+		t.Fatalf("journal recovered %d configurations, want 4", recovered.Done())
+	}
+	requireIdentical(t, warm, recovered)
+}

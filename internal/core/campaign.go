@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"femtoverse/internal/cache"
 	"femtoverse/internal/contract"
 	"femtoverse/internal/gauge"
 	"femtoverse/internal/hio"
@@ -28,6 +29,14 @@ type Campaign struct {
 	// runtime-only state - Save/Load deliberately do not persist it, so a
 	// resumed campaign attaches fresh sinks (or none).
 	Obs ObsConfig
+	// Cache, when non-nil, is the content-addressed result store the
+	// drivers consult before admitting solve work: configurations whose
+	// correlators are already cached (by this campaign, another campaign
+	// on the same store, or a previous process) are recorded without a
+	// single solver iteration. Runtime-only, like Obs: Save/Load do not
+	// persist it, and a nil cache reproduces the uncached behaviour
+	// bit-for-bit.
+	Cache *cache.Cache
 }
 
 // ObsConfig carries the optional observability sinks a campaign driver
@@ -71,6 +80,16 @@ func (c *Campaign) RunBatch(n int) (int, error) {
 	done := 0
 	for i := 0; i < c.Spec.NConfigs && done < n; i++ {
 		if _, ok := c.C2[i]; ok {
+			continue
+		}
+		if c.Cache != nil {
+			var restarts int
+			c2, cfh, err := c.solveThroughCache(context.Background(), i, configs[i], &restarts)
+			if err != nil {
+				return done, fmt.Errorf("core: config %d: %w", i, err)
+			}
+			c.C2[i], c.CFH[i] = c2, cfh
+			done++
 			continue
 		}
 		p, err := solveConfig(context.Background(), c.Spec, configs[i])

@@ -13,7 +13,6 @@ import (
 	"femtoverse/internal/prop"
 	jobrt "femtoverse/internal/runtime"
 	"femtoverse/internal/solver"
-	"femtoverse/internal/stats"
 )
 
 // configProps holds the solved propagators of one gauge configuration,
@@ -123,23 +122,40 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 	if err != nil {
 		return 0, nil, err
 	}
-	configs := gauge.Ensemble(g, c.Spec.Seed, c.Spec.Beta, c.Spec.NConfigs,
-		c.Spec.ThermSweeps, c.Spec.GapSweeps)
 
-	// Outstanding configurations in order, up to the batch size. The ctx
-	// check keeps a cancelled campaign from submitting a fresh batch.
+	// Outstanding configurations in order, up to the batch size. Result-
+	// cache hits are recorded (and journaled) here, before admission: a
+	// cached configuration never becomes a pool task, so a fully warm
+	// batch performs zero solver iterations and skips ensemble
+	// regeneration entirely. The ctx check keeps a cancelled campaign
+	// from submitting a fresh batch.
 	var picked []int
-	for i := 0; i < c.Spec.NConfigs && len(picked) < n; i++ {
+	hits := 0
+	for i := 0; i < c.Spec.NConfigs && hits+len(picked) < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, nil, err
 		}
-		if _, ok := c.C2[i]; !ok {
-			picked = append(picked, i)
+		if _, ok := c.C2[i]; ok {
+			continue
 		}
+		if c2, cfh, ok := c.cacheLookup(i); ok {
+			if j != nil {
+				if err := j.Append(i, c2, cfh); err != nil {
+					return hits, nil, fmt.Errorf("core: journal config %d: %w", i, err)
+				}
+			}
+			c.C2[i] = c2
+			c.CFH[i] = cfh
+			hits++
+			continue
+		}
+		picked = append(picked, i)
 	}
 	if len(picked) == 0 {
-		return 0, nil, nil
+		return hits, nil, nil
 	}
+	configs := gauge.Ensemble(g, c.Spec.Seed, c.Spec.Beta, c.Spec.NConfigs,
+		c.Spec.ThermSweeps, c.Spec.GapSweeps)
 
 	// props[k] is written by solve task 2k and read by contraction task
 	// 2k+1; the dependency edge sequences the accesses through the pool.
@@ -155,6 +171,18 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 			Class: jobrt.Solve,
 			Cost:  1,
 			Run: func(tctx context.Context) (interface{}, error) {
+				if c.Cache != nil {
+					// The solve and contraction run inside the cache's
+					// per-key singleflight, so concurrent campaigns on one
+					// store solve each configuration exactly once; the
+					// contraction task below then only journals.
+					c2, cfh, err := c.solveThroughCache(tctx, i, u, &restarts[k])
+					if err != nil {
+						return nil, fmt.Errorf("core: config %d: %w", i, err)
+					}
+					corr[k] = [2][]float64{c2, cfh}
+					return nil, nil
+				}
 				p, err := solveConfig(tctx, c.Spec, u)
 				if err != nil {
 					return nil, fmt.Errorf("core: config %d: %w", i, err)
@@ -174,14 +202,16 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 			Cost:      0.05,
 			DependsOn: []int{2 * k},
 			Run: func(tctx context.Context) (interface{}, error) {
-				c2, cfh := contractConfig(props[k])
-				corr[k] = [2][]float64{c2, cfh}
-				props[k] = nil // propagators are large; release promptly
+				if c.Cache == nil {
+					c2, cfh := contractConfig(props[k])
+					corr[k] = [2][]float64{c2, cfh}
+					props[k] = nil // propagators are large; release promptly
+				}
 				if j != nil {
 					// Log before reporting success: if the append fails
 					// the task fails, and on a crash the journal never
 					// claims work it does not hold.
-					if err := j.Append(i, c2, cfh); err != nil {
+					if err := j.Append(i, corr[k][0], corr[k][1]); err != nil {
 						return nil, fmt.Errorf("core: journal config %d: %w", i, err)
 					}
 				}
@@ -209,8 +239,9 @@ func (c *Campaign) runBatchConcurrent(ctx context.Context, n, workers int, j *Jo
 		Trace:           c.Obs.Trace,
 	}, tasks)
 
-	// Record whatever completed, even if some configuration failed.
-	done := 0
+	// Record whatever completed, even if some configuration failed; the
+	// pre-admission cache hits already count.
+	done := hits
 	for k, i := range picked {
 		if corr[k][0] == nil {
 			continue
@@ -238,32 +269,5 @@ func RunRealConcurrent(ctx context.Context, cfg RealConfig, workers int) (*RealR
 // and the metrics counters all land in the given registry and tracer.
 // The physics is bit-for-bit identical with or without sinks.
 func RunRealConcurrentObs(ctx context.Context, cfg RealConfig, workers int, sinks ObsConfig) (*RealResult, *jobrt.Report, error) {
-	camp := NewCampaign(cfg)
-	camp.Obs = sinks
-	done, rep, err := camp.RunBatchConcurrent(ctx, cfg.NConfigs, workers)
-	if err != nil {
-		return nil, rep, err
-	}
-	if done < cfg.NConfigs {
-		return nil, rep, fmt.Errorf("core: %d of %d configurations completed", done, cfg.NConfigs)
-	}
-	res := &RealResult{SolvesPerConfig: 24}
-	res.C2 = make([][]float64, cfg.NConfigs)
-	res.CFH = make([][]float64, cfg.NConfigs)
-	for i := range res.C2 {
-		res.C2[i] = camp.C2[i]
-		res.CFH[i] = camp.CFH[i]
-	}
-	tExt := cfg.Dims[3]
-	joined := make([][]float64, len(res.C2))
-	for i := range joined {
-		v := make([]float64, 2*tExt)
-		copy(v[:tExt], res.C2[i])
-		copy(v[tExt:], res.CFH[i])
-		joined[i] = v
-	}
-	res.Geff, res.GeffErr = stats.JackknifeVec(joined, func(mean []float64) []float64 {
-		return contract.EffectiveGA(mean[tExt:], mean[:tExt])
-	})
-	return res, rep, nil
+	return RunRealConcurrentCached(ctx, cfg, workers, sinks, nil)
 }

@@ -22,6 +22,15 @@ type Result interface {
 	Render() string
 }
 
+// DataResult is a Result that additionally exposes its headline values
+// in structured form, for machine-readable output (latbench -json). The
+// keys are stable identifiers; renderings may change freely, data keys
+// may not.
+type DataResult interface {
+	Result
+	Data() map[string]interface{}
+}
+
 // Generator produces a Result; Quick trades statistics for speed and is
 // what the unit tests use.
 type Generator func(quick bool) (Result, error)

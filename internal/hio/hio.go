@@ -548,6 +548,11 @@ func (r *reader) group() (*Group, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Bound the allocation by the bytes actually present: each shape
+		// entry is 4 bytes, so a corrupt count cannot force a huge make.
+		if int64(nShape)*4 > int64(len(r.buf)-r.off) {
+			return nil, fmt.Errorf("hio: truncated shape at offset %d", r.off)
+		}
 		shape := make([]int, nShape)
 		for j := range shape {
 			v, err := r.u32()

@@ -1,0 +1,137 @@
+package workflow
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"femtoverse/internal/cache"
+	"femtoverse/internal/linalg"
+)
+
+func fhCampaignSpec() FHCampaignConfig {
+	cfg := DefaultRealConfig()
+	cfg.Dims = [4]int{2, 2, 2, 4}
+	cfg.Params.Ls = 4
+	cfg.NConfigs = 2
+	cfg.ThermSweeps = 3
+	cfg.GapSweeps = 1
+	return FHCampaignConfig{
+		RealConfig: cfg,
+		Insertions: []Insertion{
+			{Name: "axial", Gamma: linalg.AxialGamma()},
+			{Name: "vector4", Gamma: linalg.Gamma(3)},
+		},
+	}
+}
+
+func requireFHIdentical(t *testing.T, ref, got *FHCampaignResult) {
+	t.Helper()
+	if len(got.C2) != len(ref.C2) || len(got.CFH) != len(ref.CFH) {
+		t.Fatalf("shape: %d/%d configs, %d/%d insertions",
+			len(got.C2), len(ref.C2), len(got.CFH), len(ref.CFH))
+	}
+	for i := range ref.C2 {
+		for tt := range ref.C2[i] {
+			if math.Float64bits(got.C2[i][tt]) != math.Float64bits(ref.C2[i][tt]) {
+				t.Fatalf("C2 config %d differs at t=%d", i, tt)
+			}
+		}
+	}
+	for name, series := range ref.CFH {
+		g, ok := got.CFH[name]
+		if !ok {
+			t.Fatalf("insertion %q missing", name)
+		}
+		for i := range series {
+			for tt := range series[i] {
+				if math.Float64bits(g[i][tt]) != math.Float64bits(series[i][tt]) {
+					t.Fatalf("CFH %q config %d differs at t=%d", name, i, tt)
+				}
+			}
+		}
+	}
+}
+
+// TestFHCampaignSharesBaseSolves: with a cache attached, the base
+// propagator of each configuration is solved once no matter how many
+// insertions consume it, and the result matches the uncached run bit for
+// bit.
+func TestFHCampaignSharesBaseSolves(t *testing.T) {
+	spec := fhCampaignSpec()
+	ref, err := RunFHCampaign(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.BaseSolves != spec.NConfigs || ref.FHSolves != spec.NConfigs*len(spec.Insertions) {
+		t.Fatalf("uncached solve counts: base=%d fh=%d", ref.BaseSolves, ref.FHSolves)
+	}
+
+	store, err := cache.New(cache.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunFHCampaign(context.Background(), spec, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.BaseSolves != spec.NConfigs {
+		t.Fatalf("cold cached run solved %d base propagators, want %d (one per config, shared across %d insertions)",
+			cold.BaseSolves, spec.NConfigs, len(spec.Insertions))
+	}
+	if cold.FHSolves != spec.NConfigs*len(spec.Insertions) {
+		t.Fatalf("cold cached run solved %d FH propagators, want %d",
+			cold.FHSolves, spec.NConfigs*len(spec.Insertions))
+	}
+	requireFHIdentical(t, ref, cold)
+}
+
+// TestFHCampaignWarmZeroSolves: a rerun over a populated store - across a
+// simulated process restart via the disk tier - performs zero solves and
+// reproduces every correlator bit for bit.
+func TestFHCampaignWarmZeroSolves(t *testing.T) {
+	spec := fhCampaignSpec()
+	dir := t.TempDir()
+	store, err := cache.New(cache.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunFHCampaign(context.Background(), spec, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh cache instance over the same directory: the "restart".
+	warmStore, err := cache.New(cache.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunFHCampaign(context.Background(), spec, warmStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.BaseSolves != 0 || warm.FHSolves != 0 {
+		t.Fatalf("warm run solved base=%d fh=%d, want zero", warm.BaseSolves, warm.FHSolves)
+	}
+	requireFHIdentical(t, cold, warm)
+	if st := warmStore.Stats(); st.Computes != 0 || st.Hits < int64(spec.NConfigs*(1+len(spec.Insertions))) {
+		t.Fatalf("warm store stats: %v", st)
+	}
+}
+
+// TestFHPropKeyCoversGamma: two insertions that share a name but differ
+// in spin structure get distinct cache identities.
+func TestFHPropKeyCoversGamma(t *testing.T) {
+	spec := fhCampaignSpec()
+	a := fhPropKey(spec.RealConfig, 0, Insertion{Name: "x", Gamma: linalg.AxialGamma()})
+	b := fhPropKey(spec.RealConfig, 0, Insertion{Name: "x", Gamma: linalg.Gamma(3)})
+	if a.ID == b.ID {
+		t.Fatal("gamma structure not part of the FH key")
+	}
+	if fhPropKey(spec.RealConfig, 0, Insertion{Name: "x", Gamma: linalg.AxialGamma()}) != a {
+		t.Fatal("FH key not stable")
+	}
+	if basePropKey(spec.RealConfig, 0).ID == basePropKey(spec.RealConfig, 1).ID {
+		t.Fatal("configuration index not in the base key")
+	}
+}
