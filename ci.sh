@@ -46,11 +46,16 @@ go test -race -run 'Obs|Timeline|Trace' ./internal/runtime/ ./internal/core/ ./i
 go test -race -count=2 ./internal/cache/
 go test -race -run 'WarmCache|ShareSolves|SequentialWarm|CacheBitForBit' ./internal/core/
 go test -race -run 'FH' ./internal/workflow/
+# Analysis gate: the analyzer suite itself (driver, fact plumbing,
+# fixtures, the vettool handshake e2e) re-runs under the race detector
+# against fresh interleavings - the unitchecker is invoked concurrently
+# by cmd/go, so its own code must hold to the standard it enforces.
+go test -race -count=2 ./internal/analysis/...
 # The femtolint suppression budget: the tree carries 8 reviewed
 # //femtolint:ignore directives (the runtime's deliberate post-drain
 # Wait, the journal's best-effort Close-after-error cleanups). New code
-# must satisfy the passes, not suppress them - any growth in this count
-# fails CI and demands a review.
-count=$(grep -rn '//femtolint:ignore [a-z]' --include='*.go' . \
-	| grep -v testdata | grep -v analysistest | grep -cv '_test.go') || true
-[ "$count" -le 8 ] || { echo "femtolint suppressions grew to $count (budget: 8)"; exit 1; }
+# must satisfy the passes, not suppress them. Audit mode replaces the old
+# grep: it counts real, well-formed directives in non-test files through
+# the analysis itself, and additionally fails on malformed directives and
+# on stale ones that no longer suppress anything.
+"$PWD/femtolint.bin" -audit -budget=8 ./...

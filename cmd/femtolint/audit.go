@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"femtoverse/internal/analysis"
+)
+
+// Audit mode: `femtolint -audit [-budget=N] [packages]`.
+//
+// The old CI gate grepped the tree for femtolint:ignore markers, which
+// counted text, not meaning: it could not tell a well-formed directive
+// from a typo'd one, nor a directive that suppresses a real diagnostic
+// from one left behind after the offending code was fixed. Audit mode
+// answers those questions with the analysis itself: it re-runs
+// `go vet -vettool=<self>` with FEMTOLINT_AUDIT_DIR pointing at a scratch
+// directory, every analyzed compilation unit drops an AuditRecord (its
+// directive inventory with usage counts, plus its malformed-directive
+// tally), and the parent process aggregates them into a budget report.
+//
+// The audit enforces three rules over non-test files:
+//
+//   - the number of suppression directives must not exceed the budget;
+//   - every directive must be well-formed (known analyzer, a reason) —
+//     malformed ones are also reported inline as femtolint diagnostics;
+//   - every directive must actually suppress something (Used > 0); a
+//     stale directive is a fixed bug still wearing its excuse.
+//
+// Directives in _test.go files are exempt from the budget, matching the
+// old grep gate: test fixtures legitimately carry suppressions as part of
+// what they test.
+func runAudit(patterns []string, budget int) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+		return 1
+	}
+	dir, err := os.MkdirTemp("", "femtolint-audit-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+
+	// The audit dir salts the -V=full buildID (see analysis.PrintVersion),
+	// so cmd/go's action cache misses and every unit truly executes and
+	// writes its record.
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Env = append(os.Environ(), analysis.AuditEnv+"="+dir)
+	vetExit := 0
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			vetExit = ee.ExitCode()
+		} else {
+			fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+			return 1
+		}
+	}
+
+	records, err := readAuditRecords(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+		return 1
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "femtolint: audit collected no records (did go vet run?)")
+		return 1
+	}
+
+	report, failed := auditReport(records, budget)
+	fmt.Print(report)
+	if vetExit != 0 {
+		return vetExit
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func readAuditRecords(dir string) ([]analysis.AuditRecord, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var records []analysis.AuditRecord
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var rec analysis.AuditRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("audit record %s: %w", e.Name(), err)
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}
+
+// auditDirective is one deduplicated non-test suppression directive.
+type auditDirective struct {
+	file     string
+	line     int
+	analyzer string
+	used     int
+}
+
+// auditReport aggregates the per-unit records and renders the budget
+// report, returning it with whether the audit failed. A package is
+// vetted as several compilation units (the package itself plus its test
+// variants, which recompile the same files), so directives are
+// deduplicated by position with the highest usage count winning.
+func auditReport(records []analysis.AuditRecord, budget int) (string, bool) {
+	w := &strings.Builder{}
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = ""
+	}
+	display := func(file string) string {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				return rel
+			}
+		}
+		return file
+	}
+
+	byPos := map[string]*auditDirective{}
+	malformed := 0
+	for _, rec := range records {
+		malformed += rec.Malformed
+		for _, d := range rec.Directives {
+			if strings.HasSuffix(d.File, "_test.go") {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", d.File, d.Line)
+			cur, ok := byPos[key]
+			if !ok {
+				byPos[key] = &auditDirective{file: d.File, line: d.Line, analyzer: d.Analyzer, used: d.Used}
+				continue
+			}
+			if d.Used > cur.used {
+				cur.used = d.Used
+			}
+		}
+	}
+
+	directives := make([]*auditDirective, 0, len(byPos))
+	for _, d := range byPos {
+		directives = append(directives, d)
+	}
+	sort.Slice(directives, func(i, j int) bool {
+		if directives[i].file != directives[j].file {
+			return directives[i].file < directives[j].file
+		}
+		return directives[i].line < directives[j].line
+	})
+
+	fmt.Fprintf(w, "femtolint audit: %d suppression directive(s) in non-test files (budget %d)\n", len(directives), budget)
+	var stale []*auditDirective
+	for _, d := range directives {
+		status := fmt.Sprintf("used %d×", d.used)
+		if d.used == 0 {
+			status = "STALE"
+			stale = append(stale, d)
+		}
+		fmt.Fprintf(w, "  %s:%d: %s (%s)\n", display(d.file), d.line, d.analyzer, status)
+	}
+
+	failed := false
+	if len(directives) > budget {
+		fmt.Fprintf(w, "femtolint audit: FAIL: suppression budget exceeded: %d > %d\n", len(directives), budget)
+		failed = true
+	}
+	for _, d := range stale {
+		fmt.Fprintf(w, "femtolint audit: FAIL: stale directive at %s:%d suppresses nothing; remove it\n", display(d.file), d.line)
+		failed = true
+	}
+	if malformed > 0 {
+		fmt.Fprintf(w, "femtolint audit: FAIL: %d malformed directive(s); see the femtolint diagnostics above\n", malformed)
+		failed = true
+	}
+	if !failed {
+		fmt.Fprintf(w, "femtolint audit: OK\n")
+	}
+	return w.String(), failed
+}

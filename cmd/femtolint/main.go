@@ -3,16 +3,19 @@
 // errdrop, the machine-checked forms of the determinism, cancellation and
 // hot-path contracts.
 //
-// Two modes share one binary:
+// Three modes share one binary:
 //
 //	femtolint [packages]           # standalone; defaults to ./...
-//	go vet -vettool=femtolint ...  # driven by cmd/go (what ci.sh does)
+//	femtolint -audit [packages]    # suppression-budget audit (what ci.sh gates on)
+//	go vet -vettool=femtolint ...  # driven by cmd/go
 //
 // Standalone mode simply re-executes `go vet -vettool=<self>` so that both
 // modes analyze exactly what the build graph compiles, with cmd/go doing
 // the loading, caching, and export-data plumbing. The vettool protocol
 // itself (-V=full handshake, vet.cfg units) is implemented in
-// internal/analysis.
+// internal/analysis. Audit mode (audit.go) additionally aggregates every
+// unit's suppression-directive inventory and enforces the repo-wide
+// budget, rejecting malformed and stale directives.
 package main
 
 import (
@@ -20,10 +23,16 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 
 	"femtoverse/internal/analysis"
 )
+
+// defaultBudget is the repo-wide cap on non-test suppression directives.
+// It only ratchets down: raising it needs a better argument than "the
+// tenth suppression was inconvenient".
+const defaultBudget = 8
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -33,9 +42,20 @@ func run(args []string) int {
 	// selected tracks -<analyzer> flags; if any is set true, only those
 	// analyzers run (the x/tools multichecker convention).
 	selected := make(map[string]bool)
+	audit := false
+	budget := defaultBudget
 	rest := args[:0:0]
 	for _, arg := range args {
 		switch {
+		case arg == "-audit" || arg == "--audit":
+			audit = true
+		case strings.HasPrefix(arg, "-budget=") || strings.HasPrefix(arg, "--budget="):
+			v, err := strconv.Atoi(arg[strings.Index(arg, "=")+1:])
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "femtolint: bad %s: want a non-negative integer\n", arg)
+				return 1
+			}
+			budget = v
 		case arg == "-V=full" || arg == "--V=full":
 			if err := analysis.PrintVersion(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
@@ -81,6 +101,9 @@ func run(args []string) int {
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	if audit {
+		return runAudit(patterns, budget)
 	}
 	exe, err := os.Executable()
 	if err != nil {
@@ -143,13 +166,17 @@ func printFlagsJSON() int {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: femtolint [packages]
+	fmt.Fprintf(os.Stderr, `usage: femtolint [-audit [-budget=N]] [packages]
 
 Runs the femtoverse static-analysis suite over the named packages
 (default ./...) by re-executing "go vet -vettool=femtolint".
 
+With -audit, additionally inventories every //femtolint:ignore directive
+and fails if non-test files carry more than N of them (default %d), if
+any directive is malformed, or if any is stale (suppresses nothing).
+
 Analyzers:
-`)
+`, defaultBudget)
 	for _, a := range analysis.All() {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}

@@ -4,7 +4,7 @@
 // built on the standard library's go/ast and go/types, because this tree
 // must build offline with the Go toolchain alone.
 //
-// The five analyzers machine-check the contracts that PR 1 made
+// The analyzers machine-check the contracts that PR 1 made
 // load-bearing and that the paper's campaign engineering depends on:
 //
 //   - ctxcancel:   every for loop in a context-taking function must consult
@@ -20,6 +20,20 @@
 //   - hotalloc:    no make/append/map allocation inside nested loops of the
 //     hot packages (dirac, solver, linalg, contract).
 //   - errdrop:     no silently discarded errors outside tests.
+//   - dettaint:    interprocedural determinism taint — every function that
+//     transitively reads wall-clock time, global rand, map
+//     iteration order, GOMAXPROCS/NumCPU, or the environment
+//     is recorded in a package fact, and any such call
+//     reachable from a determinism-critical root (cache keys
+//     and codecs, hio encoders, solver/linalg/dirac kernels,
+//     journal records) is a diagnostic.
+//   - spanend:     every obs span opened must be ended on all paths
+//     (defer or all-returns), so traces cannot silently lose
+//     lanes.
+//   - lockhold:    no blocking operation (channel ops, select without
+//     default, singleflight, waits — and, in the runtime/
+//     cache/autotune packages, file I/O) while holding a
+//     sync.Mutex/RWMutex.
 //
 // Diagnostics can be suppressed, narrowly, with a justified comment on the
 // flagged line or the line above:
@@ -31,6 +45,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -38,17 +53,28 @@ import (
 	"strings"
 )
 
-// An Analyzer is one femtolint pass. Unlike x/tools analyzers there are no
-// facts and no analyzer-to-analyzer dependencies: each pass sees one fully
-// type-checked package and reports diagnostics.
+// An Analyzer is one femtolint pass. Each pass sees one fully
+// type-checked package and reports diagnostics; a pass with HasFacts set
+// additionally exports a package-level fact (a JSON-serializable summary
+// of the package, see facts.go) and may import the facts of the
+// package's dependencies — the mechanism that makes dettaint
+// interprocedural. There are still no analyzer-to-analyzer dependencies:
+// facts flow between packages within one analyzer, never between
+// analyzers.
 type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+	// HasFacts marks the analyzer as exporting package facts. The
+	// unitchecker runs fact-bearing analyzers on dependency-only
+	// (VetxOnly) units too — suppressing their diagnostics — so facts
+	// exist for every package the listed ones import.
+	HasFacts bool
 }
 
 // A Pass is the unit of work handed to one Analyzer.Run: a single
-// type-checked package.
+// type-checked package, plus the facts its dependencies exported for
+// this analyzer.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -56,7 +82,36 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	report func(Diagnostic)
+	imports    Facts
+	exportFact func(json.RawMessage)
+	report     func(Diagnostic)
+}
+
+// ImportPackageFact decodes into dst the fact this analyzer exported for
+// the package with the given import path, reporting whether one exists.
+// Facts arrive via the vetx files of direct imports under `go vet`
+// (which re-export their own imports' facts, making the flow transitive)
+// or via Target.Imports in tests.
+func (p *Pass) ImportPackageFact(path string, dst any) bool {
+	raw, ok := p.imports[path][p.Analyzer.Name]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, dst) == nil
+}
+
+// ExportPackageFact records src as this analyzer's fact for the package
+// under analysis. The last export wins; analyzers conventionally export
+// exactly once, at the end of Run.
+func (p *Pass) ExportPackageFact(src any) error {
+	raw, err := json.Marshal(src)
+	if err != nil {
+		return fmt.Errorf("%s: marshal fact: %w", p.Analyzer.Name, err)
+	}
+	if p.exportFact != nil {
+		p.exportFact(raw)
+	}
+	return nil
 }
 
 // A Diagnostic is one finding, attributed to the analyzer that produced it.
@@ -80,7 +135,7 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 
 // All returns the full femtolint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxCancel, DetRange, GlobalRand, HotAlloc, ErrDrop}
+	return []*Analyzer{CtxCancel, DetRange, DetTaint, GlobalRand, HotAlloc, ErrDrop, SpanEnd, LockHold}
 }
 
 // isContextType reports whether t is context.Context.

@@ -14,6 +14,12 @@
 // Because the driver applies //femtolint:ignore suppression before
 // diagnostics reach the harness, fixtures also express "this line is
 // suppressed" simply by carrying a directive and no want.
+//
+// RunWithDeps additionally loads fixture dependency packages first, runs
+// the analyzers over them with diagnostics suppressed, and threads the
+// facts they export into the target package — the in-process equivalent
+// of the vetx flow under `go vet`, used to test interprocedural analyzers
+// like dettaint across package boundaries.
 package analysistest
 
 import (
@@ -43,6 +49,29 @@ var (
 	sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
 )
 
+// A Dep names one fixture dependency package: the directory holding its
+// sources and the import path to load it under. Later deps (and the
+// target package) may import earlier ones by that path.
+type Dep struct {
+	Dir     string
+	PkgPath string
+}
+
+// fixtureImporter resolves fixture packages loaded earlier in the same
+// run and falls back to the source importer for everything else (the
+// standard library). This is what lets fixtures import synthetic
+// "fixture/internal/..." packages that exist only under testdata.
+type fixtureImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	return sharedImporter.Import(path)
+}
+
 // Run loads the fixture package in dir under the package path pkgPath,
 // executes the analyzers through the femtolint driver (suppression
 // included), and enforces the // want expectations.
@@ -52,12 +81,22 @@ var (
 // as e.g. "fixture/internal/dirac".
 func Run(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
+	RunWithDeps(t, dir, pkgPath, nil, analyzers...)
+}
+
+// RunWithDeps is Run with fixture dependencies: each dep is loaded and
+// analyzed first (its diagnostics discarded, matching VetxOnly units
+// under `go vet`), its exported facts are collected, and the target
+// package then runs with those facts importable — so a // want in the
+// target can assert on taint that originates two fixture packages away.
+func RunWithDeps(t *testing.T, dir, pkgPath string, deps []Dep, analyzers ...*analysis.Analyzer) {
+	t.Helper()
 	loadMu.Lock()
 	defer loadMu.Unlock()
 
-	files, diags := load(t, dir, pkgPath, analyzers)
+	files, res := loadAll(t, dir, pkgPath, deps, analyzers)
 	wants := collectWants(t, sharedFset, files)
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		posn := sharedFset.Position(d.Pos)
 		if !consumeWant(wants, posn, d.Message) {
 			t.Errorf("%s: unexpected diagnostic: %s (%s)", posn, d.Message, d.Analyzer)
@@ -79,15 +118,44 @@ func RunExpectNone(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Ana
 	loadMu.Lock()
 	defer loadMu.Unlock()
 
-	_, diags := load(t, dir, pkgPath, analyzers)
-	for _, d := range diags {
+	_, res := loadAll(t, dir, pkgPath, nil, analyzers)
+	for _, d := range res.Diags {
 		t.Errorf("%s: unexpected diagnostic: %s (%s)", sharedFset.Position(d.Pos), d.Message, d.Analyzer)
 	}
 }
 
-// load parses and typechecks the fixture package and runs the analyzers
+// Facts loads the fixture package (and deps) and returns the facts the
+// analyzers exported for it, for tests that assert on fact content rather
+// than diagnostics.
+func Facts(t *testing.T, dir, pkgPath string, deps []Dep, analyzers ...*analysis.Analyzer) analysis.PackageFacts {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	_, res := loadAll(t, dir, pkgPath, deps, analyzers)
+	return res.Exported
+}
+
+// loadAll loads the dependency chain and then the target package.
+// Callers must hold loadMu.
+func loadAll(t *testing.T, dir, pkgPath string, deps []Dep, analyzers []*analysis.Analyzer) ([]*ast.File, *analysis.Result) {
+	t.Helper()
+	fi := &fixtureImporter{pkgs: make(map[string]*types.Package)}
+	facts := analysis.Facts{}
+	for _, dep := range deps {
+		pkg, _, res := load(t, dep.Dir, dep.PkgPath, fi, facts, analyzers, false)
+		fi.pkgs[dep.PkgPath] = pkg
+		if len(res.Exported) > 0 {
+			facts[dep.PkgPath] = res.Exported
+		}
+	}
+	_, files, res := load(t, dir, pkgPath, fi, facts, analyzers, true)
+	return files, res
+}
+
+// load parses and typechecks one fixture package and runs the analyzers
 // through the driver. Callers must hold loadMu.
-func load(t *testing.T, dir, pkgPath string, analyzers []*analysis.Analyzer) ([]*ast.File, []analysis.Diagnostic) {
+func load(t *testing.T, dir, pkgPath string, imp types.Importer, facts analysis.Facts, analyzers []*analysis.Analyzer, reportDiags bool) (*types.Package, []*ast.File, *analysis.Result) {
 	t.Helper()
 	names, err := fixtureFiles(dir)
 	if err != nil {
@@ -103,17 +171,17 @@ func load(t *testing.T, dir, pkgPath string, analyzers []*analysis.Analyzer) ([]
 	}
 
 	info := analysis.NewInfo()
-	cfg := types.Config{Importer: sharedImporter}
+	cfg := types.Config{Importer: imp}
 	pkg, err := cfg.Check(pkgPath, sharedFset, files, info)
 	if err != nil {
 		t.Fatalf("analysistest: typechecking %s: %v", dir, err)
 	}
 
-	diags, err := analysis.Run(&analysis.Target{Fset: sharedFset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	res, err := analysis.Run(&analysis.Target{Fset: sharedFset, Files: files, Pkg: pkg, Info: info, Imports: facts}, analyzers, reportDiags)
 	if err != nil {
 		t.Fatalf("analysistest: running analyzers on %s: %v", dir, err)
 	}
-	return files, diags
+	return pkg, files, res
 }
 
 type want struct {

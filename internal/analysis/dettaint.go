@@ -1,0 +1,556 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DetTaint is the interprocedural determinism-taint analysis. It computes,
+// for every function in the package, whether the function transitively
+// reads a nondeterministic input:
+//
+//   - wall-clock time (time.Now called, or time.Now used as a value),
+//     except in the measured-timing idiom — see detTaintExemptCalls;
+//   - the global math/rand source (the seeded-*rand.Rand discipline is
+//     globalrand's job; dettaint only cares that global draws taint
+//     callers);
+//   - map iteration order that escapes the loop (an order-sensitive sink,
+//     or a return from inside a map range);
+//   - runtime.GOMAXPROCS / runtime.NumCPU;
+//   - the process environment (os.Getenv and friends).
+//
+// The per-function taint is exported as a package fact, so the analysis
+// crosses package boundaries: a unit importing a tainted package learns
+// which of its functions are tainted and why (the call path back to the
+// source). Diagnostics fire only inside determinism-critical roots — the
+// functions whose output the repo promises is bit-for-bit reproducible:
+//
+//   - every function in internal/{linalg,dirac,solver,hio,cache}
+//     (kernels, encoders, content-addressed keys and codecs);
+//   - in internal/core, journal record construction: methods on Journal
+//     and functions whose name mentions Record or Payload;
+//   - in any package, functions that build cache keys (use a
+//     cache.KeyBuilder in their signature or call cache.NewKey /
+//     KeyBuilder methods).
+//
+// Known limitation: calls through function values and interfaces are not
+// tracked (no call-graph construction for indirect calls). That is
+// deliberate — the obs tracer injects its clock as a func value precisely
+// so trace timestamps stay out of the deterministic dataflow.
+var DetTaint = &Analyzer{
+	Name:     "dettaint",
+	Doc:      "no transitive wall-clock/rand/map-order/env reads reachable from determinism-critical roots (cache keys, codecs, kernels, journal records)",
+	Run:      runDetTaint,
+	HasFacts: true,
+}
+
+// taintInfo records why one function is tainted: the nondeterministic
+// input it (transitively) reads, and the call path from the function to
+// the read. This is the fact value, keyed by funcKey.
+type taintInfo struct {
+	// Source is the human-readable input description, e.g.
+	// "wall-clock time (time.Now)".
+	Source string `json:"source"`
+	// Path is the call chain, innermost last, e.g. "Stamp → time.Now".
+	Path string `json:"path"`
+}
+
+// detTaintFact is the dettaint package fact: tainted funcKey -> why.
+type detTaintFact map[string]taintInfo
+
+// rootPkgs are the import-path suffixes whose every non-test function is
+// a determinism-critical root.
+var rootPkgs = []string{
+	"internal/linalg",
+	"internal/dirac",
+	"internal/solver",
+	"internal/hio",
+	"internal/cache",
+}
+
+func hasPkgSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func isRootPackage(path string) bool {
+	for _, s := range rootPkgs {
+		if hasPkgSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcKey names a function within its package's fact: "F" for a free
+// function, "T.M" for a method on T or *T.
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// detFunc is the per-function analysis state.
+type detFunc struct {
+	key  string
+	decl *ast.FuncDecl
+	// taint is set once the function is known tainted; first cause wins.
+	taint *taintInfo
+	// callees are same-package callees by funcKey (for the fixpoint).
+	callees []string
+	// isRoot marks the function determinism-critical.
+	isRoot bool
+}
+
+func runDetTaint(pass *Pass) error {
+	pkgPath := pass.Pkg.Path()
+	allRoot := isRootPackage(pkgPath)
+	corePkg := hasPkgSuffix(pkgPath, "internal/core")
+
+	funcs := map[string]*detFunc{}
+	var order []string
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := funcKey(fn)
+			df := &detFunc{key: key, decl: fd}
+			df.isRoot = allRoot ||
+				(corePkg && isJournalRecordFunc(pass, fd)) ||
+				usesKeyBuilder(pass, fd)
+			funcs[key] = df
+			order = append(order, key)
+		}
+	}
+	sort.Strings(order)
+
+	// Pass 1: direct sources and same-package call edges.
+	for _, key := range order {
+		scanFuncTaint(pass, funcs[key], funcs)
+	}
+
+	// Pass 2: fixpoint over same-package call edges. First cause wins, and
+	// the sorted sweep order makes the winner deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, key := range order {
+			df := funcs[key]
+			if df.taint != nil {
+				continue
+			}
+			for _, callee := range df.callees {
+				cf := funcs[callee]
+				if cf == nil || cf.taint == nil {
+					continue
+				}
+				df.taint = &taintInfo{
+					Source: cf.taint.Source,
+					Path:   callee + " → " + cf.taint.Path,
+				}
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Pass 3: diagnostics inside roots, at the offending call sites.
+	for _, key := range order {
+		df := funcs[key]
+		if df.isRoot {
+			reportRootTaint(pass, df, funcs)
+		}
+	}
+
+	// Export the fact (only when non-empty, to keep vetx files lean).
+	fact := detTaintFact{}
+	for _, key := range order {
+		if df := funcs[key]; df.taint != nil {
+			fact[key] = *df.taint
+		}
+	}
+	if len(fact) > 0 {
+		return pass.ExportPackageFact(fact)
+	}
+	return nil
+}
+
+// isJournalRecordFunc reports whether fd is journal record construction:
+// a method on Journal/*Journal, or a function whose name mentions Record
+// or Payload.
+func isJournalRecordFunc(pass *Pass, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if strings.Contains(name, "Record") || strings.Contains(name, "Payload") {
+		return true
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "Journal"
+}
+
+// isKeyBuilderType reports whether t is cache.KeyBuilder (by name and
+// import-path suffix, so fixture packages qualify too), possibly behind a
+// pointer.
+func isKeyBuilderType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "KeyBuilder" && obj.Pkg() != nil && hasPkgSuffix(obj.Pkg().Path(), "internal/cache")
+}
+
+// usesKeyBuilder reports whether fd participates in cache-key
+// construction: a cache.KeyBuilder anywhere in its signature, or a call
+// to cache.NewKey or a KeyBuilder method in its body.
+func usesKeyBuilder(pass *Pass, fd *ast.FuncDecl) bool {
+	if tt := pass.TypesInfo.TypeOf(fd.Name); tt != nil {
+		if sig, ok := tt.(*types.Signature); ok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isKeyBuilderType(sig.Params().At(i).Type()) {
+					return true
+				}
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if isKeyBuilderType(sig.Results().At(i).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || !hasPkgSuffix(fn.Pkg().Path(), "internal/cache") {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		if fn.Name() == "NewKey" || (sig != nil && sig.Recv() != nil && isKeyBuilderType(sig.Recv().Type())) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// detTaintExemptCalls returns the set of time.Now call nodes excused as
+// the measured-timing idiom: a wall-clock read whose value stays inside
+// time's own types never feeds deterministic output, it only measures
+// elapsed work. Exempt forms:
+//
+//	start := time.Now()              // define/assign into time.Time/Duration
+//	st.T0 = time.Now()
+//	&job{submitted: time.Now()}      // composite-literal field of those types
+//	p.remaining(time.Now())          // argument to a time.Time parameter
+//
+// time.Since/time.Until are not sources at all (see directSource): they
+// yield relative durations, and it is absolute timestamps that leak into
+// keys, records, and encoded output.
+func detTaintExemptCalls(pass *Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	exempt := map[*ast.CallExpr]bool{}
+	isTimeType := func(t types.Type) bool {
+		named, ok := types.Unalias(t).(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return false
+		}
+		return obj.Name() == "Time" || obj.Name() == "Duration"
+	}
+	mark := func(e ast.Expr, lhsType types.Type) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || !isTimeNowCall(pass, call) {
+			return
+		}
+		if isTimeType(lhsType) {
+			exempt[call] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) {
+					mark(rhs, pass.TypesInfo.TypeOf(s.Lhs[i]))
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range s.Values {
+				mark(v, pass.TypesInfo.TypeOf(s.Names[0]))
+			}
+		case *ast.KeyValueExpr:
+			mark(s.Value, pass.TypesInfo.TypeOf(s.Value))
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, s); fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					for i, arg := range s.Args {
+						if i < sig.Params().Len() {
+							mark(arg, sig.Params().At(i).Type())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// isTimeNowCall reports whether call is time.Now(...).
+func isTimeNowCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now"
+}
+
+// directSource classifies fn as a nondeterministic input, returning the
+// source description and the short name for the path, or "".
+func directSource(fn *types.Func) (source, short string) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	hasRecv := sig != nil && sig.Recv() != nil
+	name := fn.Name()
+	switch pkg.Path() {
+	case "time":
+		// Only the absolute clock; Since/Until yield relative durations.
+		if !hasRecv && name == "Now" {
+			return "wall-clock time (time.Now)", "time.Now"
+		}
+	case "math/rand", "math/rand/v2":
+		if !hasRecv && !globalRandAllowed[name] {
+			return "the global math/rand source (rand." + name + ")", "rand." + name
+		}
+	case "runtime":
+		if !hasRecv && (name == "GOMAXPROCS" || name == "NumCPU") {
+			return "the processor count (runtime." + name + ")", "runtime." + name
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ", "ExpandEnv", "Hostname":
+			return "the process environment (os." + name + ")", "os." + name
+		}
+	}
+	return "", ""
+}
+
+// scanFuncTaint walks one function body recording direct sources, imported
+// taint, and same-package call edges. Function literals are treated as
+// part of the enclosing function (a closure's nondeterminism is charged
+// to whoever declared it).
+func scanFuncTaint(pass *Pass, df *detFunc, funcs map[string]*detFunc) {
+	exempt := detTaintExemptCalls(pass, df.decl.Body)
+	setTaint := func(ti taintInfo) {
+		if df.taint == nil {
+			df.taint = &ti
+		}
+	}
+	// callFuns collects the Fun expression of every call, so the
+	// value-reference check below can tell `x := time.Now` apart from
+	// `time.Now()` (ast.Inspect is pre-order: the CallExpr is always
+	// visited before its Fun selector).
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(df.decl.Body, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.CallExpr:
+			callFuns[ast.Unparen(nd.Fun)] = true
+			fn := calleeFunc(pass, nd)
+			if fn == nil {
+				return true
+			}
+			if src, short := directSource(fn); src != "" {
+				if !exempt[nd] {
+					setTaint(taintInfo{Source: src, Path: short})
+				}
+				return true
+			}
+			if fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg() == pass.Pkg {
+				key := funcKey(fn)
+				if _, ok := funcs[key]; ok && key != df.key {
+					df.callees = append(df.callees, key)
+				}
+				return true
+			}
+			var fact detTaintFact
+			if pass.ImportPackageFact(fn.Pkg().Path(), &fact) {
+				key := funcKey(fn)
+				if ti, ok := fact[key]; ok {
+					setTaint(taintInfo{Source: ti.Source, Path: fn.Pkg().Name() + "." + key + " → " + ti.Path})
+				}
+			}
+		case *ast.SelectorExpr:
+			if callFuns[nd] {
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[nd.Sel].(*types.Func); ok {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+					setTaint(taintInfo{Source: "wall-clock time (time.Now as a value)", Path: "time.Now"})
+				}
+			}
+		case *ast.RangeStmt:
+			if src := mapOrderEscapes(pass, nd, df.decl.Body); src != "" {
+				setTaint(taintInfo{Source: src, Path: "map range"})
+			}
+		}
+		return true
+	})
+}
+
+// mapOrderEscapes reports a map-iteration-order source: a bound-variable
+// map range whose order reaches an order-sensitive sink (detrange's
+// definition) or escapes via return from inside the loop.
+func mapOrderEscapes(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) string {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return ""
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return ""
+	}
+	if rangeVarsBlank(rs) {
+		return ""
+	}
+	if sink := orderSensitiveSink(pass, rs, funcBody); sink != "" {
+		return "map iteration order (feeds " + sink + ")"
+	}
+	// A return inside the range that mentions a range variable selects
+	// "whichever key happened to come first" — first-match nondeterminism.
+	// Returns that merely propagate an error (`return err`) are fine.
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	returns := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range nd.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && rangeVars[pass.TypesInfo.Uses[id]] {
+						returns = true
+					}
+					return !returns
+				})
+			}
+		}
+		return !returns
+	})
+	if returns {
+		return "map iteration order (a return of a range variable makes the result depend on which key is visited first)"
+	}
+	return ""
+}
+
+// reportRootTaint re-walks a root function's body and reports every
+// tainted call site: direct nondeterministic reads and calls into tainted
+// functions (same-package or imported).
+func reportRootTaint(pass *Pass, df *detFunc, funcs map[string]*detFunc) {
+	exempt := detTaintExemptCalls(pass, df.decl.Body)
+	report := func(pos token.Pos, what, source, path string) {
+		pass.Reportf(pos, "determinism-critical function %s %s %s (path: %s)", df.key, what, source, path)
+	}
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(df.decl.Body, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.CallExpr:
+			callFuns[ast.Unparen(nd.Fun)] = true
+			fn := calleeFunc(pass, nd)
+			if fn == nil {
+				return true
+			}
+			if src, short := directSource(fn); src != "" {
+				if !exempt[nd] {
+					report(nd.Pos(), "reads", src, short)
+				}
+				return true
+			}
+			if fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg() == pass.Pkg {
+				key := funcKey(fn)
+				if cf := funcs[key]; cf != nil && cf.taint != nil && key != df.key {
+					report(nd.Pos(), "calls "+key+", which transitively reads", cf.taint.Source, key+" → "+cf.taint.Path)
+				}
+				return true
+			}
+			var fact detTaintFact
+			if pass.ImportPackageFact(fn.Pkg().Path(), &fact) {
+				key := funcKey(fn)
+				if ti, ok := fact[key]; ok {
+					disp := fn.Pkg().Name() + "." + key
+					report(nd.Pos(), "calls "+disp+", which transitively reads", ti.Source, disp+" → "+ti.Path)
+				}
+			}
+		case *ast.SelectorExpr:
+			if callFuns[nd] {
+				return true
+			}
+			if fn, ok := pass.TypesInfo.Uses[nd.Sel].(*types.Func); ok {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+					report(nd.Pos(), "captures", "wall-clock time (time.Now as a value)", "time.Now")
+				}
+			}
+		case *ast.RangeStmt:
+			if src := mapOrderEscapes(pass, nd, df.decl.Body); src != "" {
+				report(nd.For, "depends on", src, "map range")
+			}
+		}
+		return true
+	})
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -14,6 +15,11 @@ type Target struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Imports carries the facts exported for this package's dependencies
+	// (and, transitively, theirs — see MergeFacts). Nil is fine for
+	// fact-free runs.
+	Imports Facts
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult.
@@ -28,15 +34,49 @@ func NewInfo() *types.Info {
 	}
 }
 
+// A Directive is one well-formed //femtolint:ignore suppression, exposed
+// so the -audit mode can enforce the budget and detect stale entries.
+type Directive struct {
+	File     string
+	Line     int
+	Col      int
+	Analyzer string
+	// Used counts the diagnostics this directive suppressed in the run
+	// that produced it; a used count of zero in a full run means the
+	// directive is stale — the diagnostic it once silenced no longer
+	// fires.
+	Used int
+}
+
+// A Result bundles everything one driver run produces.
+type Result struct {
+	// Diags are the surviving diagnostics in file/line order.
+	Diags []Diagnostic
+	// Exported maps analyzer name -> the fact it exported for this
+	// package, ready for the vetx file.
+	Exported PackageFacts
+	// Directives are the package's well-formed suppression directives
+	// with their usage counts.
+	Directives []Directive
+}
+
 // Run executes the analyzers over the target, applies femtolint:ignore
-// suppressions, and returns the surviving diagnostics in file/line order.
-func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+// suppressions, and returns the surviving diagnostics in file/line order
+// along with exported facts and directive usage.
+//
+// reportDiags controls whether analyzer diagnostics are collected at all:
+// dependency-only (VetxOnly) units run fact-bearing analyzers purely for
+// their exports, and their diagnostics — which the listed packages' own
+// units will re-derive — are discarded. Malformed-directive diagnostics
+// are always collected: a broken suppression must surface somewhere.
+func Run(t *Target, analyzers []*Analyzer, reportDiags bool) (*Result, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 	directives, diags := collectIgnores(t.Fset, t.Files, known)
 
+	res := &Result{Exported: PackageFacts{}}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -44,9 +84,16 @@ func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     t.Files,
 			Pkg:       t.Pkg,
 			TypesInfo: t.Info,
+			imports:   t.Imports,
 		}
+		name := a.Name
+		pass.exportFact = func(raw json.RawMessage) { res.Exported[name] = raw }
 		pass.report = func(d Diagnostic) {
-			if !suppressed(t.Fset, d, directives) {
+			if dir := suppressedBy(t.Fset, d, directives); dir != nil {
+				dir.used++
+				return
+			}
+			if reportDiags {
 				diags = append(diags, d)
 			}
 		}
@@ -68,5 +115,21 @@ func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	res.Diags = diags
+
+	for _, dir := range directives {
+		posn := t.Fset.Position(dir.pos)
+		res.Directives = append(res.Directives, Directive{
+			File: dir.file, Line: dir.line, Col: posn.Column,
+			Analyzer: dir.analyzer, Used: dir.used,
+		})
+	}
+	sort.Slice(res.Directives, func(i, j int) bool {
+		di, dj := res.Directives[i], res.Directives[j]
+		if di.File != dj.File {
+			return di.File < dj.File
+		}
+		return di.Line < dj.Line
+	})
+	return res, nil
 }

@@ -24,6 +24,18 @@ type ignoreDirective struct {
 	line     int
 	file     string
 	analyzer string
+	used     int
+}
+
+// directivePos returns the position of the femtolint:ignore marker itself
+// within comment c, not the comment's start: a trailing directive on a
+// long line must anchor editors to the directive, and a malformed one
+// must point at exactly what is malformed.
+func directivePos(c *ast.Comment, text string) token.Pos {
+	if i := strings.Index(c.Text, text); i >= 0 {
+		return c.Pos() + token.Pos(i)
+	}
+	return c.Pos()
 }
 
 // collectIgnores scans all comments for femtolint:ignore directives.
@@ -31,8 +43,8 @@ type ignoreDirective struct {
 // no reason — are themselves reported as diagnostics: a suppression without
 // a recorded justification is exactly the silent contract erosion femtolint
 // exists to prevent.
-func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]ignoreDirective, []Diagnostic) {
-	var directives []ignoreDirective
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*ignoreDirective, []Diagnostic) {
+	var directives []*ignoreDirective
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -43,21 +55,22 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]boo
 				if !strings.HasPrefix(text, ignoreMarker) {
 					continue
 				}
+				pos := directivePos(c, ignoreMarker)
 				fields := strings.Fields(strings.TrimPrefix(text, ignoreMarker))
 				switch {
 				case len(fields) == 0:
-					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: driverName,
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: driverName,
 						Message: "malformed femtolint:ignore: want \"//femtolint:ignore <analyzer> <reason>\""})
 				case !known[fields[0]]:
-					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: driverName,
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: driverName,
 						Message: "femtolint:ignore names unknown analyzer " + quote(fields[0])})
 				case len(fields) < 2:
-					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: driverName,
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: driverName,
 						Message: "femtolint:ignore " + fields[0] + " needs a reason"})
 				default:
-					posn := fset.Position(c.Pos())
-					directives = append(directives, ignoreDirective{
-						pos:      c.Pos(),
+					posn := fset.Position(pos)
+					directives = append(directives, &ignoreDirective{
+						pos:      pos,
 						line:     posn.Line,
 						file:     posn.Filename,
 						analyzer: fields[0],
@@ -69,18 +82,20 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]boo
 	return directives, bad
 }
 
-// suppressed reports whether d is silenced by one of the directives.
-func suppressed(fset *token.FileSet, d Diagnostic, directives []ignoreDirective) bool {
+// suppressedBy returns the directive silencing d, or nil. The caller
+// increments the winner's usage count, which is what lets -audit flag
+// stale directives whose diagnostic no longer fires.
+func suppressedBy(fset *token.FileSet, d Diagnostic, directives []*ignoreDirective) *ignoreDirective {
 	posn := fset.Position(d.Pos)
 	for _, dir := range directives {
 		if dir.analyzer != d.Analyzer || dir.file != posn.Filename {
 			continue
 		}
 		if dir.line == posn.Line || dir.line == posn.Line-1 {
-			return true
+			return dir
 		}
 	}
-	return false
+	return nil
 }
 
 func quote(s string) string { return "\"" + s + "\"" }

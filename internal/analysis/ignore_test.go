@@ -2,11 +2,19 @@ package analysis
 
 import (
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"strings"
 	"testing"
 )
+
+// typesConfigForTest typechecks against the compiler's export data,
+// which is all the in-package driver tests need.
+func typesConfigForTest() *types.Config {
+	return &types.Config{Importer: importer.Default()}
+}
 
 // ignoreSrc carries one well-formed directive (line 12) and three
 // malformed ones: no fields, an unknown analyzer, and a missing reason.
@@ -84,8 +92,8 @@ func TestSuppressed(t *testing.T) {
 	}
 	for _, c := range cases {
 		d := Diagnostic{Pos: at(c.line), Analyzer: c.analyzer}
-		if got := suppressed(fset, d, directives); got != c.want {
-			t.Errorf("%s: suppressed = %v, want %v", c.name, got, c.want)
+		if got := suppressedBy(fset, d, directives) != nil; got != c.want {
+			t.Errorf("%s: suppressedBy = %v, want %v", c.name, got, c.want)
 		}
 	}
 }
@@ -97,7 +105,99 @@ func TestSuppressedOtherFile(t *testing.T) {
 	other := fset.AddFile("elsewhere.go", -1, 100)
 	other.SetLinesForContent([]byte(strings.Repeat("x\n", 50)))
 	d := Diagnostic{Pos: other.LineStart(12), Analyzer: "ctxcancel"}
-	if suppressed(fset, d, directives) {
+	if suppressedBy(fset, d, directives) != nil {
 		t.Error("directive suppressed a diagnostic in a different file")
+	}
+}
+
+// TestMalformedDirectivePosition is the regression test for the position
+// fix: malformed-directive diagnostics (and directive records) must
+// anchor at the femtolint:ignore marker itself — the exact line AND
+// column — not at the start of the enclosing comment or comment group,
+// so editors jump to the directive.
+func TestMalformedDirectivePosition(t *testing.T) {
+	src := `package p
+
+// A leading documentation comment in the same comment group, so a
+// group-anchored diagnostic would point at the wrong line.
+//femtolint:ignore
+func a() {}
+
+func b() { _ = 1 } //femtolint:ignore nosuchpass trailing directive
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "pos_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bad := collectIgnores(fset, []*ast.File{f}, map[string]bool{"ctxcancel": true})
+	if len(bad) != 2 {
+		t.Fatalf("got %d bad-directive diagnostics, want 2: %+v", len(bad), bad)
+	}
+
+	posn := fset.Position(bad[0].Pos)
+	if posn.Line != 5 {
+		t.Errorf("malformed directive reported at line %d, want 5 (the directive's own line)", posn.Line)
+	}
+	// "//femtolint:ignore": the marker starts right after the two
+	// slashes, column 3.
+	if posn.Column != 3 {
+		t.Errorf("malformed directive reported at column %d, want 3 (the femtolint:ignore marker)", posn.Column)
+	}
+
+	posn = fset.Position(bad[1].Pos)
+	if posn.Line != 8 {
+		t.Errorf("trailing malformed directive reported at line %d, want 8", posn.Line)
+	}
+	if wantCol := strings.Index("func b() { _ = 1 } //femtolint:ignore", "femtolint:ignore") + 1; posn.Column != wantCol {
+		t.Errorf("trailing malformed directive reported at column %d, want %d", posn.Column, wantCol)
+	}
+}
+
+// TestDirectiveUsageCounts verifies the used counter that -audit relies
+// on: a directive that actually suppresses a diagnostic reports Used > 0
+// through the driver, an idle one reports Used == 0.
+func TestDirectiveUsageCounts(t *testing.T) {
+	src := `package p
+
+import "math/rand"
+
+//femtolint:ignore globalrand seeded elsewhere, fixture
+func a() float64 { return rand.Float64() }
+
+//femtolint:ignore globalrand stale: nothing below fires
+func b() int { return 1 }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "used_fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	// Typecheck with a stub importer: globalrand only needs package
+	// paths, which go/types records even for incomplete imports.
+	conf := typesConfigForTest()
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	res, err := Run(&Target{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}, []*Analyzer{GlobalRand}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %+v", res.Diags)
+	}
+	if len(res.Directives) != 2 {
+		t.Fatalf("got %d directives, want 2: %+v", len(res.Directives), res.Directives)
+	}
+	if res.Directives[0].Used != 1 {
+		t.Errorf("suppressing directive Used = %d, want 1", res.Directives[0].Used)
+	}
+	if res.Directives[1].Used != 0 {
+		t.Errorf("stale directive Used = %d, want 0", res.Directives[1].Used)
+	}
+	if res.Directives[0].Col == 0 || res.Directives[0].Line != 5 {
+		t.Errorf("directive position = %d:%d, want line 5 with a real column", res.Directives[0].Line, res.Directives[0].Col)
 	}
 }

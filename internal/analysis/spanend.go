@@ -1,0 +1,463 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd enforces the obs tracing contract: every span opened with
+// Scope.Begin must be ended on all paths, or the trace silently loses the
+// lane and utilization timelines under-report the very phases being
+// debugged. The analysis mirrors the shape of x/tools' lostcancel:
+//
+//   - a Begin whose result is discarded (expression statement or `_ =`)
+//     can never be ended and is always reported;
+//   - a Begin assigned to a local variable is satisfied by a
+//     `defer span.End()` / `defer span.EndWith(...)` (directly or inside
+//     a deferred closure), the dominant in-tree idiom;
+//   - otherwise every return reachable while the span is live, and the
+//     fall-off of the span's declaration block, must be preceded by an
+//     End/EndWith that structurally dominates it (same statement list,
+//     earlier index, possibly at an outer nesting level);
+//   - panics, os.Exit and log.Fatal* terminate the process — the trace is
+//     lost wholesale anyway — so paths into them are not exits;
+//   - a Begin assigned through anything but a local variable (an outer
+//     captured variable, a struct field) is skipped: the span's lifetime
+//     intentionally outlives the function, as in the solver's
+//     beginBlock/endBlock closure pair.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every obs span opened with Scope.Begin must be ended on all paths (defer End, or End before every return)",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				spanEndCheckFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isScopeBeginCall reports whether call is obs Scope.Begin (receiver is a
+// named type Scope, possibly behind a pointer, declared in a package with
+// import-path suffix internal/obs).
+func isScopeBeginCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Begin" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Scope" && obj.Pkg() != nil && hasPkgSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// spanEndCheckFunc finds Begin calls whose span is opened in this
+// function body (nested function literals are checked on their own).
+func spanEndCheckFunc(pass *Pass, funcBody *ast.BlockStmt) {
+	var walkStmts func(stmts []ast.Stmt)
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && isScopeBeginCall(pass, call) {
+				pass.Reportf(call.Pos(), "result of Begin is discarded: the span can never be ended and its trace lane is lost")
+			}
+		case *ast.AssignStmt:
+			spanEndCheckAssign(pass, st, funcBody)
+		case *ast.BlockStmt:
+			walkStmts(st.List)
+		case *ast.IfStmt:
+			if st.Init != nil {
+				walkStmt(st.Init)
+			}
+			walkStmts(st.Body.List)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *ast.ForStmt:
+			if st.Init != nil {
+				walkStmt(st.Init)
+			}
+			walkStmts(st.Body.List)
+		case *ast.RangeStmt:
+			walkStmts(st.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkStmts(cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkStmts(cc.Body)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmt(st.Stmt)
+		}
+	}
+	walkStmts = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmts(funcBody.List)
+}
+
+// spanEndCheckAssign handles `v := sc.Begin(...)` / `v = sc.Begin(...)`.
+func spanEndCheckAssign(pass *Pass, st *ast.AssignStmt, funcBody *ast.BlockStmt) {
+	for i, rhs := range st.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isScopeBeginCall(pass, call) || i >= len(st.Lhs) {
+			continue
+		}
+		lhs := ast.Unparen(st.Lhs[i])
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			// Field or index target: the span outlives the statement in
+			// ways this analysis cannot follow; skip.
+			continue
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "result of Begin is discarded: the span can never be ended and its trace lane is lost")
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() < funcBody.Pos() || obj.Pos() > funcBody.End() {
+			// Captured outer variable (the beginBlock/endBlock closure
+			// idiom): lifetime managed outside this function.
+			continue
+		}
+		if spanDeferEnds(pass, obj, st.Pos(), funcBody) {
+			continue
+		}
+		spanEndCheckPaths(pass, call, obj, st, funcBody)
+	}
+}
+
+// spanDeferEnds reports whether a defer after the span's creation ends it:
+// `defer v.End()`, `defer v.EndWith(...)`, or a deferred closure whose
+// body calls either.
+func spanDeferEnds(pass *Pass, obj types.Object, after token.Pos, funcBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || d.Pos() < after {
+			return true
+		}
+		if isSpanEndCallOn(pass, d.Call, obj) {
+			found = true
+			return false
+		}
+		if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isSpanEndCallOn(pass, call, obj) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isSpanEndCallOn reports whether call is v.End(...) or v.EndWith(...)
+// for the span variable obj.
+func isSpanEndCallOn(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndWith") {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// stmtChain is the path from the function body down to a node: the blocks
+// entered and the statement index taken within each.
+type stmtChain []struct {
+	list []ast.Stmt
+	idx  int
+}
+
+// chainTo computes the stmtChain from funcBody to target (a node whose
+// Pos/End bracket it), or nil if target is not found outside nested
+// function literals.
+func chainTo(funcBody *ast.BlockStmt, target ast.Node) stmtChain {
+	var chain stmtChain
+	var search func(list []ast.Stmt) bool
+	search = func(list []ast.Stmt) bool {
+		for i, s := range list {
+			if target.Pos() < s.Pos() || target.End() > s.End() {
+				continue
+			}
+			chain = append(chain, struct {
+				list []ast.Stmt
+				idx  int
+			}{list, i})
+			// Descend into the statement's nested statement lists.
+			found := s == target || (s.Pos() == target.Pos() && s.End() == target.End())
+			if found {
+				return true
+			}
+			descended := false
+			ast.Inspect(s, func(n ast.Node) bool {
+				if descended || n == nil {
+					return false
+				}
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if bs, ok := n.(*ast.BlockStmt); ok && bs.Pos() <= target.Pos() && target.End() <= bs.End() && bs != s {
+					if search(bs.List) {
+						descended = true
+					}
+					return false
+				}
+				return true
+			})
+			return true
+		}
+		return false
+	}
+	search(funcBody.List)
+	return chain
+}
+
+// dominates reports whether the statement at endChain structurally
+// precedes the one at exitChain: endChain's innermost statement list is a
+// prefix level of exitChain's path, with a smaller index at that level.
+// Executing down to the exit then necessarily passed the end statement.
+func dominates(endChain, exitChain stmtChain) bool {
+	if len(endChain) == 0 || len(exitChain) == 0 {
+		return false
+	}
+	last := len(endChain) - 1
+	for level := 0; level < len(exitChain); level++ {
+		if level > last {
+			return false
+		}
+		sameList := sameStmtList(endChain[level].list, exitChain[level].list)
+		if !sameList {
+			return false
+		}
+		if level == last {
+			return endChain[level].idx < exitChain[level].idx
+		}
+		if endChain[level].idx != exitChain[level].idx {
+			return false
+		}
+	}
+	return false
+}
+
+func sameStmtList(a, b []ast.Stmt) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || a[0] == b[0]
+}
+
+// spanEndCheckPaths performs the structural all-paths check for a span
+// with no covering defer.
+func spanEndCheckPaths(pass *Pass, begin *ast.CallExpr, obj types.Object, assign *ast.AssignStmt, funcBody *ast.BlockStmt) {
+	assignChain := chainTo(funcBody, assign)
+	if len(assignChain) == 0 {
+		return
+	}
+	declLevel := len(assignChain) - 1
+	declList := assignChain[declLevel].list
+	declIdx := assignChain[declLevel].idx
+
+	// Collect non-deferred End/EndWith statements after the assignment.
+	var endChains []stmtChain
+	endsAtDeclLevel := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < assign.End() || !isSpanEndCallOn(pass, call, obj) {
+			return true
+		}
+		ch := chainTo(funcBody, call)
+		if len(ch) == 0 {
+			return true
+		}
+		endChains = append(endChains, ch)
+		// An End whose own statement sits directly in the declaration
+		// list covers the fall-off of that list.
+		if len(ch) == declLevel+1 && sameStmtList(ch[declLevel].list, declList) && ch[declLevel].idx > declIdx {
+			endsAtDeclLevel = true
+		}
+		return true
+	})
+
+	// Exits: every return inside the declaration list's subtree after the
+	// assignment.
+	covered := func(exit ast.Node) bool {
+		exitChain := chainTo(funcBody, exit)
+		for _, ec := range endChains {
+			if dominates(ec, exitChain) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := declIdx + 1; i < len(declList); i++ {
+		ast.Inspect(declList[i], func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			if !covered(ret) {
+				pass.Reportf(begin.Pos(),
+					"span %s is not ended on the path returning at line %d; defer %s.End() or end it before every return",
+					obj.Name(), pass.Fset.Position(ret.Pos()).Line, obj.Name())
+			}
+			return true
+		})
+	}
+
+	// Fall-off: reaching the end of the declaration list with the span
+	// still open. Suppressed when an End sits directly in that list after
+	// the assignment, or when the list cannot complete normally.
+	if !endsAtDeclLevel && !stmtListTerminates(declList[declIdx+1:]) {
+		pass.Reportf(begin.Pos(),
+			"span %s may leave its scope without End; defer %s.End() or end it at the end of the block",
+			obj.Name(), obj.Name())
+	}
+}
+
+// stmtListTerminates reports whether executing stmts cannot complete
+// normally: the list ends in a return, a process terminator (panic,
+// os.Exit, log.Fatal*, runtime.Goexit), an infinite for, or an
+// if/else or switch all of whose branches terminate. This is a pared-down
+// version of go/types' "terminating statement" (spec §Terminating
+// statements), enough for the shapes the tree uses.
+func stmtListTerminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		return ok && isTerminatorCall(call)
+	case *ast.BlockStmt:
+		return stmtListTerminates(st.List)
+	case *ast.IfStmt:
+		if st.Else == nil {
+			return false
+		}
+		return stmtListTerminates(st.Body.List) && stmtTerminates(st.Else)
+	case *ast.ForStmt:
+		return st.Cond == nil
+	case *ast.LabeledStmt:
+		return stmtTerminates(st.Stmt)
+	case *ast.SwitchStmt:
+		return switchTerminates(st.Body)
+	case *ast.TypeSwitchStmt:
+		return switchTerminates(st.Body)
+	}
+	return false
+}
+
+func switchTerminates(body *ast.BlockStmt) bool {
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			return false
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !stmtListTerminates(cc.Body) {
+			return false
+		}
+	}
+	return hasDefault
+}
+
+// isTerminatorCall reports whether call never returns: panic, os.Exit,
+// runtime.Goexit, log.Fatal / log.Fatalf / log.Fatalln, or the testing
+// Fatal family.
+func isTerminatorCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkg, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && name == "Exit":
+				return true
+			case pkg.Name == "runtime" && name == "Goexit":
+				return true
+			case pkg.Name == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"):
+				return true
+			}
+		}
+		return name == "Fatal" || name == "Fatalf" || name == "FailNow"
+	}
+	return false
+}

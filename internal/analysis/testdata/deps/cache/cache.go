@@ -1,0 +1,42 @@
+// Package cache is a miniature stand-in for femtoverse's internal/cache,
+// loaded by analysistest under "fixture/internal/cache" so the dettaint
+// KeyBuilder-root rule and the lockhold singleflight rule — both keyed on
+// type names plus the internal/cache path suffix — apply to fixtures.
+package cache
+
+// Key is a content-addressed cache key.
+type Key struct{ ID string }
+
+// KeyBuilder accumulates key components.
+type KeyBuilder struct{ parts []string }
+
+// NewKey starts a builder.
+func NewKey(ns string) *KeyBuilder { return &KeyBuilder{parts: []string{ns}} }
+
+// Str adds a string component.
+func (b *KeyBuilder) Str(name, v string) *KeyBuilder {
+	b.parts = append(b.parts, name, v)
+	return b
+}
+
+// Int adds an integer component.
+func (b *KeyBuilder) Int(name string, v int64) *KeyBuilder {
+	b.parts = append(b.parts, name)
+	return b
+}
+
+// Build finalizes the key.
+func (b *KeyBuilder) Build() Key { return Key{ID: b.parts[0]} }
+
+// Flight is a miniature singleflight group.
+type Flight struct{}
+
+// Do runs fn once per key, parking duplicate callers.
+func (f *Flight) Do(key string, fn func() (any, error)) (any, error) { return fn() }
+
+// Cache is a miniature content-addressed cache.
+type Cache struct{}
+
+// GetOrCompute returns the cached value or computes it, parking
+// duplicate computations behind one flight.
+func (c *Cache) GetOrCompute(k Key, fn func() ([]byte, error)) ([]byte, error) { return fn() }

@@ -1,0 +1,19 @@
+// Package clockdep is the dependency side of the cross-package dettaint
+// fixture: its taint facts must flow into packages that import it.
+package clockdep
+
+import "time"
+
+// Stamp returns an absolute wall-clock timestamp: tainted.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Indirect is tainted only transitively, through Stamp.
+func Indirect() int64 { return Stamp() + 1 }
+
+// Elapsed measures fn with the blessed timing idiom (time.Now into a
+// time.Time, time.Since for the delta): not tainted.
+func Elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

@@ -1,0 +1,20 @@
+// Package obs is a miniature stand-in for femtoverse's internal/obs,
+// loaded by analysistest under the import path "fixture/internal/obs" so
+// the spanend analyzer — which recognizes Scope/Span by name and
+// import-path suffix — treats it as the real thing.
+package obs
+
+// Span is one open trace lane.
+type Span struct{ name string }
+
+// End closes the span.
+func (s Span) End() {}
+
+// EndWith closes the span recording extra args.
+func (s Span) EndWith(extra map[string]any) {}
+
+// Scope opens spans.
+type Scope struct{ cat string }
+
+// Begin opens a span.
+func (sc Scope) Begin(name string) Span { return Span{name: name} }

@@ -1,0 +1,120 @@
+// Fixture for the dettaint analyzer, loaded as "fixture/internal/solver"
+// so every function is a determinism-critical root. Covers direct
+// nondeterministic reads, the measured-timing exemption, same-package
+// transitive taint, cross-package taint imported from the fixture/clockdep
+// facts, and map-iteration-order escape.
+package fixture
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"fixture/clockdep"
+)
+
+// Direct sources.
+
+func stampNanos() int64 {
+	return time.Now().UnixNano() // want "reads wall-clock time"
+}
+
+func drawNoise() float64 {
+	return rand.Float64() // want "reads the global math/rand source"
+}
+
+func shardByHost() string {
+	return os.Getenv("FEMTO_SHARD") // want "reads the process environment"
+}
+
+func laneCount() int {
+	return runtime.NumCPU() // want "reads the processor count"
+}
+
+func clockFn() func() time.Time {
+	return time.Now // want "captures wall-clock time"
+}
+
+// Exempt: the measured-timing idiom keeps the wall-clock value inside
+// time's own types, where it only ever measures elapsed work.
+
+func measured(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+type iterStats struct {
+	Submitted time.Time
+}
+
+func newIterStats() iterStats {
+	return iterStats{Submitted: time.Now()}
+}
+
+// Same-package transitive taint: the helper is reported for its direct
+// read, the caller for reaching it.
+
+func localStamp() int64 {
+	return time.Now().UnixNano() // want "reads wall-clock time"
+}
+
+func viaHelper() int64 {
+	return localStamp() + 1 // want "calls localStamp, which transitively reads wall-clock time"
+}
+
+// Cross-package taint, imported as facts from fixture/clockdep.
+
+func viaDep() int64 {
+	return clockdep.Stamp() // want "calls clockdep.Stamp, which transitively reads wall-clock time"
+}
+
+func viaDepIndirect() int64 {
+	return clockdep.Indirect() // want "calls clockdep.Indirect, which transitively reads wall-clock time"
+}
+
+// clockdep.Elapsed uses the measured-timing idiom, so no taint fact was
+// exported for it and the call is clean.
+func viaDepMeasured() time.Duration {
+	return clockdep.Elapsed(func() {})
+}
+
+// Map iteration order.
+
+func anyKey(m map[string]int) string {
+	for k := range m { // want "depends on map iteration order"
+		return k
+	}
+	return ""
+}
+
+func keyList(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "depends on map iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Error propagation out of a range body does not leak the order.
+func validate(m map[string]int) error {
+	for _, v := range m {
+		if v < 0 {
+			return errors.New("negative weight")
+		}
+	}
+	return nil
+}
+
+// Collect-then-sort erases the insertion order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

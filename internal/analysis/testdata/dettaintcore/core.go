@@ -1,0 +1,32 @@
+// Fixture for dettaint's journal-record-root rule, loaded as
+// "fixture/internal/core": Journal methods and Record/Payload-named
+// functions are roots; other functions in the package are not.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+// Journal is record construction; its methods are roots.
+type Journal struct{ seq int }
+
+func (j *Journal) Append(kind string) int64 {
+	j.seq++
+	return time.Now().UnixNano() // want "reads wall-clock time"
+}
+
+// Root by name (mentions Payload).
+func specPayload() string {
+	return os.Getenv("FEMTO_SPEC") // want "reads the process environment"
+}
+
+// Root by name (mentions Record).
+func buildRecord(kind string) string {
+	return kind + specPayload() // want "calls specPayload, which transitively reads the process environment"
+}
+
+// Not record construction: tainted, but silent in this package.
+func orchestrate() int64 {
+	return time.Now().UnixNano()
+}

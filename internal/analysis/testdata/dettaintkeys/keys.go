@@ -1,0 +1,33 @@
+// Fixture for dettaint's cache-key-root rule, loaded under the non-root
+// path "fixture/workflow": only the functions that participate in cache
+// key construction are roots; everything else is tainted silently.
+package fixture
+
+import (
+	"os"
+	"time"
+
+	"fixture/internal/cache"
+)
+
+// Not a root: tainted (and exported as a fact), but no diagnostic here.
+func looseStamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Root by body: it calls cache.NewKey and KeyBuilder methods.
+func solveKey(dim int) cache.Key {
+	b := cache.NewKey("solve").Int("dim", int64(dim))
+	b = b.Int("at", looseStamp()) // want "calls looseStamp, which transitively reads wall-clock time"
+	return b.Build()
+}
+
+// Root by signature: it takes a *cache.KeyBuilder.
+func salt(b *cache.KeyBuilder) *cache.KeyBuilder {
+	return b.Str("host", os.Getenv("HOSTNAME")) // want "reads the process environment"
+}
+
+// A deterministic key build stays clean.
+func planKey(name string, steps int) cache.Key {
+	return cache.NewKey("plan").Str("name", name).Int("steps", int64(steps)).Build()
+}

@@ -1,0 +1,135 @@
+// Fixture for the lockhold analyzer, loaded as "fixture/internal/runtime"
+// — one of the packages where file I/O under a lock counts as blocking —
+// with the miniature fixture/internal/cache as a dependency for the
+// singleflight entry points.
+package fixture
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"fixture/internal/cache"
+)
+
+type pool struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	cond    *sync.Cond
+	work    chan int
+	done    chan struct{}
+	flight  cache.Flight
+	store   cache.Cache
+	pending int
+}
+
+func (p *pool) sendUnderLock(v int) {
+	p.mu.Lock()
+	p.work <- v // want "channel send while holding p.mu"
+	p.mu.Unlock()
+}
+
+func (p *pool) recvUnderLock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.work // want "channel receive while holding p.mu"
+}
+
+func (p *pool) drainUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for range p.work { // want "range over a channel while holding p.mu"
+	}
+}
+
+func (p *pool) selectUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want "select with no default case while holding p.mu"
+	case <-p.done:
+	case v := <-p.work:
+		p.pending = v
+	}
+}
+
+func (p *pool) waitUnderLock(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding p.mu"
+	p.mu.Unlock()
+}
+
+func (p *pool) sleepUnderRLock() {
+	p.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding p.rw"
+	p.rw.RUnlock()
+}
+
+func (p *pool) readUnderLock(path string) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return os.ReadFile(path) // want "file I/O .os.ReadFile. while holding p.mu"
+}
+
+func (p *pool) flightUnderLock(key string) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flight.Do(key, func() (any, error) { return nil, nil }) // want "singleflight Flight.Do while holding p.mu"
+}
+
+func (p *pool) computeUnderLock(k cache.Key) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store.GetOrCompute(k, func() ([]byte, error) { return nil, nil }) // want "Cache.GetOrCompute while holding p.mu"
+}
+
+// Clean: the lock is released before blocking.
+func (p *pool) unlockThenRecv() int {
+	p.mu.Lock()
+	p.pending++
+	p.mu.Unlock()
+	return <-p.work
+}
+
+// Clean: sync.Cond.Wait atomically releases the mutex while parked — the
+// sanctioned way to block under a lock.
+func (p *pool) condWait() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.pending == 0 {
+		p.cond.Wait()
+	}
+}
+
+// Clean: a select with a default case cannot park.
+func (p *pool) trySend(v int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.work <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Clean: the spawned goroutine does not hold the caller's lock.
+func (p *pool) spawn() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		<-p.done
+	}()
+}
+
+// Clean: a branch that unlocks before blocking does not leak the lock
+// into its own tail, and the branch-local release does not leak out
+// either.
+func (p *pool) branchUnlock(fast bool) int {
+	p.mu.Lock()
+	if fast {
+		p.mu.Unlock()
+		return <-p.work
+	}
+	p.mu.Unlock()
+	return 0
+}

@@ -1,0 +1,99 @@
+// Fixture for the spanend analyzer: every obs span opened with
+// Scope.Begin must be ended on all paths. Loaded as "fixture/tracer" with
+// the miniature fixture/internal/obs as a dependency.
+package fixture
+
+import (
+	"errors"
+	"os"
+
+	"fixture/internal/obs"
+)
+
+var errFail = errors.New("fail")
+
+func work() {}
+
+// Discarded results can never be ended.
+
+func discarded(sc obs.Scope) {
+	sc.Begin("solve") // want "result of Begin is discarded"
+	work()
+}
+
+func blanked(sc obs.Scope) {
+	_ = sc.Begin("solve") // want "result of Begin is discarded"
+	work()
+}
+
+// The dominant in-tree idiom: defer End (directly or in a closure).
+
+func deferred(sc obs.Scope) {
+	span := sc.Begin("solve")
+	defer span.End()
+	work()
+}
+
+func deferredClosure(sc obs.Scope) {
+	span := sc.Begin("solve")
+	defer func() { span.EndWith(nil) }()
+	work()
+}
+
+// Explicit End on every path is also fine.
+
+func allPathsEnd(sc obs.Scope, fail bool) error {
+	span := sc.Begin("solve")
+	if fail {
+		span.End()
+		return errFail
+	}
+	span.End()
+	return nil
+}
+
+// An early return the End does not dominate loses the lane.
+func missesEarlyReturn(sc obs.Scope, fail bool) error {
+	span := sc.Begin("solve") // want "not ended on the path returning at line"
+	if fail {
+		return errFail
+	}
+	span.End()
+	return nil
+}
+
+// Falling off the block with the span conditionally ended loses it too.
+func fallsOff(sc obs.Scope, verbose bool) {
+	span := sc.Begin("solve") // want "may leave its scope without End"
+	if verbose {
+		span.End()
+	}
+}
+
+// Process terminators are not exits: the whole trace dies with the
+// process, so the os.Exit path needs no End.
+func exitPath(sc obs.Scope, fatal bool) {
+	span := sc.Begin("solve")
+	if fatal {
+		os.Exit(1)
+	}
+	span.End()
+}
+
+// The solver's beginBlock/endBlock pair: the span lives in a captured
+// outer variable whose lifetime the closures manage; skipped by design.
+func capturedPair(sc obs.Scope) (begin, end func()) {
+	var span obs.Span
+	begin = func() { span = sc.Begin("block") }
+	end = func() { span.End() }
+	return begin, end
+}
+
+// A span opened and ended per loop iteration is clean.
+func perIteration(sc obs.Scope, n int) {
+	for i := 0; i < n; i++ {
+		span := sc.Begin("iter")
+		work()
+		span.End()
+	}
+}

@@ -13,6 +13,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	goruntime "runtime"
+	"sort"
+	"strings"
 )
 
 // This file implements the `go vet -vettool` driver protocol (the role
@@ -24,11 +27,21 @@ import (
 //  2. For every package in the build graph cmd/go then invokes
 //     `femtolint <objdir>/vet.cfg`, where vet.cfg is a JSON vetConfig
 //     describing one compilation unit: its Go files, the export-data file
-//     of every dependency, and an output path for "vetx" facts.
+//     of every dependency, the vetx fact file of every direct import
+//     (PackageVetx), and an output path for this unit's own facts
+//     (VetxOutput).
 //  3. The tool type-checks the unit against the dependencies' export data,
-//     runs its analyzers, prints diagnostics to stderr as
-//     `file:line:col: message`, writes the (for femtolint: empty) facts
+//     runs its analyzers with the imported facts in scope, prints
+//     diagnostics to stderr as `file:line:col: message`, writes its fact
 //     file, and exits 2 when it found anything, 0 otherwise.
+//
+// Dependency-only units arrive with VetxOnly set: cmd/go wants their facts
+// (so the listed packages can import them) but not their diagnostics. For
+// those, femtolint runs only the fact-bearing analyzers and discards
+// reports. Standard-library units are not analyzed at all — dettaint
+// models the stdlib's nondeterminism intrinsically (time.Now, math/rand,
+// os.Getenv, ...) rather than by scanning its source — so they just
+// re-export whatever facts they imported (always empty today).
 
 // vetConfig mirrors cmd/go/internal/work.vetConfig.
 type vetConfig struct {
@@ -53,15 +66,36 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// AuditEnv, when set in the environment, points at a directory into which
+// every non-VetxOnly unit writes one AuditRecord (as JSON). The -audit
+// mode of cmd/femtolint sets it, re-runs `go vet -vettool=<self>`, and
+// aggregates the records into a suppression-budget report.
+const AuditEnv = "FEMTOLINT_AUDIT_DIR"
+
+// An AuditRecord is what one analyzed compilation unit contributes to a
+// femtolint -audit run: its suppression directives with usage counts, plus
+// how many malformed directives it carries.
+type AuditRecord struct {
+	ImportPath string
+	Directives []Directive
+	Malformed  int
+}
+
 // PrintVersion implements the -V=full handshake. The buildID must change
 // whenever the binary does, or cmd/go's action cache would keep serving
 // vet results from an older femtolint; hashing the executable gives that.
+// When an audit is in flight the ID is additionally salted with the
+// (per-run, unique) audit directory: audit needs every unit to actually
+// execute and write its record, so cached vet results must all miss.
 func PrintVersion(w io.Writer) error {
 	name := "femtolint"
 	hash := "unknown"
 	if exe, err := os.Executable(); err == nil {
 		if data, err := os.ReadFile(exe); err == nil {
 			sum := sha256.Sum256(data)
+			if dir := os.Getenv(AuditEnv); dir != "" {
+				sum = sha256.Sum256(append(sum[:], "audit:"+dir...))
+			}
 			hash = fmt.Sprintf("%x", sum[:12])
 			name = filepath.Base(exe)
 		}
@@ -85,25 +119,79 @@ func RunVetCfg(cfgPath string, analyzers []*Analyzer) int {
 		return 1
 	}
 
-	// femtolint keeps no cross-package facts, so the vetx output exists
-	// only to satisfy the protocol; cmd/go caches and threads it through
-	// PackageVetx, which we never read. Dependency-only units (VetxOnly)
-	// therefore need no analysis at all.
-	writeVetx := func() bool {
+	// Gather the facts of every direct import. Each import's vetx already
+	// re-exports its own imports' facts, so this merge sees the full
+	// transitive closure.
+	imports := Facts{}
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, path)
+	}
+	sort.Strings(vetxPaths)
+	for _, path := range vetxPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			// A missing dependency vetx is not fatal: analysis degrades to
+			// intraprocedural for calls into that package.
+			continue
+		}
+		facts, err := DecodeFacts(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "femtolint: vetx for %s: %v\n", path, err)
+			return 1
+		}
+		imports = MergeFacts(imports, facts)
+	}
+
+	writeVetx := func(exported PackageFacts) bool {
 		if cfg.VetxOutput == "" {
 			return true
 		}
-		if err := os.WriteFile(cfg.VetxOutput, []byte("femtolint-no-facts\n"), 0o666); err != nil {
+		out := imports
+		if len(exported) > 0 {
+			out = MergeFacts(Facts{cfg.ImportPath: exported}, imports)
+		}
+		data, err := EncodeFacts(out)
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
 			return false
 		}
 		return true
 	}
-	if cfg.VetxOnly {
-		if !writeVetx() {
+
+	// Standard-library units: re-export imported facts, nothing else.
+	// dettaint models stdlib nondeterminism intrinsically (time.Now,
+	// math/rand, os.Getenv, GOMAXPROCS, ...); actually scanning stdlib
+	// bodies would manufacture useless taint like fmt.Errorf →
+	// sync.Pool.Get → runtime.GOMAXPROCS, where the nondeterminism never
+	// reaches the returned value. Note vetConfig.Standard only describes
+	// the unit's imports, never the unit itself, so stdlib-ness is
+	// detected by module: GOROOT packages arrive with no ModulePath.
+	if cfg.VetxOnly && isStdlibUnit(&cfg) {
+		if !writeVetx(nil) {
 			return 1
 		}
 		return 0
+	}
+
+	// For dependency-only units, only fact-bearing analyzers matter.
+	if cfg.VetxOnly {
+		factful := analyzers[:0:0]
+		for _, a := range analyzers {
+			if a.HasFacts {
+				factful = append(factful, a)
+			}
+		}
+		if len(factful) == 0 {
+			if !writeVetx(nil) {
+				return 1
+			}
+			return 0
+		}
+		analyzers = factful
 	}
 
 	fset := token.NewFileSet()
@@ -112,7 +200,7 @@ func RunVetCfg(cfgPath string, analyzers []*Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				writeVetx()
+				writeVetx(nil)
 				return 0
 			}
 			fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
@@ -142,26 +230,78 @@ func RunVetCfg(cfgPath string, analyzers []*Analyzer) int {
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx()
+			writeVetx(nil)
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "femtolint: typechecking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags, err := Run(&Target{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	res, err := Run(&Target{Fset: fset, Files: files, Pkg: pkg, Info: info, Imports: imports}, analyzers, !cfg.VetxOnly)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
 		return 1
 	}
-	if !writeVetx() {
+	if !writeVetx(res.Exported) {
 		return 1
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s (femtolint/%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
-	}
-	if len(diags) > 0 {
-		return 2
+	if !cfg.VetxOnly {
+		if err := writeAuditRecord(&cfg, res); err != nil {
+			fmt.Fprintf(os.Stderr, "femtolint: %v\n", err)
+			return 1
+		}
+		for _, d := range res.Diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (femtolint/%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		if len(res.Diags) > 0 {
+			return 2
+		}
 	}
 	return 0
+}
+
+// isStdlibUnit reports whether the unit is a standard-library package:
+// no module path (GOROOT packages are moduleless from the vetted
+// module's perspective), or sources living under the running toolchain's
+// GOROOT.
+func isStdlibUnit(cfg *vetConfig) bool {
+	if cfg.ModulePath == "" {
+		return true
+	}
+	if len(cfg.GoFiles) > 0 {
+		if root := goruntime.GOROOT(); root != "" {
+			if rel, err := filepath.Rel(filepath.Join(root, "src"), cfg.GoFiles[0]); err == nil && !strings.HasPrefix(rel, "..") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeAuditRecord drops this unit's directive inventory into the audit
+// directory, if an audit is in flight. Records are keyed by a hash of the
+// unit ID because one import path can yield several units (the package
+// and its test variants).
+func writeAuditRecord(cfg *vetConfig, res *Result) error {
+	dir := os.Getenv(AuditEnv)
+	if dir == "" {
+		return nil
+	}
+	malformed := 0
+	for _, d := range res.Diags {
+		if d.Analyzer == driverName {
+			malformed++
+		}
+	}
+	rec := AuditRecord{ImportPath: cfg.ImportPath, Directives: res.Directives, Malformed: malformed}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("audit record for %s: %w", cfg.ImportPath, err)
+	}
+	sum := sha256.Sum256([]byte(cfg.ID))
+	name := filepath.Join(dir, fmt.Sprintf("%x.json", sum[:16]))
+	if err := os.WriteFile(name, data, 0o666); err != nil {
+		return fmt.Errorf("audit record for %s: %w", cfg.ImportPath, err)
+	}
+	return nil
 }

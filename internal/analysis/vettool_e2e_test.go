@@ -1,0 +1,281 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"femtoverse/internal/analysis"
+)
+
+// This file exercises the real `go vet -vettool` handshake end to end:
+// femtolint is built as a binary, pointed at a throwaway module that
+// exists only inside t.TempDir(), and must produce the cross-package
+// dettaint diagnostic through cmd/go's actual vet.cfg/vetx plumbing —
+// the handshake (-V=full), unit scheduling, fact files, exit codes and
+// all. A second test drives the binary against hand-built vet.cfg files
+// to pin down the fact round trip itself, and a third covers -audit.
+
+// buildFemtolint compiles cmd/femtolint into dir and returns the binary
+// path. Module root is two levels up from this package.
+func buildFemtolint(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "femtolint.bin")
+	cmd := exec.Command("go", "build", "-o", bin, "femtoverse/cmd/femtolint")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building femtolint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeThrowawayModule lays out a module with a nondeterministic leaf
+// package, a determinism-critical root (by the internal/linalg path
+// rule) that reaches it only across the package boundary, and a package
+// carrying one used and one stale suppression directive for the audit
+// test.
+func writeThrowawayModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module throwaway\n\ngo 1.22\n",
+		"internal/clockdep/clockdep.go": `package clockdep
+
+import "time"
+
+// Stamp is tainted: an absolute wall-clock read.
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"internal/linalg/kernel.go": `package linalg
+
+import "throwaway/internal/clockdep"
+
+// Seed reaches the wall clock only through the imported package, so the
+// diagnostic requires clockdep's facts to arrive via its vetx file.
+func Seed() int64 { return clockdep.Stamp() }
+`,
+		"internal/misc/misc.go": `package misc
+
+import "math/rand"
+
+//femtolint:ignore globalrand e2e fixture: draw is statistical only
+func Draw() float64 { return rand.Float64() }
+
+//femtolint:ignore errdrop left behind after a refactor (stale on purpose)
+func Clean() int { return 1 }
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// run executes bin with args in dir, returning exit code and combined
+// output. GOWORK is forced off so an ambient workspace cannot absorb the
+// throwaway module.
+func runTool(t *testing.T, dir, bin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s: %v\n%s", bin, err, buf.String())
+		}
+		code = ee.ExitCode()
+	}
+	return code, buf.String()
+}
+
+func TestVettoolHandshakeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs go vet")
+	}
+	scratch := t.TempDir()
+	bin := buildFemtolint(t, scratch)
+	mod := writeThrowawayModule(t)
+
+	// The -V=full handshake must advertise a build ID.
+	code, out := runTool(t, mod, bin, "-V=full")
+	if code != 0 || !strings.Contains(out, "buildID=") {
+		t.Fatalf("-V=full handshake: exit %d, output %q", code, out)
+	}
+
+	// femtolint itself exits 2 on diagnostics (asserted directly in
+	// TestVetCfgFactRoundTrip); cmd/go folds any failing vet unit into its
+	// own exit 1.
+	code, out = runTool(t, mod, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet exit = 0, want failure (diagnostics found)\n%s", out)
+	}
+	if !strings.Contains(out, "calls clockdep.Stamp, which transitively reads wall-clock time") {
+		t.Errorf("missing cross-package dettaint diagnostic in:\n%s", out)
+	}
+	if !strings.Contains(out, "(femtolint/dettaint)") {
+		t.Errorf("diagnostic not attributed to dettaint in:\n%s", out)
+	}
+	if strings.Contains(out, "Draw") || strings.Contains(out, "globalrand") {
+		t.Errorf("suppressed globalrand diagnostic leaked through:\n%s", out)
+	}
+}
+
+func TestVettoolAuditE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs go vet")
+	}
+	scratch := t.TempDir()
+	bin := buildFemtolint(t, scratch)
+	mod := writeThrowawayModule(t)
+
+	// vet itself exits 2 here (the dettaint finding), so assert on the
+	// audit report and the overall failure, not a specific code.
+	code, out := runTool(t, mod, bin, "-audit", "-budget=2", "./...")
+	if code == 0 {
+		t.Fatalf("audit exit = 0, want failure\n%s", out)
+	}
+	if !strings.Contains(out, "2 suppression directive(s) in non-test files (budget 2)") {
+		t.Errorf("missing budget summary in:\n%s", out)
+	}
+	if !strings.Contains(out, "globalrand (used 1×)") {
+		t.Errorf("used directive not counted as used in:\n%s", out)
+	}
+	if !strings.Contains(out, "errdrop (STALE)") || !strings.Contains(out, "stale directive") {
+		t.Errorf("stale directive not flagged in:\n%s", out)
+	}
+	if !strings.Contains(out, "misc.go:5") || !strings.Contains(out, "misc.go:8") {
+		t.Errorf("directive positions missing from report:\n%s", out)
+	}
+
+	// Budget accounting: with the budget below the directive count the
+	// report must carry the exceeded line too.
+	_, out = runTool(t, mod, bin, "-audit", "-budget=1", "./...")
+	if !strings.Contains(out, "suppression budget exceeded: 2 > 1") {
+		t.Errorf("missing budget-exceeded failure in:\n%s", out)
+	}
+}
+
+// TestVetCfgFactRoundTrip drives femtolint against hand-built vet.cfg
+// units — the exact JSON cmd/go feeds the tool — to pin the fact round
+// trip: the dependency unit runs VetxOnly and writes a vetx file whose
+// decoded facts carry the taint, and the root unit imports that file and
+// turns it into a diagnostic.
+func TestVetCfgFactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and compiles export data")
+	}
+	scratch := t.TempDir()
+	bin := buildFemtolint(t, scratch)
+	mod := writeThrowawayModule(t)
+
+	// Export data for every package in the build graph, via go list.
+	exports := map[string]string{}
+	cmd := exec.Command("go", "list", "-export", "-deps", "-f", "{{.ImportPath}}\x01{{.Export}}", "./...")
+	cmd.Dir = mod
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, export, ok := strings.Cut(line, "\x01")
+		if ok && export != "" {
+			exports[path] = export
+		}
+	}
+	for _, need := range []string{"time", "throwaway/internal/clockdep"} {
+		if exports[need] == "" {
+			t.Fatalf("no export data for %s in %v", need, exports)
+		}
+	}
+	importMap := map[string]string{}
+	for path := range exports {
+		importMap[path] = path
+	}
+
+	runCfg := func(name string, cfg map[string]any) (int, string) {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(scratch, name+".cfg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return runTool(t, mod, bin, path)
+	}
+
+	// Unit 1: the dependency, facts only.
+	depVetx := filepath.Join(scratch, "clockdep.vetx")
+	code, cfgOut := runCfg("clockdep", map[string]any{
+		"ID":          "throwaway/internal/clockdep",
+		"Compiler":    "gc",
+		"Dir":         mod,
+		"ImportPath":  "throwaway/internal/clockdep",
+		"GoFiles":     []string{filepath.Join(mod, "internal/clockdep/clockdep.go")},
+		"ModulePath":  "throwaway",
+		"ImportMap":   importMap,
+		"PackageFile": exports,
+		"VetxOnly":    true,
+		"VetxOutput":  depVetx,
+	})
+	if code != 0 {
+		t.Fatalf("dependency unit exit = %d\n%s", code, cfgOut)
+	}
+	raw, err := os.ReadFile(depVetx)
+	if err != nil {
+		t.Fatalf("dependency unit wrote no vetx file: %v", err)
+	}
+	facts, err := analysis.DecodeFacts(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, ok := facts["throwaway/internal/clockdep"]
+	if !ok {
+		t.Fatalf("vetx carries no facts for clockdep: %s", raw)
+	}
+	if !strings.Contains(string(pf["dettaint"]), "Stamp") {
+		t.Errorf("dettaint fact missing Stamp: %s", pf["dettaint"])
+	}
+
+	// Unit 2: the root, importing the dependency's facts.
+	code, cfgOut = runCfg("linalg", map[string]any{
+		"ID":          "throwaway/internal/linalg",
+		"Compiler":    "gc",
+		"Dir":         mod,
+		"ImportPath":  "throwaway/internal/linalg",
+		"GoFiles":     []string{filepath.Join(mod, "internal/linalg/kernel.go")},
+		"ModulePath":  "throwaway",
+		"ImportMap":   importMap,
+		"PackageFile": exports,
+		"PackageVetx": map[string]string{"throwaway/internal/clockdep": depVetx},
+		"VetxOutput":  filepath.Join(scratch, "linalg.vetx"),
+	})
+	if code != 2 {
+		t.Fatalf("root unit exit = %d, want 2\n%s", code, cfgOut)
+	}
+	want := fmt.Sprintf("determinism-critical function %s calls clockdep.Stamp, which transitively reads wall-clock time", "Seed")
+	if !strings.Contains(cfgOut, want) {
+		t.Errorf("root unit output missing %q:\n%s", want, cfgOut)
+	}
+	if !strings.Contains(cfgOut, "path: clockdep.Stamp → time.Now") {
+		t.Errorf("diagnostic does not carry the cross-package call path:\n%s", cfgOut)
+	}
+}
