@@ -1,0 +1,9 @@
+package tmpspan
+
+import "time"
+
+// time.Now stored into an any-typed map value: absolute timestamp
+// reaches encoded output, should be tainted.
+func Payload() map[string]any {
+	return map[string]any{"ts": time.Now()}
+}

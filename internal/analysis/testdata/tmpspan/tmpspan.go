@@ -1,0 +1,16 @@
+package tmpspan
+
+import obs "fixture/internal/obs"
+
+// Every path ends the span inside the switch; no diagnostic expected.
+func SwitchEnd(sc obs.Scope, x int) int {
+	sp := sc.Begin("work")
+	switch x {
+	case 1:
+		sp.End()
+		return 1
+	default:
+		sp.End()
+		return 2
+	}
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"femtoverse/internal/analysis"
+	"femtoverse/internal/analysis/analysistest"
+)
+
+func TestSpanEndSwitchTmp(t *testing.T) {
+	deps := []analysistest.Dep{{Dir: "testdata/deps/obs", PkgPath: "fixture/internal/obs"}}
+	analysistest.RunWithDeps(t, "testdata/tmpspan", "fixture/tmpspan", deps, analysis.SpanEnd)
+}

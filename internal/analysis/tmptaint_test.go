@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"femtoverse/internal/analysis"
+	"femtoverse/internal/analysis/analysistest"
+)
+
+func TestDetTaintAnyFieldTmp(t *testing.T) {
+	facts := analysistest.Facts(t, "testdata/tmpspan", "fixture/tmpspan", nil, analysis.DetTaint)
+	raw := facts["fixture/tmpspan"][analysis.DetTaint.Name]
+	var fact map[string]any
+	_ = json.Unmarshal(raw, &fact)
+	if _, ok := fact["Payload"]; !ok {
+		t.Errorf("Payload not tainted; fact = %s", raw)
+	}
+}
