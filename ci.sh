@@ -8,10 +8,12 @@
 set -eux
 go vet ./...
 go build -o "$PWD/femtolint.bin" ./cmd/femtolint
-trap 'rm -f "$PWD/femtolint.bin"' EXIT
+trap 'rm -f "$PWD/femtolint.bin" "$PWD/garank.bin"' EXIT
 go vet -vettool="$PWD/femtolint.bin" ./...
 go build ./...
-go test -race ./...
+# internal/core's race suite runs close to the default 10m per-package
+# timeout on a loaded machine; give the full sweep headroom.
+go test -race -timeout 20m ./...
 # Chaos gate: the fault-tolerance suites run again under the race
 # detector with -count=2, so the chaos engine's determinism claim
 # (same seed and plan -> same fault sequence and report at any worker
@@ -51,6 +53,22 @@ go test -race -run 'FH' ./internal/workflow/
 # against fresh interleavings - the unitchecker is invoked concurrently
 # by cmd/go, so its own code must hold to the standard it enforces.
 go test -race -count=2 ./internal/analysis/...
+# Distributed gate: the wire protocol suite - framing fuzz, bitwise
+# apply/solve parity, kill-at-every-iteration recovery, chaos solves,
+# partition and hang detection - re-runs under the race detector against
+# fresh interleavings (-count=2, -short trims the kill sweep's stride).
+# Then the real thing: multi-process garank smoke runs over localhost
+# TCP with pinned seeds - a clean 4-rank solve, a rank killed mid-solve
+# and recovered from checkpoint, a frame-chaos run, and a partition run
+# (chaos seed 2 at rate 0.3 severs a link and forces a recovery) - every
+# one required to match the single-process correlator bit for bit.
+go test -race -count=2 -short ./internal/wire/
+go build -o "$PWD/garank.bin" ./cmd/garank
+./garank.bin -ranks 4
+./garank.bin -ranks 4 -kill-rank 1 -kill-xid 3
+./garank.bin -ranks 4 -drop 0.01 -corrupt 0.01 -delay 0.002 -chaos-seed 7 -max-inject 200
+./garank.bin -ranks 2 -partition 0.3 -chaos-seed 2 -max-inject 4
+rm -f "$PWD/garank.bin"
 # The femtolint suppression budget: the tree carries 8 reviewed
 # //femtolint:ignore directives (the runtime's deliberate post-drain
 # Wait, the journal's best-effort Close-after-error cleanups). New code

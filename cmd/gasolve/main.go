@@ -140,6 +140,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace of the campaign to this file (open in Perfetto); needs -workers")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory, shared across campaigns and restarts: cached solves are skipped, bit-for-bit")
 		cacheMem   = flag.Int("cache-mem", 0, "result cache in-memory budget in MiB (0 = 64 MiB default; a value > 0 enables caching even without -cache-dir)")
+		preflight  = flag.Int("preflight-ranks", 0, "before the campaign, smoke-test the distributed wire runtime with this many localhost ranks (0 = skip); fails fast if the halo exchange is broken")
 	)
 	flag.Parse()
 
@@ -164,6 +165,13 @@ func main() {
 		os.Exit(2)
 	}
 	sinks := newObsSinks(*metrics, *traceOut)
+
+	if *preflight > 0 {
+		if err := runWirePreflight(*preflight, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "gasolve: wire preflight: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	// The result cache dedupes identical solves across campaigns and
 	// process restarts; it is attached to every campaign mode. Synthetic

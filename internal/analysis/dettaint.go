@@ -321,8 +321,54 @@ func detTaintExemptCalls(pass *Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool
 			for _, v := range s.Values {
 				mark(v, pass.TypesInfo.TypeOf(s.Names[0]))
 			}
-		case *ast.KeyValueExpr:
-			mark(s.Value, pass.TypesInfo.TypeOf(s.Value))
+		case *ast.CompositeLit:
+			// The exemption rides on the destination type, not the value's
+			// own (time.Now() always has type time.Time): a timestamp is
+			// excused only when the field or element it initializes keeps
+			// it inside time's types. `any`, string, etc. leak it.
+			lt := pass.TypesInfo.TypeOf(s)
+			if lt == nil {
+				return true
+			}
+			switch ut := lt.Underlying().(type) {
+			case *types.Struct:
+				for i, elt := range s.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							for f := 0; f < ut.NumFields(); f++ {
+								if ut.Field(f).Name() == id.Name {
+									mark(kv.Value, ut.Field(f).Type())
+									break
+								}
+							}
+						}
+					} else if i < ut.NumFields() {
+						mark(elt, ut.Field(i).Type())
+					}
+				}
+			case *types.Map:
+				for _, elt := range s.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						mark(kv.Value, ut.Elem())
+					}
+				}
+			case *types.Slice:
+				for _, elt := range s.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						mark(kv.Value, ut.Elem())
+					} else {
+						mark(elt, ut.Elem())
+					}
+				}
+			case *types.Array:
+				for _, elt := range s.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						mark(kv.Value, ut.Elem())
+					} else {
+						mark(elt, ut.Elem())
+					}
+				}
+			}
 		case *ast.CallExpr:
 			if fn := calleeFunc(pass, s); fn != nil {
 				if sig, ok := fn.Type().(*types.Signature); ok {

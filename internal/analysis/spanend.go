@@ -250,11 +250,27 @@ func chainTo(funcBody *ast.BlockStmt, target ast.Node) stmtChain {
 				if descended || n == nil {
 					return false
 				}
-				if _, ok := n.(*ast.FuncLit); ok {
+				// Case and comm clause bodies are bare statement lists, not
+				// BlockStmts; descend into them too or an End inside a
+				// switch case could never dominate the return after it.
+				var nested []ast.Stmt
+				switch nn := n.(type) {
+				case *ast.FuncLit:
 					return false
+				case *ast.BlockStmt:
+					if nn == s {
+						return true
+					}
+					nested = nn.List
+				case *ast.CaseClause:
+					nested = nn.Body
+				case *ast.CommClause:
+					nested = nn.Body
+				default:
+					return true
 				}
-				if bs, ok := n.(*ast.BlockStmt); ok && bs.Pos() <= target.Pos() && target.End() <= bs.End() && bs != s {
-					if search(bs.List) {
+				if n.Pos() <= target.Pos() && target.End() <= n.End() {
+					if search(nested) {
 						descended = true
 					}
 					return false

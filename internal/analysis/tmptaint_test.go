@@ -9,10 +9,16 @@ import (
 )
 
 func TestDetTaintAnyFieldTmp(t *testing.T) {
-	facts := analysistest.Facts(t, "testdata/tmpspan", "fixture/tmpspan", nil, analysis.DetTaint)
-	raw := facts["fixture/tmpspan"][analysis.DetTaint.Name]
+	deps := []analysistest.Dep{{Dir: "testdata/deps/obs", PkgPath: "fixture/internal/obs"}}
+	facts := analysistest.Facts(t, "testdata/tmpspan", "fixture/tmpspan", deps, analysis.DetTaint)
+	raw, ok := facts[analysis.DetTaint.Name]
+	if !ok {
+		t.Fatalf("no %s fact exported; got %v", analysis.DetTaint.Name, facts)
+	}
 	var fact map[string]any
-	_ = json.Unmarshal(raw, &fact)
+	if err := json.Unmarshal(raw, &fact); err != nil {
+		t.Fatalf("decoding %s fact: %v", analysis.DetTaint.Name, err)
+	}
 	if _, ok := fact["Payload"]; !ok {
 		t.Errorf("Payload not tainted; fact = %s", raw)
 	}

@@ -19,6 +19,19 @@ import (
 	"femtoverse/internal/fault"
 )
 
+const (
+	// netRetrySeconds prices one recovered per-frame network fault (drop,
+	// delay, corruption): a handful of capped jittered backoff rounds plus
+	// the retransmission itself.
+	netRetrySeconds = 1.0
+	// defaultPartitionRecoverySeconds is the fallback NetPartition penalty
+	// when Config.PartitionRecoverySeconds is zero. It mirrors
+	// mpijm.RankRecoverySeconds (which cannot be imported here - mpijm
+	// builds on this package): the heartbeat window that converts silence
+	// into a declared death plus re-establishing the rank's connections.
+	defaultPartitionRecoverySeconds = 45.0
+)
+
 // TaskKind distinguishes GPU solves from CPU-only contractions.
 type TaskKind int
 
@@ -67,10 +80,20 @@ type Config struct {
 	// the injected fault sequence is a property of the plan, not of the
 	// scheduling policy. Transient, Panic, Hang and Corrupt faults kill
 	// only the drawing execution; DomainLoss additionally takes down every
-	// running task in the same failure domain. When Fault.Seed is zero the
-	// plan is seeded from Seed so distinct allocations draw distinct
+	// running task in the same failure domain. The network kinds (NetDrop,
+	// NetDelay, NetCorrupt, NetPartition) are the simulated twin of the
+	// live wire layer's chaos: they never kill a task - the halo runtime
+	// detects and recovers them (resend after backoff, checksum discard,
+	// heartbeat timeout plus rank respawn) - so the simulator books the
+	// recovery latency against the report instead. When Fault.Seed is zero
+	// the plan is seeded from Seed so distinct allocations draw distinct
 	// faults by default.
 	Fault fault.Plan
+	// PartitionRecoverySeconds prices one NetPartition recovery: the
+	// heartbeat window that converts silence into a declared death plus
+	// restoring the lost rank onto a respawned process. Zero selects the
+	// default (mpijm.RankRecoverySeconds supplies the calibrated figure).
+	PartitionRecoverySeconds float64
 	// MaxRetries bounds re-executions per task (default 5 when failures
 	// are enabled).
 	MaxRetries int
@@ -200,6 +223,11 @@ type Report struct {
 	// casualties are not faults - they are collateral of a DomainLoss -
 	// so Failures >= Faults.Total() whenever domains are in play.
 	Faults fault.Counts
+	// NetRecoverySeconds integrates the simulated latency of wire-level
+	// fault recovery: resend/backoff for drops and corruptions, the
+	// heartbeat-plus-respawn window for partitions. These faults never
+	// fail a task (Faults tallies them, Failures does not).
+	NetRecoverySeconds float64
 	// Expired reports that the allocation ended before the workload did -
 	// the wall clock ran out or a Preempt fault reclaimed the nodes.
 	Expired bool
@@ -523,6 +551,30 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 		if s.injector != nil {
 			s.injKeys[stat.Task.ID]++
 			fk = s.injector.Draw(stat.Task.ID, s.injKeys[stat.Task.ID])
+		}
+		if fk.IsNet() {
+			// The wire layer's fault tolerance absorbs network chaos: a
+			// dropped or corrupted frame is retransmitted after backoff, a
+			// partition is converted into a declared death by heartbeat
+			// timeout and healed by checkpoint restore onto a respawned
+			// rank. The task completes - no failure, no re-run - and the
+			// recovery latency is booked against the report.
+			rep.Faults.Add(fk)
+			penalty := netRetrySeconds
+			if fk == fault.NetPartition {
+				penalty = cfg.PartitionRecoverySeconds
+				if penalty <= 0 {
+					penalty = defaultPartitionRecoverySeconds
+				}
+			}
+			rep.NetRecoverySeconds += penalty
+			rep.SustainedTFlops += stat.Task.TFlops * dur
+			rep.TasksDone++
+			s.completed[stat.Task.ID] = true
+			if err := dispatch(); err != nil {
+				return Report{}, err
+			}
+			continue
 		}
 		if fk == fault.Preempt {
 			// Preemption is an allocation-level event, not a task failure:

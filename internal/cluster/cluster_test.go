@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"femtoverse/internal/fault"
 )
 
 func smallConfig() Config {
@@ -275,4 +277,82 @@ func containsRune(s string, r rune) bool {
 		}
 	}
 	return false
+}
+
+// TestNetFaultsRecoverNotFail pins the simulated twin of the wire layer's
+// fault tolerance: network kinds never fail a task - every solve
+// completes, the tally lands in Faults (not Failures), and the recovery
+// latency is booked in NetRecoverySeconds.
+func TestNetFaultsRecoverNotFail(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Fault = fault.Plan{Seed: 9, NetDrop: 0.2, NetDelay: 0.1, NetCorrupt: 0.2, NetPartition: 0.2}
+	tasks := solveTasks(40, 800, 0.2, 11)
+	rep, err := Run(cfg, tasks, NaiveBundle{LaunchOverhead: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TasksDone != 40 {
+		t.Fatalf("net faults failed tasks: done %d/40", rep.TasksDone)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("net faults recorded as failures: %d", rep.Failures)
+	}
+	netFaults := rep.Faults.NetDrop + rep.Faults.NetDelay + rep.Faults.NetCorrupt + rep.Faults.NetPartition
+	if netFaults == 0 {
+		t.Fatal("no net faults drawn across 40 executions at 70% total rate")
+	}
+	if netFaults != rep.Faults.Total() {
+		t.Fatalf("non-net faults drawn from a net-only plan: %+v", rep.Faults)
+	}
+	if rep.NetRecoverySeconds <= 0 {
+		t.Fatalf("no recovery latency booked for %d net faults", netFaults)
+	}
+	// Deterministic: same plan, same draws, same booked latency.
+	rep2, err := Run(cfg, tasks, NaiveBundle{LaunchOverhead: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.NetRecoverySeconds != rep.NetRecoverySeconds || rep2.Faults != rep.Faults {
+		t.Fatal("net fault accounting not deterministic")
+	}
+}
+
+// TestPartitionRecoveryPenalty checks the NetPartition price: the
+// configured figure when set, the mpijm-calibrated default when zero,
+// and the flat per-frame retry constant for the other net kinds.
+func TestPartitionRecoveryPenalty(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Fault = fault.Plan{Seed: 4, NetPartition: 0.5}
+	tasks := solveTasks(30, 500, 0.1, 12)
+	rep, err := Run(cfg, tasks, NaiveBundle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults.NetPartition == 0 {
+		t.Fatal("no partitions drawn at 50%")
+	}
+	want := float64(rep.Faults.NetPartition) * defaultPartitionRecoverySeconds
+	if rep.NetRecoverySeconds != want {
+		t.Fatalf("default partition penalty: got %v, want %v", rep.NetRecoverySeconds, want)
+	}
+
+	cfg.PartitionRecoverySeconds = 120
+	rep, err = Run(cfg, tasks, NaiveBundle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = float64(rep.Faults.NetPartition) * 120
+	if rep.NetRecoverySeconds != want {
+		t.Fatalf("configured partition penalty: got %v, want %v", rep.NetRecoverySeconds, want)
+	}
+
+	cfg.Fault = fault.Plan{Seed: 4, NetDrop: 0.5}
+	rep, err = Run(cfg, tasks, NaiveBundle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = float64(rep.Faults.NetDrop) * netRetrySeconds
+	if rep.NetRecoverySeconds != want {
+		t.Fatalf("per-frame retry penalty: got %v, want %v", rep.NetRecoverySeconds, want)
+	}
 }

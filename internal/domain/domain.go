@@ -13,16 +13,16 @@
 // while the faces are in flight). The distributed result is verified
 // bit-compatible with the shared-memory operator, and the distributed
 // operator satisfies solver.Linear, so the production CGNE runs on top
-// unchanged.
+// unchanged. The per-rank kernel lives in Sub (sub.go), which is shared
+// with the real multi-process runtime in internal/wire.
 package domain
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"femtoverse/internal/gauge"
 	"femtoverse/internal/lattice"
-	"femtoverse/internal/linalg"
 )
 
 const spinorLen = 12
@@ -33,37 +33,14 @@ type message struct {
 	data []complex128
 }
 
-// rank is one simulated process.
+// rank is one simulated process: a subdomain kernel plus its channel
+// endpoints.
 type rank struct {
-	coords [lattice.NDim]int
-	local  *lattice.Geometry
-	// Global lexicographic index of each local site (for scatter/gather).
-	globalOf []int
-
-	u [lattice.NDim][]linalg.SU3
-
-	// Ghost faces: ghostSpin[mu][dir] holds the neighbor face needed for
-	// hops in direction mu (dir 0 = from the lower neighbor, 1 = upper).
-	ghostSpin [lattice.NDim][2][]complex128
-	// ghostLink[mu] holds U_mu on the lower neighbor's upper face (the
-	// link entering our lower-boundary sites from behind).
-	ghostLink [lattice.NDim][]linalg.SU3
-
-	// faceSites[mu][dir] lists local sites on the dir-face of dim mu.
-	faceSites [lattice.NDim][2][]int
-	// faceIndex[mu][dir] maps a local site to its position within the
-	// face (or -1).
-	faceIndex [lattice.NDim][2][]int
-
+	sub *Sub
 	// send[mu][dir] delivers to the neighbor in that direction; recv is
 	// the matching inbound channel.
 	send [lattice.NDim][2]chan message
 	recv [lattice.NDim][2]chan message
-
-	interior []int // sites with no ghost dependence
-	boundary []int // sites touching at least one partitioned face
-
-	src, dst []complex128 // local field storage
 }
 
 // Dist is a distributed Wilson operator over a process grid.
@@ -75,8 +52,8 @@ type Dist struct {
 	dec   *lattice.Decomposition
 	// sem (capacity 1) makes Apply non-reentrant: the rank scratch
 	// buffers are shared. A semaphore rather than a mutex because the
-	// critical section spans a WaitGroup.Wait for the per-rank workers,
-	// and parking while holding a sync.Mutex is against the lockhold
+	// critical section spans a wait for the per-rank workers, and
+	// parking while holding a sync.Mutex is against the lockhold
 	// contract.
 	sem chan struct{}
 }
@@ -88,96 +65,17 @@ func NewDist(u *gauge.Field, grid [lattice.NDim]int, mass float64) (*Dist, error
 	if err != nil {
 		return nil, err
 	}
+	specs, err := BuildSpecs(u, grid, mass)
+	if err != nil {
+		return nil, err
+	}
 	d := &Dist{G: u.G, Grid: grid, Mass: mass, dec: dec, sem: make(chan struct{}, 1)}
-	nRanks := dec.Ranks()
-
-	// Build ranks.
-	coords := func(r int) [lattice.NDim]int {
-		var c [lattice.NDim]int
-		for mu := 0; mu < lattice.NDim; mu++ {
-			c[mu] = r % grid[mu]
-			r /= grid[mu]
-		}
-		return c
-	}
-	rankID := func(c [lattice.NDim]int) int {
-		id := 0
-		stride := 1
-		for mu := 0; mu < lattice.NDim; mu++ {
-			id += ((c[mu] + grid[mu]) % grid[mu]) * stride
-			stride *= grid[mu]
-		}
-		return id
-	}
-
-	for r := 0; r < nRanks; r++ {
-		rc := coords(r)
-		lg, err := lattice.New(dec.Local)
+	for r := range specs {
+		sub, err := NewSub(specs[r])
 		if err != nil {
 			return nil, err
 		}
-		rk := &rank{coords: rc, local: lg}
-		rk.globalOf = make([]int, lg.Vol)
-		for s := 0; s < lg.Vol; s++ {
-			lc := lg.Coords(s)
-			var gc [lattice.NDim]int
-			for mu := 0; mu < lattice.NDim; mu++ {
-				gc[mu] = rc[mu]*dec.Local[mu] + lc[mu]
-			}
-			rk.globalOf[s] = u.G.Index(gc)
-		}
-		for mu := 0; mu < lattice.NDim; mu++ {
-			rk.u[mu] = make([]linalg.SU3, lg.Vol)
-			for s := 0; s < lg.Vol; s++ {
-				rk.u[mu][s] = u.U[mu][rk.globalOf[s]]
-			}
-		}
-		// Face bookkeeping.
-		touched := make([]bool, lg.Vol)
-		for mu := 0; mu < lattice.NDim; mu++ {
-			if !dec.Partitioned(mu) {
-				continue
-			}
-			for dir := 0; dir < 2; dir++ {
-				rk.faceIndex[mu][dir] = make([]int, lg.Vol)
-				for i := range rk.faceIndex[mu][dir] {
-					rk.faceIndex[mu][dir][i] = -1
-				}
-			}
-			for s := 0; s < lg.Vol; s++ {
-				lc := lg.Coords(s)
-				if lc[mu] == 0 {
-					rk.faceIndex[mu][0][s] = len(rk.faceSites[mu][0])
-					rk.faceSites[mu][0] = append(rk.faceSites[mu][0], s)
-					touched[s] = true
-				}
-				if lc[mu] == dec.Local[mu]-1 {
-					rk.faceIndex[mu][1][s] = len(rk.faceSites[mu][1])
-					rk.faceSites[mu][1] = append(rk.faceSites[mu][1], s)
-					touched[s] = true
-				}
-			}
-			n := len(rk.faceSites[mu][0])
-			rk.ghostSpin[mu][0] = make([]complex128, n*spinorLen)
-			rk.ghostSpin[mu][1] = make([]complex128, n*spinorLen)
-			rk.ghostLink[mu] = make([]linalg.SU3, n)
-		}
-		for s := 0; s < lg.Vol; s++ {
-			if touched[s] {
-				rk.boundary = append(rk.boundary, s)
-			} else {
-				rk.interior = append(rk.interior, s)
-			}
-		}
-		rk.src = make([]complex128, lg.Vol*spinorLen)
-		rk.dst = make([]complex128, lg.Vol*spinorLen)
-		d.ranks = append(d.ranks, rk)
-	}
-
-	// Wire channels: rank r's send[mu][1] goes to upper neighbor's
-	// recv[mu][0] (a message traveling up arrives from below).
-	for r, rk := range d.ranks {
-		_ = r
+		rk := &rank{sub: sub}
 		for mu := 0; mu < lattice.NDim; mu++ {
 			if !dec.Partitioned(mu) {
 				continue
@@ -186,40 +84,18 @@ func NewDist(u *gauge.Field, grid [lattice.NDim]int, mass float64) (*Dist, error
 				rk.send[mu][dir] = make(chan message, 1)
 			}
 		}
-	}
-	for _, rk := range d.ranks {
-		for mu := 0; mu < lattice.NDim; mu++ {
-			if !dec.Partitioned(mu) {
-				continue
-			}
-			up := rk.coords
-			up[mu]++
-			down := rk.coords
-			down[mu]--
-			// What the upper neighbor sent downward arrives as our
-			// upper ghost, and vice versa.
-			rk.recv[mu][1] = d.ranks[rankID(up)].send[mu][0]
-			rk.recv[mu][0] = d.ranks[rankID(down)].send[mu][1]
-		}
+		d.ranks = append(d.ranks, rk)
 	}
 
-	// One-time gauge-link halo: our lower-boundary backward hop needs
-	// U_mu(x - mu), which lives on the lower neighbor's upper face.
+	// Wire channels: what the upper neighbor sent downward arrives as our
+	// upper ghost, and vice versa.
 	for _, rk := range d.ranks {
 		for mu := 0; mu < lattice.NDim; mu++ {
 			if !dec.Partitioned(mu) {
 				continue
 			}
-			down := rk.coords
-			down[mu]--
-			nb := d.ranks[rankID(down)]
-			for i, s := range rk.faceSites[mu][0] {
-				// The matching site on the neighbor's upper face shares
-				// all coordinates except mu.
-				lc := rk.local.Coords(s)
-				lc[mu] = dec.Local[mu] - 1
-				rk.ghostLink[mu][i] = nb.u[mu][nb.local.Index(lc)]
-			}
+			rk.recv[mu][1] = d.ranks[rk.sub.Spec.NeighborRank(mu, 1)].send[mu][0]
+			rk.recv[mu][0] = d.ranks[rk.sub.Spec.NeighborRank(mu, 0)].send[mu][1]
 		}
 	}
 	return d, nil
@@ -231,51 +107,97 @@ func (d *Dist) Size() int { return d.G.Vol * spinorLen }
 // Ranks returns the process count.
 func (d *Dist) Ranks() int { return len(d.ranks) }
 
+// Specs returns a copy of the per-rank subdomain specs (for checkpointing
+// and for shipping subdomains to worker processes).
+func (d *Dist) Specs() []SubSpec {
+	out := make([]SubSpec, len(d.ranks))
+	for i, rk := range d.ranks {
+		out[i] = rk.sub.Spec
+	}
+	return out
+}
+
 // Apply computes dst = D src with the four-step halo pipeline on every
 // rank concurrently.
 func (d *Dist) Apply(dst, src []complex128) {
+	if err := d.ApplyCtx(context.Background(), dst, src); err != nil {
+		// Unreachable: the background context cannot be canceled, and
+		// ApplyCtx has no other failure mode.
+		panic(err)
+	}
+}
+
+// ApplyCtx is Apply with cooperative cancellation: a halo wait aborts
+// promptly when ctx is canceled (drain, deadline, lost neighbor) instead
+// of blocking until the operator completes. On cancellation the contents
+// of dst are unspecified and ctx.Err() is returned.
+func (d *Dist) ApplyCtx(ctx context.Context, dst, src []complex128) error {
 	if len(dst) != d.Size() || len(src) != d.Size() {
 		panic("domain: Apply size mismatch")
 	}
-	d.sem <- struct{}{}
+	select {
+	case d.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	defer func() { <-d.sem }()
 
 	// Scatter the global field.
 	for _, rk := range d.ranks {
-		for s := 0; s < rk.local.Vol; s++ {
-			copy(rk.src[s*spinorLen:(s+1)*spinorLen],
-				src[rk.globalOf[s]*spinorLen:(rk.globalOf[s]+1)*spinorLen])
-		}
+		rk.sub.ScatterFrom(src)
 	}
 
-	var wg sync.WaitGroup
-	wg.Add(len(d.ranks))
+	errs := make(chan error, len(d.ranks))
 	for _, rk := range d.ranks {
 		go func(rk *rank) {
-			defer wg.Done()
-			d.applyRank(rk)
+			errs <- d.applyRank(ctx, rk)
 		}(rk)
 	}
-	wg.Wait()
+	var firstErr error
+	for range d.ranks {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		// Drain any halo messages a canceled rank left in flight so the
+		// buffered channels are clean for the next application.
+		for _, rk := range d.ranks {
+			for mu := range rk.send {
+				for dir := range rk.send[mu] {
+					if rk.send[mu][dir] == nil {
+						continue
+					}
+					select {
+					case <-rk.send[mu][dir]:
+					default:
+					}
+				}
+			}
+		}
+		return firstErr
+	}
 
 	// Gather.
 	for _, rk := range d.ranks {
-		for s := 0; s < rk.local.Vol; s++ {
-			copy(dst[rk.globalOf[s]*spinorLen:(rk.globalOf[s]+1)*spinorLen],
-				rk.dst[s*spinorLen:(s+1)*spinorLen])
-		}
+		rk.sub.GatherTo(dst)
 	}
+	return nil
 }
 
 // ApplyDagger implements solver.Linear via gamma_5 hermiticity.
 func (d *Dist) ApplyDagger(dst, src []complex128) {
 	tmp := make([]complex128, len(src))
-	gamma5(tmp, src)
+	Gamma5(tmp, src)
 	d.Apply(dst, tmp)
-	gamma5(dst, dst)
+	Gamma5(dst, dst)
 }
 
-func gamma5(dst, src []complex128) {
+// Gamma5 applies the chirality operator sitewise (dst may alias src);
+// with it any Apply-only operator gains ApplyDagger by gamma_5
+// hermiticity, which is how both Dist and the wire Session satisfy
+// solver.Linear.
+func Gamma5(dst, src []complex128) {
 	n := len(src) / spinorLen
 	for s := 0; s < n; s++ {
 		base := s * spinorLen
@@ -288,131 +210,142 @@ func gamma5(dst, src []complex128) {
 	}
 }
 
-// applyRank runs the paper's four steps on one rank.
-func (d *Dist) applyRank(rk *rank) {
+// applyRank runs the paper's four steps on one rank, consulting ctx at
+// every halo wait so cancellation interrupts the exchange.
+func (d *Dist) applyRank(ctx context.Context, rk *rank) error {
 	// Step 1: pack the halo faces.
 	// Step 2: post the sends (buffered channels: non-blocking here).
-	for mu := 0; mu < lattice.NDim; mu++ {
+	for mu := range rk.send {
 		if !d.dec.Partitioned(mu) {
 			continue
 		}
-		for dir := 0; dir < 2; dir++ {
-			face := rk.faceSites[mu][dir]
-			buf := make([]complex128, len(face)*spinorLen)
-			for i, s := range face {
-				copy(buf[i*spinorLen:(i+1)*spinorLen], rk.src[s*spinorLen:(s+1)*spinorLen])
+		for dir := range rk.send[mu] {
+			buf := make([]complex128, rk.sub.FaceLen(mu))
+			rk.sub.PackFace(mu, dir, buf)
+			select {
+			case rk.send[mu][dir] <- message{data: buf}:
+			case <-ctx.Done():
+				return ctx.Err()
 			}
-			rk.send[mu][dir] <- message{data: buf}
 		}
 	}
 
 	// Step 3: interior stencil, overlapping the communication.
-	for _, s := range rk.interior {
-		d.siteStencil(rk, s)
-	}
+	rk.sub.StencilInterior()
 
 	// Step 4: receive halos, then complete the boundary sites.
-	for mu := 0; mu < lattice.NDim; mu++ {
+	for mu := range rk.recv {
 		if !d.dec.Partitioned(mu) {
 			continue
 		}
-		for dir := 0; dir < 2; dir++ {
-			m := <-rk.recv[mu][dir]
-			copy(rk.ghostSpin[mu][dir], m.data)
+		for dir := range rk.recv[mu] {
+			select {
+			case m := <-rk.recv[mu][dir]:
+				rk.sub.SetGhost(mu, dir, m.data)
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 	}
-	for _, s := range rk.boundary {
-		d.siteStencil(rk, s)
-	}
-}
-
-// neighborSpinor returns psi at the neighbor of local site s in direction
-// (mu, fwd), reading the ghost face when the hop crosses the rank edge.
-func (rk *rank) neighborSpinor(d *Dist, s, mu int, fwd bool) []complex128 {
-	lc := rk.local.Coords(s)
-	if d.dec.Partitioned(mu) {
-		if fwd && lc[mu] == rk.local.Dims[mu]-1 {
-			i := rk.faceIndex[mu][1][s]
-			return rk.ghostSpin[mu][1][i*spinorLen : (i+1)*spinorLen]
-		}
-		if !fwd && lc[mu] == 0 {
-			i := rk.faceIndex[mu][0][s]
-			return rk.ghostSpin[mu][0][i*spinorLen : (i+1)*spinorLen]
-		}
-	}
-	var nb int
-	if fwd {
-		nb = rk.local.Fwd(s, mu)
-	} else {
-		nb = rk.local.Bwd(s, mu)
-	}
-	return rk.src[nb*spinorLen : (nb+1)*spinorLen]
-}
-
-// siteStencil applies the Wilson stencil at one local site.
-func (d *Dist) siteStencil(rk *rank, s int) {
-	out := rk.dst[s*spinorLen : (s+1)*spinorLen]
-	in := rk.src[s*spinorLen : (s+1)*spinorLen]
-	diag := complex(4+d.Mass, 0)
-	for i := 0; i < spinorLen; i++ {
-		out[i] = diag * in[i]
-	}
-	lc := rk.local.Coords(s)
-	for mu := 0; mu < lattice.NDim; mu++ {
-		// Forward hop: (1-gamma) U_mu(x) psi(x+mu).
-		hopAccumLocal(out, rk.neighborSpinor(d, s, mu, true), &rk.u[mu][s], mu, -1, false)
-		// Backward hop: (1+gamma) U_mu(x-mu)^dag psi(x-mu).
-		var link *linalg.SU3
-		if d.dec.Partitioned(mu) && lc[mu] == 0 {
-			link = &rk.ghostLink[mu][rk.faceIndex[mu][0][s]]
-		} else {
-			link = &rk.u[mu][rk.local.Bwd(s, mu)]
-		}
-		hopAccumLocal(out, rk.neighborSpinor(d, s, mu, false), link, mu, +1, true)
-	}
-}
-
-// hopAccumLocal mirrors the shared-memory kernel's hopping term.
-func hopAccumLocal(out, in []complex128, u *linalg.SU3, mu, projSign int, adjoint bool) {
-	p0 := linalg.GammaPerm[mu][0]
-	p1 := linalg.GammaPerm[mu][1]
-	ph0 := linalg.GammaPhase[mu][0]
-	ph1 := linalg.GammaPhase[mu][1]
-	sgn := complex(float64(projSign), 0)
-	var h0, h1 [3]complex128
-	for c := 0; c < 3; c++ {
-		h0[c] = in[0*3+c] + sgn*ph0*in[p0*3+c]
-		h1[c] = in[1*3+c] + sgn*ph1*in[p1*3+c]
-	}
-	var uh0, uh1 [3]complex128
-	if adjoint {
-		uh0 = u.AdjMulVec(&h0)
-		uh1 = u.AdjMulVec(&h1)
-	} else {
-		uh0 = u.MulVec(&h0)
-		uh1 = u.MulVec(&h1)
-	}
-	r0 := sgn * complex(real(ph0), -imag(ph0))
-	r1 := sgn * complex(real(ph1), -imag(ph1))
-	for c := 0; c < 3; c++ {
-		out[0*3+c] -= 0.5 * uh0[c]
-		out[1*3+c] -= 0.5 * uh1[c]
-		out[p0*3+c] -= 0.5 * r0 * uh0[c]
-		out[p1*3+c] -= 0.5 * r1 * uh1[c]
-	}
+	rk.sub.StencilBoundary()
+	return nil
 }
 
 // HaloBytesPerApply returns the spinor bytes each rank exchanges per
 // application, the quantity the communication model prices.
 func (d *Dist) HaloBytesPerApply() int {
 	total := 0
+	for _, b := range d.HaloMessageBytes(true) {
+		total += b
+	}
+	return total
+}
+
+// HaloMessageBytes returns the payload bytes of each halo message one
+// rank sends per operator application. Under fine-grained exchange every
+// (dimension, direction) face travels as its own message; under coarse
+// exchange all faces bound for the same neighbor rank are batched into
+// one. The per-message breakdown is what lets the communication model
+// price wire framing honestly (internal/comms) and is crosschecked
+// against bytes measured on live sockets by internal/wire.
+func (d *Dist) HaloMessageBytes(fine bool) []int {
+	if len(d.ranks) == 0 {
+		return nil
+	}
+	sub := d.ranks[0].sub
+	if fine {
+		var out []int
+		for mu := 0; mu < lattice.NDim; mu++ {
+			if !d.dec.Partitioned(mu) {
+				continue
+			}
+			face := sub.FaceLen(mu) * 16
+			out = append(out, face, face)
+		}
+		return out
+	}
+	// Coarse: batch by destination rank, in (mu, dir) order - the same
+	// grouping the wire layer uses.
+	perPeer := map[int]int{}
+	var order []int
 	for mu := 0; mu < lattice.NDim; mu++ {
 		if !d.dec.Partitioned(mu) {
 			continue
 		}
-		total += 2 * d.dec.SurfaceSites4D(mu) * spinorLen * 16
+		for dir := 0; dir < 2; dir++ {
+			peer := sub.Spec.NeighborRank(mu, dir)
+			if _, seen := perPeer[peer]; !seen {
+				order = append(order, peer)
+			}
+			perPeer[peer] += sub.FaceLen(mu) * 16
+		}
 	}
-	return total
+	out := make([]int, 0, len(order))
+	for _, peer := range order {
+		out = append(out, perPeer[peer])
+	}
+	return out
+}
+
+// HaloMessageSections returns, message-for-message with HaloMessageBytes,
+// how many face sections each message batches: always 1 under fine
+// exchange, the destination rank's face count under coarse. Together the
+// two let a model price framed wire traffic exactly (payload plus
+// per-frame and per-section headers).
+func (d *Dist) HaloMessageSections(fine bool) []int {
+	if len(d.ranks) == 0 {
+		return nil
+	}
+	sub := d.ranks[0].sub
+	if fine {
+		var out []int
+		for mu := 0; mu < lattice.NDim; mu++ {
+			if !d.dec.Partitioned(mu) {
+				continue
+			}
+			out = append(out, 1, 1)
+		}
+		return out
+	}
+	perPeer := map[int]int{}
+	var order []int
+	for mu := 0; mu < lattice.NDim; mu++ {
+		if !d.dec.Partitioned(mu) {
+			continue
+		}
+		for dir := 0; dir < 2; dir++ {
+			peer := sub.Spec.NeighborRank(mu, dir)
+			if _, seen := perPeer[peer]; !seen {
+				order = append(order, peer)
+			}
+			perPeer[peer]++
+		}
+	}
+	out := make([]int, 0, len(order))
+	for _, peer := range order {
+		out = append(out, perPeer[peer])
+	}
+	return out
 }
 
 // InteriorFraction reports the fraction of sites computable before any
@@ -421,8 +354,8 @@ func (d *Dist) InteriorFraction() float64 {
 	if len(d.ranks) == 0 {
 		return 0
 	}
-	rk := d.ranks[0]
-	return float64(len(rk.interior)) / float64(rk.local.Vol)
+	sub := d.ranks[0].sub
+	return float64(len(sub.interior)) / float64(sub.local.Vol)
 }
 
 // String describes the decomposition.

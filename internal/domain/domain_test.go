@@ -172,3 +172,81 @@ func TestRepeatedAppliesAreConsistent(t *testing.T) {
 		}
 	}
 }
+
+// TestApplyCtxCancellation checks the cooperative-cancellation contract:
+// a canceled context aborts the halo pipeline with ctx.Err, and the
+// operator remains usable for clean applications afterwards (no halo
+// message left stranded in the channels).
+func TestApplyCtxCancellation(t *testing.T) {
+	g := lattice.MustNew(4, 4, 4, 4)
+	cfg := gauge.NewRandom(g, 31)
+	d, err := NewDist(cfg, [4]int{1, 1, 1, 2}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	src := randField(rng, d.Size())
+	dst := make([]complex128, d.Size())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.ApplyCtx(ctx, dst, src); err != context.Canceled {
+		t.Fatalf("canceled ApplyCtx returned %v, want context.Canceled", err)
+	}
+
+	// The operator must recover fully: a clean application afterwards
+	// matches the reference exactly.
+	w := dirac.NewWilson(cfg, 0.1)
+	want := make([]complex128, d.Size())
+	w.Apply(want, src)
+	if err := d.ApplyCtx(context.Background(), dst, src); err != nil {
+		t.Fatalf("post-cancel apply: %v", err)
+	}
+	if dd := dist2(want, dst); dd > 1e-11 {
+		t.Fatalf("post-cancel apply differs by %g", dd)
+	}
+}
+
+// TestHaloMessageModel pins the per-message accounting the communication
+// model and the wire crosscheck consume: fine messages are one face
+// each; coarse batches per destination; totals agree with
+// HaloBytesPerApply.
+func TestHaloMessageModel(t *testing.T) {
+	g := lattice.MustNew(4, 4, 4, 8)
+	cfg := gauge.NewUnit(g)
+
+	// Two ranks on the time axis: both faces go to the same peer, so
+	// coarse must fold them into a single two-section message.
+	d2, err := NewDist(cfg, [4]int{1, 1, 1, 2}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineB, fineS := d2.HaloMessageBytes(true), d2.HaloMessageSections(true)
+	if len(fineB) != 2 || len(fineS) != 2 || fineS[0] != 1 || fineS[1] != 1 {
+		t.Fatalf("fine shape: bytes %v sections %v", fineB, fineS)
+	}
+	coarseB, coarseS := d2.HaloMessageBytes(false), d2.HaloMessageSections(false)
+	if len(coarseB) != 1 || len(coarseS) != 1 || coarseS[0] != 2 {
+		t.Fatalf("coarse shape: bytes %v sections %v", coarseB, coarseS)
+	}
+	if coarseB[0] != fineB[0]+fineB[1] {
+		t.Fatalf("coarse payload %d != folded fine payloads %d", coarseB[0], fineB[0]+fineB[1])
+	}
+	total := 0
+	for _, b := range fineB {
+		total += b
+	}
+	if got := d2.HaloBytesPerApply(); got != total {
+		t.Fatalf("HaloBytesPerApply %d != summed messages %d", got, total)
+	}
+
+	// Four ranks: two distinct neighbors, coarse cannot batch across
+	// destinations.
+	d4, err := NewDist(cfg, [4]int{1, 1, 1, 4}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d4.HaloMessageSections(false); len(s) != 2 || s[0] != 1 || s[1] != 1 {
+		t.Fatalf("4-rank coarse sections %v, want [1 1]", s)
+	}
+}

@@ -1,0 +1,388 @@
+// Subdomain kernel: the per-rank half of the four-step halo pipeline,
+// factored out of the in-process Dist so a rank can live anywhere - a
+// goroutine sharing the address space (Dist) or a worker process on the
+// far end of a TCP connection (internal/wire). The split is exact: Dist
+// is now a thin orchestration shell over []*Sub, and the wire workers
+// run the same Sub methods, which is what makes the distributed operator
+// bit-for-bit identical to the shared-memory one by construction.
+package domain
+
+import (
+	"fmt"
+
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/linalg"
+)
+
+// SubSpec is the serializable description of one rank's subdomain: the
+// decomposition geometry plus the rank's slice of the gauge field and the
+// one-time gauge-link halo. It is everything a worker process needs to
+// reconstruct its Sub, and what the coordinator checkpoints so a lost
+// rank can be restored onto a respawned process.
+type SubSpec struct {
+	Rank   int
+	Coords [lattice.NDim]int
+	Grid   [lattice.NDim]int
+	Global [lattice.NDim]int
+	Local  [lattice.NDim]int
+	Mass   float64
+	// U is the rank's local gauge links, [mu][localSite].
+	U [lattice.NDim][]linalg.SU3
+	// GhostLink[mu] holds U_mu on the lower neighbor's upper face (the
+	// link entering our lower-boundary sites from behind), indexed by
+	// lower-face position. Empty when mu is not partitioned.
+	GhostLink [lattice.NDim][]linalg.SU3
+}
+
+// RankOf folds grid coordinates (periodically wrapped) into a rank id.
+func RankOf(grid, coords [lattice.NDim]int) int {
+	id := 0
+	stride := 1
+	for mu := 0; mu < lattice.NDim; mu++ {
+		id += ((coords[mu] + grid[mu]) % grid[mu]) * stride
+		stride *= grid[mu]
+	}
+	return id
+}
+
+// CoordsOf inverts RankOf.
+func CoordsOf(grid [lattice.NDim]int, rank int) [lattice.NDim]int {
+	var c [lattice.NDim]int
+	for mu := 0; mu < lattice.NDim; mu++ {
+		c[mu] = rank % grid[mu]
+		rank /= grid[mu]
+	}
+	return c
+}
+
+// NeighborRank returns the rank one step along mu (dir 0 = lower, 1 =
+// upper), with periodic wrap.
+func (sp *SubSpec) NeighborRank(mu, dir int) int {
+	c := sp.Coords
+	if dir == 0 {
+		c[mu]--
+	} else {
+		c[mu]++
+	}
+	return RankOf(sp.Grid, c)
+}
+
+// Partitioned reports whether direction mu is split across ranks.
+func (sp *SubSpec) Partitioned(mu int) bool { return sp.Grid[mu] > 1 }
+
+// FaceSites returns the number of sites on one face of dimension mu.
+func (sp *SubSpec) FaceSites(mu int) int {
+	n := 1
+	for nu := 0; nu < lattice.NDim; nu++ {
+		if nu != mu {
+			n *= sp.Local[nu]
+		}
+	}
+	return n
+}
+
+// LocalVol returns the subdomain's site count.
+func (sp *SubSpec) LocalVol() int {
+	n := 1
+	for mu := 0; mu < lattice.NDim; mu++ {
+		n *= sp.Local[mu]
+	}
+	return n
+}
+
+// BuildSpecs decomposes the gauge field over the grid into one spec per
+// rank - the coordinator-side half of NewDist, exported so the wire
+// layer can ship subdomains to worker processes and checkpoint them.
+func BuildSpecs(u *gauge.Field, grid [lattice.NDim]int, mass float64) ([]SubSpec, error) {
+	dec, err := lattice.Decompose(u.G.Dims, grid, 1)
+	if err != nil {
+		return nil, err
+	}
+	nRanks := dec.Ranks()
+	specs := make([]SubSpec, nRanks)
+	for r := 0; r < nRanks; r++ {
+		sp := &specs[r]
+		sp.Rank = r
+		sp.Coords = CoordsOf(grid, r)
+		sp.Grid = grid
+		sp.Global = u.G.Dims
+		sp.Local = dec.Local
+		sp.Mass = mass
+		lg, err := lattice.New(dec.Local)
+		if err != nil {
+			return nil, err
+		}
+		for mu := 0; mu < lattice.NDim; mu++ {
+			sp.U[mu] = make([]linalg.SU3, lg.Vol)
+			for s := 0; s < lg.Vol; s++ {
+				lc := lg.Coords(s)
+				var gc [lattice.NDim]int
+				for nu := 0; nu < lattice.NDim; nu++ {
+					gc[nu] = sp.Coords[nu]*dec.Local[nu] + lc[nu]
+				}
+				sp.U[mu][s] = u.U[mu][u.G.Index(gc)]
+			}
+		}
+	}
+	// One-time gauge-link halo: our lower-boundary backward hop needs
+	// U_mu(x - mu), which lives on the lower neighbor's upper face.
+	for r := range specs {
+		sp := &specs[r]
+		lg, err := lattice.New(dec.Local)
+		if err != nil {
+			return nil, err
+		}
+		for mu := 0; mu < lattice.NDim; mu++ {
+			if !dec.Partitioned(mu) {
+				continue
+			}
+			nb := &specs[sp.NeighborRank(mu, 0)]
+			sp.GhostLink[mu] = make([]linalg.SU3, 0, sp.FaceSites(mu))
+			for s := 0; s < lg.Vol; s++ {
+				lc := lg.Coords(s)
+				if lc[mu] != 0 {
+					continue
+				}
+				lc[mu] = dec.Local[mu] - 1
+				sp.GhostLink[mu] = append(sp.GhostLink[mu], nb.U[mu][lg.Index(lc)])
+			}
+		}
+	}
+	return specs, nil
+}
+
+// Sub is one rank's live subdomain state: geometry bookkeeping, gauge
+// links, ghost buffers, and field scratch. Methods are not safe for
+// concurrent use on one Sub; the orchestrator (Dist or a wire worker)
+// serializes applications.
+type Sub struct {
+	Spec  SubSpec
+	local *lattice.Geometry
+	// Global lexicographic index of each local site (for scatter/gather).
+	globalOf []int
+
+	// Ghost faces: ghostSpin[mu][dir] holds the neighbor face needed for
+	// hops in direction mu (dir 0 = from the lower neighbor, 1 = upper).
+	ghostSpin [lattice.NDim][2][]complex128
+
+	// faceSites[mu][dir] lists local sites on the dir-face of dim mu.
+	faceSites [lattice.NDim][2][]int
+	// faceIndex[mu][dir] maps a local site to its position within the
+	// face (or -1).
+	faceIndex [lattice.NDim][2][]int
+
+	interior []int // sites with no ghost dependence
+	boundary []int // sites touching at least one partitioned face
+
+	src, dst []complex128 // local field storage
+}
+
+// NewSub reconstructs the live subdomain from its spec.
+func NewSub(spec SubSpec) (*Sub, error) {
+	lg, err := lattice.New(spec.Local)
+	if err != nil {
+		return nil, err
+	}
+	gg, err := lattice.New(spec.Global)
+	if err != nil {
+		return nil, err
+	}
+	for mu := 0; mu < lattice.NDim; mu++ {
+		if len(spec.U[mu]) != lg.Vol {
+			return nil, fmt.Errorf("domain: spec rank %d has %d U[%d] links, want %d",
+				spec.Rank, len(spec.U[mu]), mu, lg.Vol)
+		}
+		if spec.Partitioned(mu) && len(spec.GhostLink[mu]) != spec.FaceSites(mu) {
+			return nil, fmt.Errorf("domain: spec rank %d has %d ghost links in %d, want %d",
+				spec.Rank, len(spec.GhostLink[mu]), mu, spec.FaceSites(mu))
+		}
+	}
+	sub := &Sub{Spec: spec, local: lg}
+	sub.globalOf = make([]int, lg.Vol)
+	for s := 0; s < lg.Vol; s++ {
+		lc := lg.Coords(s)
+		var gc [lattice.NDim]int
+		for mu := 0; mu < lattice.NDim; mu++ {
+			gc[mu] = spec.Coords[mu]*spec.Local[mu] + lc[mu]
+		}
+		sub.globalOf[s] = gg.Index(gc)
+	}
+	touched := make([]bool, lg.Vol)
+	for mu := 0; mu < lattice.NDim; mu++ {
+		if !spec.Partitioned(mu) {
+			continue
+		}
+		for dir := 0; dir < 2; dir++ {
+			sub.faceIndex[mu][dir] = make([]int, lg.Vol)
+			for i := range sub.faceIndex[mu][dir] {
+				sub.faceIndex[mu][dir][i] = -1
+			}
+		}
+		for s := 0; s < lg.Vol; s++ {
+			lc := lg.Coords(s)
+			if lc[mu] == 0 {
+				sub.faceIndex[mu][0][s] = len(sub.faceSites[mu][0])
+				sub.faceSites[mu][0] = append(sub.faceSites[mu][0], s)
+				touched[s] = true
+			}
+			if lc[mu] == spec.Local[mu]-1 {
+				sub.faceIndex[mu][1][s] = len(sub.faceSites[mu][1])
+				sub.faceSites[mu][1] = append(sub.faceSites[mu][1], s)
+				touched[s] = true
+			}
+		}
+		n := len(sub.faceSites[mu][0])
+		sub.ghostSpin[mu][0] = make([]complex128, n*spinorLen)
+		sub.ghostSpin[mu][1] = make([]complex128, n*spinorLen)
+	}
+	for s := 0; s < lg.Vol; s++ {
+		if touched[s] {
+			sub.boundary = append(sub.boundary, s)
+		} else {
+			sub.interior = append(sub.interior, s)
+		}
+	}
+	sub.src = make([]complex128, lg.Vol*spinorLen)
+	sub.dst = make([]complex128, lg.Vol*spinorLen)
+	return sub, nil
+}
+
+// LocalLen returns the length of the local field vectors.
+func (sub *Sub) LocalLen() int { return sub.local.Vol * spinorLen }
+
+// FaceLen returns the complex length of one spinor face in dimension mu.
+func (sub *Sub) FaceLen(mu int) int { return len(sub.faceSites[mu][0]) * spinorLen }
+
+// SetSrc installs the local source field (length LocalLen).
+func (sub *Sub) SetSrc(src []complex128) {
+	copy(sub.src, src)
+}
+
+// Src returns the local source storage (for in-place scatter).
+func (sub *Sub) Src() []complex128 { return sub.src }
+
+// Dst returns the local result field after the stencil completes.
+func (sub *Sub) Dst() []complex128 { return sub.dst }
+
+// ScatterFrom fills the local source from a global field.
+func (sub *Sub) ScatterFrom(global []complex128) {
+	for s := 0; s < sub.local.Vol; s++ {
+		copy(sub.src[s*spinorLen:(s+1)*spinorLen],
+			global[sub.globalOf[s]*spinorLen:(sub.globalOf[s]+1)*spinorLen])
+	}
+}
+
+// GatherTo writes the local result into a global field.
+func (sub *Sub) GatherTo(global []complex128) {
+	for s := 0; s < sub.local.Vol; s++ {
+		copy(global[sub.globalOf[s]*spinorLen:(sub.globalOf[s]+1)*spinorLen],
+			sub.dst[s*spinorLen:(s+1)*spinorLen])
+	}
+}
+
+// PackFace copies the dir-face of dimension mu from the local source into
+// buf (length FaceLen(mu)) - step 1 of the pipeline.
+func (sub *Sub) PackFace(mu, dir int, buf []complex128) {
+	for i, s := range sub.faceSites[mu][dir] {
+		copy(buf[i*spinorLen:(i+1)*spinorLen], sub.src[s*spinorLen:(s+1)*spinorLen])
+	}
+}
+
+// SetGhost installs a received neighbor face (dir 0 = from the lower
+// neighbor, 1 = upper).
+func (sub *Sub) SetGhost(mu, dir int, data []complex128) {
+	copy(sub.ghostSpin[mu][dir], data)
+}
+
+// StencilInterior applies the operator on every site with no ghost
+// dependence - step 3, overlappable with communication.
+func (sub *Sub) StencilInterior() {
+	for _, s := range sub.interior {
+		sub.siteStencil(s)
+	}
+}
+
+// StencilBoundary completes the halo sites once every ghost face has been
+// installed - step 4.
+func (sub *Sub) StencilBoundary() {
+	for _, s := range sub.boundary {
+		sub.siteStencil(s)
+	}
+}
+
+// neighborSpinor returns psi at the neighbor of local site s in direction
+// (mu, fwd), reading the ghost face when the hop crosses the rank edge.
+func (sub *Sub) neighborSpinor(s, mu int, fwd bool) []complex128 {
+	lc := sub.local.Coords(s)
+	if sub.Spec.Partitioned(mu) {
+		if fwd && lc[mu] == sub.local.Dims[mu]-1 {
+			i := sub.faceIndex[mu][1][s]
+			return sub.ghostSpin[mu][1][i*spinorLen : (i+1)*spinorLen]
+		}
+		if !fwd && lc[mu] == 0 {
+			i := sub.faceIndex[mu][0][s]
+			return sub.ghostSpin[mu][0][i*spinorLen : (i+1)*spinorLen]
+		}
+	}
+	var nb int
+	if fwd {
+		nb = sub.local.Fwd(s, mu)
+	} else {
+		nb = sub.local.Bwd(s, mu)
+	}
+	return sub.src[nb*spinorLen : (nb+1)*spinorLen]
+}
+
+// siteStencil applies the Wilson stencil at one local site.
+func (sub *Sub) siteStencil(s int) {
+	out := sub.dst[s*spinorLen : (s+1)*spinorLen]
+	in := sub.src[s*spinorLen : (s+1)*spinorLen]
+	diag := complex(4+sub.Spec.Mass, 0)
+	for i := 0; i < spinorLen; i++ {
+		out[i] = diag * in[i]
+	}
+	lc := sub.local.Coords(s)
+	for mu := 0; mu < lattice.NDim; mu++ {
+		// Forward hop: (1-gamma) U_mu(x) psi(x+mu).
+		hopAccumLocal(out, sub.neighborSpinor(s, mu, true), &sub.Spec.U[mu][s], mu, -1, false)
+		// Backward hop: (1+gamma) U_mu(x-mu)^dag psi(x-mu).
+		var link *linalg.SU3
+		if sub.Spec.Partitioned(mu) && lc[mu] == 0 {
+			link = &sub.Spec.GhostLink[mu][sub.faceIndex[mu][0][s]]
+		} else {
+			link = &sub.Spec.U[mu][sub.local.Bwd(s, mu)]
+		}
+		hopAccumLocal(out, sub.neighborSpinor(s, mu, false), link, mu, +1, true)
+	}
+}
+
+// hopAccumLocal mirrors the shared-memory kernel's hopping term.
+func hopAccumLocal(out, in []complex128, u *linalg.SU3, mu, projSign int, adjoint bool) {
+	p0 := linalg.GammaPerm[mu][0]
+	p1 := linalg.GammaPerm[mu][1]
+	ph0 := linalg.GammaPhase[mu][0]
+	ph1 := linalg.GammaPhase[mu][1]
+	sgn := complex(float64(projSign), 0)
+	var h0, h1 [3]complex128
+	for c := 0; c < 3; c++ {
+		h0[c] = in[0*3+c] + sgn*ph0*in[p0*3+c]
+		h1[c] = in[1*3+c] + sgn*ph1*in[p1*3+c]
+	}
+	var uh0, uh1 [3]complex128
+	if adjoint {
+		uh0 = u.AdjMulVec(&h0)
+		uh1 = u.AdjMulVec(&h1)
+	} else {
+		uh0 = u.MulVec(&h0)
+		uh1 = u.MulVec(&h1)
+	}
+	r0 := sgn * complex(real(ph0), -imag(ph0))
+	r1 := sgn * complex(real(ph1), -imag(ph1))
+	for c := 0; c < 3; c++ {
+		out[0*3+c] -= 0.5 * uh0[c]
+		out[1*3+c] -= 0.5 * uh1[c]
+		out[p0*3+c] -= 0.5 * r0 * uh0[c]
+		out[p1*3+c] -= 0.5 * r1 * uh1[c]
+	}
+}

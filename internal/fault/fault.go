@@ -50,6 +50,21 @@ const (
 	// fires the executor's drain path at the injected instant, so
 	// in-flight work races the grace period and queued work is refused.
 	Preempt
+	// NetDrop loses one frame on the wire: the sender's transmission never
+	// arrives and must be retransmitted after backoff (switch buffer
+	// overrun, lossy link). A detected, recoverable fault.
+	NetDrop
+	// NetDelay stalls one frame for a bounded interval before delivery:
+	// congestion or adaptive-routing detours. The frame arrives intact.
+	NetDelay
+	// NetPartition severs a link for a whole epoch: every frame - data and
+	// heartbeats alike - vanishes until the coordinator declares the far
+	// end dead and recovers. The fault heartbeat timeouts exist for.
+	NetPartition
+	// NetCorrupt damages a frame in flight: the receiver's checksum must
+	// catch it and discard the frame (corruption is a detected fault,
+	// never a silent wrong answer), and the sender retransmits.
+	NetCorrupt
 
 	numKinds
 )
@@ -71,9 +86,28 @@ func (k Kind) String() string {
 		return "domain-loss"
 	case Preempt:
 		return "preempt"
+	case NetDrop:
+		return "net-drop"
+	case NetDelay:
+		return "net-delay"
+	case NetPartition:
+		return "net-partition"
+	case NetCorrupt:
+		return "net-corrupt"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
+}
+
+// IsNet reports whether k is a network fault kind: injected per frame (or
+// per link epoch, for NetPartition) on the wire rather than per task
+// execution.
+func (k Kind) IsNet() bool {
+	switch k {
+	case NetDrop, NetDelay, NetPartition, NetCorrupt:
+		return true
+	}
+	return false
 }
 
 // ErrInjected is the base error of every injected fault; use errors.Is to
@@ -96,6 +130,14 @@ type Plan struct {
 	Corrupt    float64
 	DomainLoss float64
 	Preempt    float64
+	// NetDrop, NetDelay, NetPartition, NetCorrupt are the per-frame (for
+	// NetPartition: per link epoch) probabilities of the network fault
+	// kinds. Task executors ignore them; the wire layer and the cluster
+	// twin draw them with link/frame identity keys.
+	NetDrop      float64
+	NetDelay     float64
+	NetPartition float64
+	NetCorrupt   float64
 	// MaxInjections, when positive, caps how many faults one task can
 	// draw: attempts past the cap run clean. Chaos tests use it to
 	// guarantee every task eventually succeeds within its retry budget.
@@ -111,12 +153,17 @@ func (p Plan) rates() [numKinds]float64 {
 	r[Corrupt] = p.Corrupt
 	r[DomainLoss] = p.DomainLoss
 	r[Preempt] = p.Preempt
+	r[NetDrop] = p.NetDrop
+	r[NetDelay] = p.NetDelay
+	r[NetPartition] = p.NetPartition
+	r[NetCorrupt] = p.NetCorrupt
 	return r
 }
 
 // Total returns the summed per-execution fault probability.
 func (p Plan) Total() float64 {
-	return p.Transient + p.Panic + p.Hang + p.Corrupt + p.DomainLoss + p.Preempt
+	return p.Transient + p.Panic + p.Hang + p.Corrupt + p.DomainLoss + p.Preempt +
+		p.NetDrop + p.NetDelay + p.NetPartition + p.NetCorrupt
 }
 
 // Enabled reports whether the plan injects anything at all.
@@ -167,6 +214,11 @@ type Counts struct {
 	Corrupt    int
 	DomainLoss int
 	Preempt    int
+	// Network fault tallies (wire layer and cluster twin).
+	NetDrop      int
+	NetDelay     int
+	NetPartition int
+	NetCorrupt   int
 }
 
 // Add records one injected fault.
@@ -184,18 +236,32 @@ func (c *Counts) Add(k Kind) {
 		c.DomainLoss++
 	case Preempt:
 		c.Preempt++
+	case NetDrop:
+		c.NetDrop++
+	case NetDelay:
+		c.NetDelay++
+	case NetPartition:
+		c.NetPartition++
+	case NetCorrupt:
+		c.NetCorrupt++
 	}
 }
 
 // Total returns the summed injected-fault count.
 func (c Counts) Total() int {
-	return c.Transient + c.Panic + c.Hang + c.Corrupt + c.DomainLoss + c.Preempt
+	return c.Transient + c.Panic + c.Hang + c.Corrupt + c.DomainLoss + c.Preempt +
+		c.NetDrop + c.NetDelay + c.NetPartition + c.NetCorrupt
 }
 
 // String renders the tally.
 func (c Counts) String() string {
-	return fmt.Sprintf("%d injected (%d transient, %d panic, %d hang, %d corrupt, %d domain-loss, %d preempt)",
+	s := fmt.Sprintf("%d injected (%d transient, %d panic, %d hang, %d corrupt, %d domain-loss, %d preempt",
 		c.Total(), c.Transient, c.Panic, c.Hang, c.Corrupt, c.DomainLoss, c.Preempt)
+	if n := c.NetDrop + c.NetDelay + c.NetPartition + c.NetCorrupt; n > 0 {
+		s += fmt.Sprintf(", %d net-drop, %d net-delay, %d net-partition, %d net-corrupt",
+			c.NetDrop, c.NetDelay, c.NetPartition, c.NetCorrupt)
+	}
+	return s + ")"
 }
 
 // Injector draws faults from a validated plan. It is stateless and safe
@@ -264,6 +330,25 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// LinkKey folds a directed link (src rank -> dst rank) into the taskID
+// slot of a Draw. The coordinator is rank -1 by convention. Both the live
+// wire layer and the cluster simulator's network twin must key their
+// draws through this helper so the same plan yields the same fault
+// sequence on both - the distributed extension of the live-vs-simulator
+// crosscheck contract.
+func LinkKey(src, dst int) int {
+	return (src+2)*1_000_003 + (dst + 2)
+}
+
+// MsgKey folds a frame's identity - transfer id, face coordinates, and
+// transmission attempt - into the attempt slot of a Draw. Attempts count
+// from 1; a retransmission after an injected drop or corruption draws a
+// fresh variate, so the retry loop terminates with probability one and
+// replays identically on the simulated twin.
+func MsgKey(xid uint64, mu, dir, attempt int) int {
+	return int(splitmix64(xid<<16^uint64(mu<<8)^uint64(dir<<4)^uint64(attempt)) >> 1)
 }
 
 // Uniform hashes (seed, keys...) to a uniform variate in [0, 1). It is

@@ -8,9 +8,9 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"amortize", "backfill", "budget", "cachewarm", "commpolicy", "extrapolation", "fig1", "fig2", "fig3", "fig4",
-		"fig5", "fig6", "fig7", "gdr", "lscost", "overlap", "pipeline", "precision", "resilience", "startup",
-		"sustained", "table1", "table2", "table3",
+		"amortize", "backfill", "budget", "cachewarm", "commpolicy", "distributed", "extrapolation", "fig1", "fig2",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "gdr", "lscost", "overlap", "pipeline", "precision", "resilience",
+		"startup", "sustained", "table1", "table2", "table3",
 	}
 	got := Names()
 	if len(got) != len(want) {

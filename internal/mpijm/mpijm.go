@@ -265,6 +265,19 @@ func LumpStartupSeconds(nodes, lumpNodes int) float64 {
 // less than one minute, all lumps were connected").
 func ConnectSeconds() float64 { return 40 }
 
+// heartbeatDetectSeconds is the window the wire coordinator waits before
+// converting a rank's silence into a declared death (missed-beat budget
+// times the beat interval, internal/wire defaults).
+const heartbeatDetectSeconds = 5.0
+
+// RankRecoverySeconds prices one rank-loss recovery in the lump runtime:
+// the heartbeat window that detects the death plus reconnecting the
+// replacement rank into the job (the same DPM connect figure as lump
+// startup). cluster.Config.PartitionRecoverySeconds takes this as its
+// calibrated value; the cluster package defaults to the same figure when
+// the config leaves it zero.
+func RankRecoverySeconds() float64 { return heartbeatDetectSeconds + ConnectSeconds() }
+
 // StartupAdvantage returns monolithic / lump startup time for a node
 // count, the quantitative version of the paper's startup claim.
 func StartupAdvantage(nodes, lumpNodes int) float64 {

@@ -164,6 +164,14 @@ type Registry struct {
 	hists    map[string]*Histogram
 }
 
+// RankMetric derives the per-rank variant of a metric name. Distributed
+// subsystems (internal/wire) record both the fleet aggregate under the
+// base name and a per-rank breakdown under these derived names, so one
+// snapshot answers "how much?" and "which rank?" at once.
+func RankMetric(base string, rank int) string {
+	return fmt.Sprintf("%s.rank%d", base, rank)
+}
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{

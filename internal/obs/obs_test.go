@@ -149,3 +149,18 @@ func TestSnapshotDeterministicAndJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestRankMetric pins the per-rank name derivation the distributed wire
+// layer keys its breakdowns by.
+func TestRankMetric(t *testing.T) {
+	if got := RankMetric("wire.resends", 3); got != "wire.resends.rank3" {
+		t.Fatalf("RankMetric = %q", got)
+	}
+	r := NewRegistry()
+	r.Counter(RankMetric("wire.deaths", 0)).Inc()
+	r.Counter(RankMetric("wire.deaths", 1)).Add(2)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "wire.deaths.rank0" || s.Counters[1].Value != 2 {
+		t.Fatalf("per-rank counters misrendered: %+v", s.Counters)
+	}
+}

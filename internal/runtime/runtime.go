@@ -265,8 +265,8 @@ type job struct {
 	dependents []*job
 
 	submitted  time.Time
-	started    time.Time // first execution start
-	estEnd     time.Time // predicted release while running
+	started    time.Time     // first execution start
+	estEnd     time.Time     // predicted release while running
 	estDur     time.Duration // the prediction behind estEnd (estimate-error accounting)
 	slots      int
 	workers    []int
@@ -838,14 +838,24 @@ func (p *Pool) startLocked(j *job, now time.Time, backfilled bool) {
 // fault seed and the task identity - so a retry schedule is reproducible
 // and pinned by tests, yet distinct tasks do not retry in lockstep.
 func (p *Pool) retryDelay(taskID, failCount int) time.Duration {
-	d := p.cfg.RetryBackoff
-	for i := 1; i < failCount && d < p.cfg.MaxBackoff; i++ {
+	return BackoffDelay(p.cfg.RetryBackoff, p.cfg.MaxBackoff, p.cfg.Fault.Seed, int64(taskID), failCount)
+}
+
+// BackoffDelay is the repo's one capped-jittered-exponential backoff:
+// base doubled per failure, capped at max, scaled by a deterministic
+// jitter factor in [0.5, 1.5) derived from (seed, key, failCount). The
+// pool's task retries and the wire layer's retransmit/reconnect paths
+// share it, so every backoff schedule in the tree is reproducible from
+// identity keys alone.
+func BackoffDelay(base, max time.Duration, seed, key int64, failCount int) time.Duration {
+	d := base
+	for i := 1; i < failCount && d < max; i++ {
 		d *= 2
 	}
-	if d > p.cfg.MaxBackoff {
-		d = p.cfg.MaxBackoff
+	if d > max {
+		d = max
 	}
-	jitter := 0.5 + fault.Uniform(p.cfg.Fault.Seed^backoffSalt, int64(taskID), int64(failCount))
+	jitter := 0.5 + fault.Uniform(seed^backoffSalt, key, int64(failCount))
 	return time.Duration(float64(d) * jitter)
 }
 

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"sync"
+	"time"
+
+	"femtoverse/internal/fault"
+)
+
+// Chaos draws network faults for live sockets from a fault.Plan, keyed by
+// link and frame identity exactly as the cluster simulator's network twin
+// does (fault.LinkKey / fault.MsgKey), so the same plan and seed yield
+// the same fault sequence live and simulated - the distributed extension
+// of the PR 3/4 crosscheck discipline.
+//
+// Injection is sender-side: the sender draws the fault for each
+// transmission attempt, simulates the loss/damage, and retransmits after
+// capped jittered backoff until an attempt draws clean (or the attempt
+// cap trips and the link is declared failed). The receiver still
+// exercises the real detection machinery - a corrupted frame is caught
+// by its checksum and discarded - but recovery never depends on timing
+// inference, which is what keeps chaos runs bit-reproducible and
+// replayable on the simulated twin. NetPartition is the exception: drawn
+// once per (link, epoch), it silently severs every frame an endpoint
+// sends on that link while holding that epoch - no error ever surfaces
+// on the wire, so detection is by absence alone: missed rewiring acks,
+// ghost-wait timeouts, missed heartbeats. Recovery retires the epoch.
+type Chaos struct {
+	inj  *fault.Injector
+	plan fault.Plan
+
+	mu     sync.Mutex
+	counts fault.Counts
+	// seenPartitions fixes each (link, epoch) partition draw's budget
+	// resolution the first time any frame consults it.
+	seenPartitions map[partitionKey]bool
+}
+
+// NewChaos validates the plan and builds the injector. A nil *Chaos is
+// legal and injects nothing.
+//
+// The injector is built without the plan's MaxInjections: that field is a
+// per-attempt filter in the task-executor world, but wire draws are keyed
+// by hashed frame identity, not attempt ordinals. Here MaxInjections is
+// instead a global injected-fault budget enforced by Draw/LinkDown - once
+// the tally reaches it, the chaos engine goes quiet.
+func NewChaos(plan fault.Plan) (*Chaos, error) {
+	uncapped := plan
+	uncapped.MaxInjections = 0
+	inj, err := fault.NewInjector(uncapped)
+	if err != nil {
+		return nil, err
+	}
+	if inj == nil {
+		return nil, nil
+	}
+	return &Chaos{inj: inj, plan: plan}, nil
+}
+
+// Plan returns the chaos plan (zero for a nil engine).
+func (c *Chaos) Plan() fault.Plan {
+	if c == nil {
+		return fault.Plan{}
+	}
+	return c.plan
+}
+
+// Counts returns the injected-fault tally so far.
+func (c *Chaos) Counts() fault.Counts {
+	if c == nil {
+		return fault.Counts{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// record tallies one injected fault if the global budget allows it,
+// reporting whether the fault should actually be injected.
+func (c *Chaos) record(k fault.Kind) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.plan.MaxInjections > 0 && c.counts.Total() >= c.plan.MaxInjections {
+		return false
+	}
+	c.counts.Add(k)
+	return true
+}
+
+// Draw returns the network fault (or None) for one transmission attempt
+// on a directed link. Non-network kinds in the plan are ignored here;
+// they belong to task executors.
+func (c *Chaos) Draw(link, msgKey int) fault.Kind {
+	if c == nil {
+		return fault.None
+	}
+	k := c.inj.Draw(link, msgKey)
+	if !k.IsNet() || k == fault.NetPartition {
+		// Partitions are per-epoch link state, not per-frame events; a
+		// per-frame draw landing in the partition band is a no-op so the
+		// frame-level and epoch-level streams stay independent.
+		return fault.None
+	}
+	if !c.record(k) {
+		return fault.None
+	}
+	return k
+}
+
+// LinkDown reports whether the link is partitioned for the whole epoch.
+// The draw is keyed by (link, epoch) only: every frame on a partitioned
+// link vanishes until recovery bumps the epoch. A partition counts one
+// unit against the MaxInjections budget at onset; once marked it stays
+// down for its whole epoch so link state never flickers mid-epoch, but a
+// fresh partition whose onset would exceed the budget is suppressed.
+func (c *Chaos) LinkDown(link int, epoch uint64) bool {
+	if c == nil || c.plan.NetPartition <= 0 {
+		return false
+	}
+	if fault.Uniform(c.plan.Seed^partitionSalt, int64(link), int64(epoch)) >= c.plan.NetPartition {
+		return false
+	}
+	return c.markPartition(link, epoch)
+}
+
+// markPartition resolves a positive partition draw against the budget,
+// exactly once per (link, epoch): the first frame to see the draw tallies
+// the fault (if budget remains) and fixes the link's fate for the epoch.
+func (c *Chaos) markPartition(link int, epoch uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seenPartitions == nil {
+		c.seenPartitions = map[partitionKey]bool{}
+	}
+	k := partitionKey{link: link, epoch: epoch}
+	if down, seen := c.seenPartitions[k]; seen {
+		return down
+	}
+	down := c.plan.MaxInjections <= 0 || c.counts.Total() < c.plan.MaxInjections
+	if down {
+		c.counts.Add(fault.NetPartition)
+	}
+	c.seenPartitions[k] = down
+	return down
+}
+
+type partitionKey struct {
+	link  int
+	epoch uint64
+}
+
+// DelayFor returns the deterministic injected delay for a NetDelay draw:
+// a fraction of max in [0.2, 1.0), keyed by frame identity.
+func (c *Chaos) DelayFor(link, msgKey int, max time.Duration) time.Duration {
+	if c == nil || max <= 0 {
+		return 0
+	}
+	u := fault.Uniform(c.plan.Seed^delaySalt, int64(link), int64(msgKey))
+	return time.Duration((0.2 + 0.8*u) * float64(max))
+}
+
+const (
+	partitionSalt = 0x70617274 // "part"
+	delaySalt     = 0x64656c79 // "dely"
+)

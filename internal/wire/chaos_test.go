@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"femtoverse/internal/fault"
+)
+
+// testPlan is a plan with every network kind active.
+func testPlan() fault.Plan {
+	return fault.Plan{Seed: 21, NetDrop: 0.05, NetDelay: 0.05, NetPartition: 0.05, NetCorrupt: 0.05}
+}
+
+// TestChaosDeterministic replays the exact same draw sequence on two
+// engines built from the same plan: every kind, every delay, every
+// partition verdict and the final tallies must agree. This is the wire
+// half of the live-vs-simulated crosscheck contract - draws are pure
+// functions of identity, never of timing.
+func TestChaosDeterministic(t *testing.T) {
+	a, err := NewChaos(testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChaos(testPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := []int{
+		fault.LinkKey(CoordRank, 0), fault.LinkKey(CoordRank, 1),
+		fault.LinkKey(0, 1), fault.LinkKey(1, 2), fault.LinkKey(0, 3),
+	}
+	for _, link := range links {
+		for xid := uint64(1); xid <= 40; xid++ {
+			for attempt := 1; attempt <= 3; attempt++ {
+				key := fault.MsgKey(xid, int(MsgHalo), 0, attempt)
+				if ka, kb := a.Draw(link, key), b.Draw(link, key); ka != kb {
+					t.Fatalf("link %d key %d: draws diverge (%v vs %v)", link, key, ka, kb)
+				}
+				if da, db := a.DelayFor(link, key, time.Millisecond), b.DelayFor(link, key, time.Millisecond); da != db {
+					t.Fatalf("link %d key %d: delays diverge (%v vs %v)", link, key, da, db)
+				}
+			}
+		}
+		for epoch := uint64(1); epoch <= 20; epoch++ {
+			if pa, pb := a.LinkDown(link, epoch), b.LinkDown(link, epoch); pa != pb {
+				t.Fatalf("link %d epoch %d: partition verdicts diverge (%v vs %v)", link, epoch, pa, pb)
+			}
+		}
+	}
+	ca, cb := a.Counts(), b.Counts()
+	if ca != cb {
+		t.Fatalf("tallies diverge: %v vs %v", ca, cb)
+	}
+	if ca.Total() == 0 {
+		t.Fatal("no faults drawn across the whole sweep; the rates are not being applied")
+	}
+	if ca.NetPartition == 0 {
+		t.Fatal("no partition drawn across 100 link-epochs at 5%; partition keying is broken")
+	}
+}
+
+// TestChaosMatchesInjector pins the live engine to the shared injector
+// the cluster simulator twin consumes: for every identity the wire's
+// per-frame verdict must be the injector's draw restricted to per-frame
+// network kinds. One plan, one seed, one fault stream - live or
+// simulated.
+func TestChaosMatchesInjector(t *testing.T) {
+	plan := testPlan()
+	c, err := NewChaos(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := fault.LinkKey(0, 1)
+	for xid := uint64(1); xid <= 200; xid++ {
+		key := fault.MsgKey(xid, int(MsgHalo), 1, 1)
+		want := inj.Draw(link, key)
+		if !want.IsNet() || want == fault.NetPartition {
+			want = fault.None
+		}
+		if got := c.Draw(link, key); got != want {
+			t.Fatalf("xid %d: live draw %v, injector draw %v", xid, got, want)
+		}
+	}
+}
+
+// TestChaosBudget checks MaxInjections is a hard global budget: the
+// engine goes quiet once the tally reaches it, partitions included.
+func TestChaosBudget(t *testing.T) {
+	plan := fault.Plan{Seed: 5, NetDrop: 0.45, NetPartition: 0.45, MaxInjections: 4}
+	c, err := NewChaos(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := fault.LinkKey(0, 1)
+	for xid := uint64(1); xid <= 500; xid++ {
+		c.Draw(link, fault.MsgKey(xid, int(MsgHalo), 0, 1))
+	}
+	for epoch := uint64(1); epoch <= 500; epoch++ {
+		c.LinkDown(link, epoch)
+	}
+	if got := c.Counts().Total(); got != 4 {
+		t.Fatalf("budget 4, tallied %d", got)
+	}
+	// A partition already marked down must stay down for its epoch even
+	// with the budget spent - link state never flickers mid-epoch.
+	marked := false
+	for epoch := uint64(1); epoch <= 500 && !marked; epoch++ {
+		if c.LinkDown(link, epoch) {
+			if !c.LinkDown(link, epoch) {
+				t.Fatalf("epoch %d: partition verdict flickered on re-query", epoch)
+			}
+			marked = true
+		}
+	}
+}
+
+// TestChaosNilEngine checks the disabled engine injects nothing and
+// never trips.
+func TestChaosNilEngine(t *testing.T) {
+	c, err := NewChaos(fault.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Fatal("zero plan should produce a nil engine")
+	}
+	if k := c.Draw(1, 2); k != fault.None {
+		t.Fatalf("nil engine drew %v", k)
+	}
+	if c.LinkDown(1, 2) {
+		t.Fatal("nil engine partitioned a link")
+	}
+	if d := c.DelayFor(1, 2, time.Second); d != 0 {
+		t.Fatalf("nil engine delayed %v", d)
+	}
+	if c.Counts().Total() != 0 {
+		t.Fatal("nil engine tallied faults")
+	}
+}

@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"fmt"
+
+	"femtoverse/internal/domain"
+	"femtoverse/internal/hio"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/linalg"
+)
+
+// Checkpointing: the coordinator persists every rank's SubSpec to one
+// hio file before the solve starts. hio writes are atomic
+// (temp + fsync + rename), so the file is either the complete previous
+// checkpoint or the complete new one - a recovery can always trust it.
+// The same encoding doubles as the MsgSub payload, so a respawned worker
+// is restored from literally the bytes the checkpoint holds.
+
+// EncodeSpec renders one subdomain spec into a fresh hio file image.
+func EncodeSpec(sp *domain.SubSpec) ([]byte, error) {
+	f := hio.New()
+	if err := encodeSpecInto(f.Root(), sp); err != nil {
+		return nil, err
+	}
+	return f.Encode(), nil
+}
+
+// DecodeSpec inverts EncodeSpec.
+func DecodeSpec(data []byte) (domain.SubSpec, error) {
+	f, err := hio.Decode(data)
+	if err != nil {
+		return domain.SubSpec{}, err
+	}
+	return decodeSpecFrom(f.Root())
+}
+
+// SaveCheckpoint atomically writes all subdomain specs to path, one
+// group per rank.
+func SaveCheckpoint(path string, specs []domain.SubSpec) error {
+	f := hio.New()
+	f.Root().SetAttrFloat("ranks", float64(len(specs)))
+	for i := range specs {
+		g, err := f.Root().CreateGroup(fmt.Sprintf("rank%03d", specs[i].Rank))
+		if err != nil {
+			return err
+		}
+		if err := encodeSpecInto(g, &specs[i]); err != nil {
+			return err
+		}
+	}
+	return f.Save(path)
+}
+
+// LoadCheckpoint reads a checkpoint back, specs ordered by rank.
+func LoadCheckpoint(path string) ([]domain.SubSpec, error) {
+	f, err := hio.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	n, err := f.Root().AttrFloat("ranks")
+	if err != nil {
+		return nil, fmt.Errorf("wire: checkpoint missing rank count: %w", err)
+	}
+	specs := make([]domain.SubSpec, int(n))
+	for r := range specs {
+		g, err := f.Root().Group(fmt.Sprintf("rank%03d", r))
+		if err != nil {
+			return nil, fmt.Errorf("wire: checkpoint rank %d: %w", r, err)
+		}
+		sp, err := decodeSpecFrom(g)
+		if err != nil {
+			return nil, fmt.Errorf("wire: checkpoint rank %d: %w", r, err)
+		}
+		specs[r] = sp
+	}
+	return specs, nil
+}
+
+func encodeSpecInto(g *hio.Group, sp *domain.SubSpec) error {
+	geo := make([]int64, 0, 1+4*lattice.NDim)
+	geo = append(geo, int64(sp.Rank))
+	for mu := 0; mu < lattice.NDim; mu++ {
+		geo = append(geo, int64(sp.Coords[mu]), int64(sp.Grid[mu]), int64(sp.Global[mu]), int64(sp.Local[mu]))
+	}
+	if err := g.WriteInt64("geom", []int{len(geo)}, geo); err != nil {
+		return err
+	}
+	g.SetAttrFloat("mass", sp.Mass)
+	for mu := 0; mu < lattice.NDim; mu++ {
+		if err := g.WriteComplex128(fmt.Sprintf("u%d", mu), []int{len(sp.U[mu]), 9}, flattenSU3(sp.U[mu])); err != nil {
+			return err
+		}
+		if len(sp.GhostLink[mu]) == 0 {
+			continue
+		}
+		if err := g.WriteComplex128(fmt.Sprintf("ghost%d", mu), []int{len(sp.GhostLink[mu]), 9}, flattenSU3(sp.GhostLink[mu])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeSpecFrom(g *hio.Group) (domain.SubSpec, error) {
+	var sp domain.SubSpec
+	_, geo, err := g.ReadInt64("geom")
+	if err != nil {
+		return sp, err
+	}
+	if len(geo) != 1+4*lattice.NDim {
+		return sp, fmt.Errorf("wire: spec geom has %d entries, want %d", len(geo), 1+4*lattice.NDim)
+	}
+	sp.Rank = int(geo[0])
+	for mu := 0; mu < lattice.NDim; mu++ {
+		sp.Coords[mu] = int(geo[1+4*mu])
+		sp.Grid[mu] = int(geo[2+4*mu])
+		sp.Global[mu] = int(geo[3+4*mu])
+		sp.Local[mu] = int(geo[4+4*mu])
+	}
+	sp.Mass, err = g.AttrFloat("mass")
+	if err != nil {
+		return sp, err
+	}
+	for mu := 0; mu < lattice.NDim; mu++ {
+		shape, data, err := g.ReadComplex128(fmt.Sprintf("u%d", mu))
+		if err != nil {
+			return sp, err
+		}
+		sp.U[mu], err = unflattenSU3(shape, data)
+		if err != nil {
+			return sp, err
+		}
+		name := fmt.Sprintf("ghost%d", mu)
+		if !hasDataset(g, name) {
+			continue
+		}
+		shape, data, err = g.ReadComplex128(name)
+		if err != nil {
+			return sp, err
+		}
+		sp.GhostLink[mu], err = unflattenSU3(shape, data)
+		if err != nil {
+			return sp, err
+		}
+	}
+	return sp, nil
+}
+
+func hasDataset(g *hio.Group, name string) bool {
+	for _, d := range g.Datasets() {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+func flattenSU3(m []linalg.SU3) []complex128 {
+	out := make([]complex128, 0, 9*len(m))
+	for i := range m {
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				out = append(out, m[i][r][c])
+			}
+		}
+	}
+	return out
+}
+
+func unflattenSU3(shape []int, data []complex128) ([]linalg.SU3, error) {
+	if len(shape) != 2 || shape[1] != 9 || shape[0]*9 != len(data) {
+		return nil, fmt.Errorf("wire: SU3 dataset shape %v for %d values", shape, len(data))
+	}
+	out := make([]linalg.SU3, shape[0])
+	for i := range out {
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				out[i][r][c] = data[i*9+r*3+c]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+// Package wire is the real multi-process distribution layer: N worker
+// processes (or goroutine-hosted workers in tests) exchange Dirac halos
+// over stdlib net TCP, coordinated by a Session that implements
+// solver.Linear, so the production CGNE drives genuinely remote
+// subdomains unchanged. Everything rides a length-prefixed, checksummed
+// frame protocol in which a corrupt or truncated frame is a detected
+// fault - never a silent wrong answer, the same corruption-is-a-miss
+// discipline as internal/cache - and every socket operation runs under a
+// deadline with capped, jittered, identity-keyed retry/backoff. A
+// coordinator-side heartbeat monitor declares ranks dead after missed
+// beats and recovers by restoring the lost rank's subdomain from the
+// last atomic internal/hio checkpoint onto a respawned process.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// MsgType enumerates the protocol's frame types.
+type MsgType uint8
+
+const (
+	// MsgHello is the first frame on a worker->coordinator connection:
+	// payload is the worker's peer-listener address.
+	MsgHello MsgType = iota + 1
+	// MsgWelcome assigns the worker its rank and session parameters.
+	MsgWelcome
+	// MsgSub ships the rank's subdomain spec (hio-encoded).
+	MsgSub
+	// MsgPeers broadcasts the epoch's rank -> peer-address table.
+	MsgPeers
+	// MsgPeersOK acknowledges a completed peer rewiring for an epoch.
+	MsgPeersOK
+	// MsgApply requests one operator application: payload is the halo
+	// plan byte plus the rank's local source field.
+	MsgApply
+	// MsgResult returns a completed application (local dst field) or a
+	// worker-side failure (error string), distinguished by a flag byte.
+	MsgResult
+	// MsgHalo carries one or more spinor faces between neighbor ranks.
+	MsgHalo
+	// MsgPeerHello identifies the dialing side of a peer connection.
+	MsgPeerHello
+	// MsgBeat is the worker's periodic heartbeat.
+	MsgBeat
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgSub:
+		return "sub"
+	case MsgPeers:
+		return "peers"
+	case MsgPeersOK:
+		return "peers-ok"
+	case MsgApply:
+		return "apply"
+	case MsgResult:
+		return "result"
+	case MsgHalo:
+		return "halo"
+	case MsgPeerHello:
+		return "peer-hello"
+	case MsgBeat:
+		return "beat"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Frame layout on the wire (little-endian):
+//
+//	magic   u32  "FWv1"
+//	type    u8
+//	rank    i32  sender rank (coordinator = -1)
+//	xid     u64  transfer id (apply xid, epoch, or beat index by type)
+//	paylen  u32  payload byte count
+//	payload [paylen]byte
+//	crc     u32  CRC-32 (IEEE) over type..payload
+//
+// The CRC covers everything after the magic, so any bit flipped in
+// header fields or payload is detected; a length field damaged into a
+// huge value is rejected against the receiver's payload bound before any
+// allocation, so a corrupt frame can never demand an unbounded buffer.
+const (
+	frameMagic = 0x46577631 // "FWv1"
+	headerLen  = 4 + 1 + 4 + 8 + 4
+	trailerLen = 4
+)
+
+// FrameOverhead is the fixed per-frame wire cost beyond the payload.
+const FrameOverhead = headerLen + trailerLen
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    MsgType
+	Rank    int // sender rank; the coordinator sends as -1
+	Xid     uint64
+	Payload []byte
+}
+
+// WireLen returns the frame's full on-the-wire byte count.
+func (f *Frame) WireLen() int { return FrameOverhead + len(f.Payload) }
+
+// ErrCorrupt marks a frame rejected by the codec: bad magic, checksum
+// mismatch, or an implausible length field. Use errors.Is; the carrier
+// connection cannot distinguish who damaged the bytes, only that the
+// frame must not be trusted.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// ErrTruncated marks a frame cut short by the stream ending mid-frame - a
+// detected fault, exactly like corruption.
+var ErrTruncated = errors.New("wire: truncated frame")
+
+// EncodeFrame renders the frame to a fresh byte slice.
+func EncodeFrame(f *Frame) []byte {
+	buf := make([]byte, headerLen+len(f.Payload)+trailerLen)
+	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
+	buf[4] = byte(f.Type)
+	binary.LittleEndian.PutUint32(buf[5:], uint32(int32(f.Rank)))
+	binary.LittleEndian.PutUint64(buf[9:], f.Xid)
+	binary.LittleEndian.PutUint32(buf[17:], uint32(len(f.Payload)))
+	copy(buf[headerLen:], f.Payload)
+	crc := crc32.ChecksumIEEE(buf[4 : headerLen+len(f.Payload)])
+	binary.LittleEndian.PutUint32(buf[headerLen+len(f.Payload):], crc)
+	return buf
+}
+
+// DecodeFrame parses one frame from the head of data, returning the
+// frame and the bytes consumed. maxPayload bounds the length field: a
+// corrupt length can therefore never force a large allocation.
+func DecodeFrame(data []byte, maxPayload int) (Frame, int, error) {
+	if len(data) < headerLen {
+		return Frame{}, 0, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(data), headerLen)
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != frameMagic {
+		return Frame{}, 0, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, binary.LittleEndian.Uint32(data[0:]))
+	}
+	paylen := binary.LittleEndian.Uint32(data[17:])
+	if int64(paylen) > int64(maxPayload) {
+		return Frame{}, 0, fmt.Errorf("%w: length %d exceeds bound %d", ErrCorrupt, paylen, maxPayload)
+	}
+	total := headerLen + int(paylen) + trailerLen
+	if len(data) < total {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes of %d", ErrTruncated, len(data), total)
+	}
+	want := binary.LittleEndian.Uint32(data[headerLen+int(paylen):])
+	if got := crc32.ChecksumIEEE(data[4 : headerLen+int(paylen)]); got != want {
+		return Frame{}, 0, fmt.Errorf("%w: crc %#x != %#x", ErrCorrupt, got, want)
+	}
+	f := Frame{
+		Type:    MsgType(data[4]),
+		Rank:    int(int32(binary.LittleEndian.Uint32(data[5:]))),
+		Xid:     binary.LittleEndian.Uint64(data[9:]),
+		Payload: append([]byte(nil), data[headerLen:headerLen+int(paylen)]...),
+	}
+	return f, total, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	_, err := w.Write(EncodeFrame(f))
+	return err
+}
+
+// ReadFrame reads one frame from r. Truncation surfaces as ErrTruncated,
+// damage as ErrCorrupt; the caller decides whether the stream is still
+// framed (only payload/crc damage preserves framing).
+func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, fmt.Errorf("%w: stream ended mid-header", ErrTruncated)
+		}
+		return Frame{}, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	paylen := binary.LittleEndian.Uint32(hdr[17:])
+	if int64(paylen) > int64(maxPayload) {
+		return Frame{}, fmt.Errorf("%w: length %d exceeds bound %d", ErrCorrupt, paylen, maxPayload)
+	}
+	rest := make([]byte, int(paylen)+trailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return Frame{}, fmt.Errorf("%w: stream ended mid-frame", ErrTruncated)
+		}
+		return Frame{}, err
+	}
+	full := make([]byte, 0, headerLen+len(rest))
+	full = append(full, hdr[:]...)
+	full = append(full, rest...)
+	f, _, err := DecodeFrame(full, maxPayload)
+	return f, err
+}
+
+// Payload encoding helpers: complex128 fields travel as interleaved
+// little-endian float64 bit patterns, the byte-exact image of the
+// in-memory values, so a field survives the round trip bit-for-bit.
+
+// AppendComplex appends the raw encoding of v to buf.
+func AppendComplex(buf []byte, v []complex128) []byte {
+	for _, c := range v {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(real(c)))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(imag(c)))
+	}
+	return buf
+}
+
+// DecodeComplex decodes n complex values from the head of buf, returning
+// the remainder.
+func DecodeComplex(buf []byte, n int) ([]complex128, []byte, error) {
+	need := n * 16
+	if len(buf) < need {
+		return nil, nil, fmt.Errorf("%w: %d payload bytes for %d complex values", ErrTruncated, len(buf), n)
+	}
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16+8:]))
+		out[i] = complex(re, im)
+	}
+	return out, buf[need:], nil
+}

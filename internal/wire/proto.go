@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"femtoverse/internal/fault"
+)
+
+// Payload codecs for the control-plane frames. Everything is fixed-order
+// little-endian - no reflection, no maps - so the bytes are a pure
+// function of the values and the welcome/peers/result payloads are as
+// reproducible as the halo data itself.
+
+// welcomeConfig is the session configuration the coordinator pushes to
+// every worker in MsgWelcome: the worker process needs nothing on its
+// command line but the coordinator address.
+type welcomeConfig struct {
+	NRanks     int
+	MaxPayload int
+	Plan       fault.Plan
+	Timing     Timing
+}
+
+func encodeWelcome(cfg welcomeConfig) []byte {
+	buf := make([]byte, 0, 2*8+12*8+11*8)
+	buf = appendI64(buf, int64(cfg.NRanks))
+	buf = appendI64(buf, int64(cfg.MaxPayload))
+	p := cfg.Plan
+	buf = appendI64(buf, p.Seed)
+	buf = appendI64(buf, int64(p.MaxInjections))
+	for _, r := range []float64{p.Transient, p.Panic, p.Hang, p.Corrupt, p.DomainLoss, p.Preempt,
+		p.NetDrop, p.NetDelay, p.NetPartition, p.NetCorrupt} {
+		buf = appendF64(buf, r)
+	}
+	t := cfg.Timing
+	for _, d := range []time.Duration{t.DialTimeout, t.IOTimeout, t.ApplyTimeout, t.GhostTimeout,
+		t.HeartbeatEvery, t.RetryBase, t.RetryMax, t.MaxDelay} {
+		buf = appendI64(buf, int64(d))
+	}
+	buf = appendI64(buf, int64(t.HeartbeatMiss))
+	buf = appendI64(buf, int64(t.MaxSendAttempts))
+	return buf
+}
+
+func decodeWelcome(payload []byte) (welcomeConfig, error) {
+	r := byteReader{buf: payload}
+	var cfg welcomeConfig
+	cfg.NRanks = int(r.i64())
+	cfg.MaxPayload = int(r.i64())
+	cfg.Plan.Seed = r.i64()
+	cfg.Plan.MaxInjections = int(r.i64())
+	for _, dst := range []*float64{&cfg.Plan.Transient, &cfg.Plan.Panic, &cfg.Plan.Hang,
+		&cfg.Plan.Corrupt, &cfg.Plan.DomainLoss, &cfg.Plan.Preempt,
+		&cfg.Plan.NetDrop, &cfg.Plan.NetDelay, &cfg.Plan.NetPartition, &cfg.Plan.NetCorrupt} {
+		*dst = r.f64()
+	}
+	for _, dst := range []*time.Duration{&cfg.Timing.DialTimeout, &cfg.Timing.IOTimeout,
+		&cfg.Timing.ApplyTimeout, &cfg.Timing.GhostTimeout, &cfg.Timing.HeartbeatEvery,
+		&cfg.Timing.RetryBase, &cfg.Timing.RetryMax, &cfg.Timing.MaxDelay} {
+		*dst = time.Duration(r.i64())
+	}
+	cfg.Timing.HeartbeatMiss = int(r.i64())
+	cfg.Timing.MaxSendAttempts = int(r.i64())
+	if r.err != nil {
+		return welcomeConfig{}, fmt.Errorf("wire: welcome payload: %w", r.err)
+	}
+	return cfg, nil
+}
+
+// encodePeerTable renders the epoch's rank -> peer address table;
+// addrs is indexed by rank.
+func encodePeerTable(addrs []string) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(addrs)))
+	for _, a := range addrs {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(a)))
+		buf = append(buf, a...)
+	}
+	return buf
+}
+
+func decodePeerTable(payload []byte) (map[int]string, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: peer table header", ErrTruncated)
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	out := make(map[int]string, n)
+	for r := 0; r < n; r++ {
+		if len(payload) < 2 {
+			return nil, fmt.Errorf("%w: peer table entry %d", ErrTruncated, r)
+		}
+		alen := int(binary.LittleEndian.Uint16(payload))
+		payload = payload[2:]
+		if len(payload) < alen {
+			return nil, fmt.Errorf("%w: peer table entry %d address", ErrTruncated, r)
+		}
+		out[r] = string(payload[:alen])
+		payload = payload[alen:]
+	}
+	return out, nil
+}
+
+// haloSection is one packed boundary face inside a MsgHalo frame; dir is
+// the sender's face direction, so the receiver fills ghost slot 1-dir.
+type haloSection struct {
+	mu, dir int
+	data    []complex128
+}
+
+// Halo payload framing costs, exported so the communication model
+// (internal/comms) can price a modelled message into wire bytes and be
+// crosschecked against the bytes measured here.
+const (
+	// HaloHeaderLen is the per-frame section-count prefix.
+	HaloHeaderLen = 2
+	// SectionHeaderLen is the per-section (mu, dir, length) header.
+	SectionHeaderLen = 1 + 1 + 4
+)
+
+func encodeHaloSections(secs []haloSection) []byte {
+	size := HaloHeaderLen
+	for _, s := range secs {
+		size += SectionHeaderLen + 16*len(s.data)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(secs)))
+	for _, s := range secs {
+		buf = append(buf, byte(s.mu), byte(s.dir))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.data)))
+		buf = AppendComplex(buf, s.data)
+	}
+	return buf
+}
+
+func decodeHaloSections(payload []byte) ([]haloSection, error) {
+	if len(payload) < HaloHeaderLen {
+		return nil, fmt.Errorf("%w: halo section count", ErrTruncated)
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	payload = payload[HaloHeaderLen:]
+	out := make([]haloSection, 0, n)
+	for i := 0; i < n; i++ {
+		if len(payload) < SectionHeaderLen {
+			return nil, fmt.Errorf("%w: halo section %d header", ErrTruncated, i)
+		}
+		mu, dir := int(payload[0]), int(payload[1])
+		count := int(binary.LittleEndian.Uint32(payload[2:]))
+		payload = payload[SectionHeaderLen:]
+		if count > len(payload)/16 {
+			// A damaged count cannot demand more than the frame carries.
+			return nil, fmt.Errorf("%w: halo section %d claims %d values in %d bytes", ErrCorrupt, i, count, len(payload))
+		}
+		data, rest, err := DecodeComplex(payload, count)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, haloSection{mu: mu, dir: dir, data: data})
+		payload = rest
+	}
+	return out, nil
+}
+
+// resultStats is the per-apply fault-tolerance accounting a worker
+// reports with every result, successful or not.
+type resultStats struct {
+	HaloFrames int64 // halo frames sent this apply
+	HaloBytes  int64 // their wire bytes, framing included
+	Resends    int64 // faulted transmissions retried (all conns)
+	Corrupts   int64 // damaged frames detected and discarded
+}
+
+func encodeResult(st resultStats, dst []complex128, errstr string) []byte {
+	buf := make([]byte, 0, 1+4*8+16*len(dst)+len(errstr))
+	if errstr != "" {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendI64(buf, st.HaloFrames)
+	buf = appendI64(buf, st.HaloBytes)
+	buf = appendI64(buf, st.Resends)
+	buf = appendI64(buf, st.Corrupts)
+	if errstr != "" {
+		return append(buf, errstr...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dst)))
+	return AppendComplex(buf, dst)
+}
+
+func decodeResult(payload []byte) (resultStats, []complex128, string, error) {
+	var st resultStats
+	if len(payload) < 1+4*8 {
+		return st, nil, "", fmt.Errorf("%w: result header", ErrTruncated)
+	}
+	failed := payload[0] == 1
+	r := byteReader{buf: payload[1:]}
+	st.HaloFrames = r.i64()
+	st.HaloBytes = r.i64()
+	st.Resends = r.i64()
+	st.Corrupts = r.i64()
+	rest := r.buf[r.off:]
+	if failed {
+		return st, nil, string(rest), nil
+	}
+	if len(rest) < 4 {
+		return st, nil, "", fmt.Errorf("%w: result length", ErrTruncated)
+	}
+	n := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if n > len(rest)/16 {
+		return st, nil, "", fmt.Errorf("%w: result claims %d values in %d bytes", ErrCorrupt, n, len(rest))
+	}
+	dst, _, err := DecodeComplex(rest, n)
+	if err != nil {
+		return st, nil, "", err
+	}
+	return st, dst, "", nil
+}
+
+// Little-endian append/read helpers.
+
+func appendI64(buf []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(v))
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// byteReader walks a fixed-order payload, latching the first overrun.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) i64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.err = fmt.Errorf("%w: field at offset %d", ErrTruncated, r.off)
+		return 0
+	}
+	v := int64(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) f64() float64 {
+	return math.Float64frombits(uint64(r.i64()))
+}

@@ -1,0 +1,648 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"femtoverse/internal/domain"
+	"femtoverse/internal/fault"
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/lattice"
+	"femtoverse/internal/obs"
+)
+
+// Options configures a coordinator Session.
+type Options struct {
+	// Grid is the process grid; its volume is the worker count.
+	Grid [lattice.NDim]int
+	// Mass is the Wilson mass parameter.
+	Mass float64
+	// Listen is the coordinator's listen address (default 127.0.0.1:0).
+	Listen string
+	// Coarse batches all faces per neighbor into one frame; Staged
+	// computes the interior before posting sends. The four combinations
+	// are the comms policy space made real.
+	Coarse, Staged bool
+	// Timing holds every deadline/backoff knob (zero fields defaulted).
+	Timing Timing
+	// MaxPayload bounds any frame payload (default 64 MiB).
+	MaxPayload int
+	// CheckpointPath is where subdomain specs are checkpointed; rank
+	// recovery restores from this file. Required.
+	CheckpointPath string
+	// Chaos is the network fault plan (zero plan: no injection).
+	Chaos fault.Plan
+	// Metrics, when non-nil, receives the session's counters.
+	Metrics *obs.Registry
+	// Scope, when enabled, receives halo-exchange spans.
+	Scope obs.Scope
+	// Spawn launches one worker process (or goroutine) pointed at the
+	// coordinator address. Called once per rank at startup and once per
+	// recovery. Required.
+	Spawn func(coordAddr string) error
+	// MaxApplyRetries bounds recovery-and-retry rounds per application
+	// (default 5).
+	MaxApplyRetries int
+}
+
+// resultMsg is one worker result routed to the apply loop.
+type resultMsg struct {
+	rank    int
+	xid     uint64
+	payload []byte
+}
+
+// ackMsg is one peer-rewiring acknowledgment.
+type ackMsg struct {
+	rank  int
+	epoch uint64
+}
+
+// pendingWorker is an accepted connection that has said hello but has no
+// rank yet; assignment pulls from this pool, so respawned processes slot
+// into whichever rank needs recovering.
+type pendingWorker struct {
+	conn     *Conn
+	peerAddr string
+}
+
+// remoteRank is the coordinator's view of one worker.
+type remoteRank struct {
+	conn     *Conn
+	peerAddr string
+	gen      int // bumped per assignment so stale readers can't kill successors
+	alive    bool
+	lastBeat time.Time
+}
+
+// Session coordinates N worker processes into one distributed Wilson
+// operator. It implements solver.Linear: Apply scatters the source,
+// ships per-rank slices to the workers, lets them exchange halos
+// peer-to-peer, and gathers the results - all solver arithmetic stays on
+// the coordinator, so a distributed solve is bit-for-bit the
+// single-process solve as long as every rank computes its subdomain
+// exactly, which the shared domain.Sub kernel guarantees.
+type Session struct {
+	opts   Options
+	timing Timing
+	chaos  *Chaos
+	n      int
+	size   int
+	subs   []*domain.Sub
+
+	ln      net.Listener
+	epoch   atomic.Uint64
+	xid     atomic.Uint64
+	pending chan *pendingWorker
+	results chan resultMsg
+	peersOK chan ackMsg
+	deadCh  chan int
+	stats   Stats
+
+	mu      sync.Mutex
+	workers []*remoteRank
+	closed  bool
+}
+
+// NewSession decomposes the gauge field, checkpoints the subdomains,
+// spawns the workers, and wires the first epoch. On return every rank is
+// connected, peered, and ready to apply.
+func NewSession(u *gauge.Field, opts Options) (*Session, error) {
+	if opts.Spawn == nil {
+		return nil, fmt.Errorf("wire: Options.Spawn is required")
+	}
+	if opts.CheckpointPath == "" {
+		return nil, fmt.Errorf("wire: Options.CheckpointPath is required")
+	}
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	if opts.MaxPayload <= 0 {
+		opts.MaxPayload = 64 << 20
+	}
+	if opts.MaxApplyRetries <= 0 {
+		opts.MaxApplyRetries = 5
+	}
+	chaos, err := NewChaos(opts.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := domain.BuildSpecs(u, opts.Grid, opts.Mass)
+	if err != nil {
+		return nil, err
+	}
+	if err := SaveCheckpoint(opts.CheckpointPath, specs); err != nil {
+		return nil, fmt.Errorf("wire: checkpointing subdomains: %w", err)
+	}
+	s := &Session{
+		opts:    opts,
+		timing:  opts.Timing.WithDefaults(),
+		chaos:   chaos,
+		n:       len(specs),
+		size:    u.G.Vol * spinorComplexLen,
+		pending: make(chan *pendingWorker, 2*len(specs)),
+		results: make(chan resultMsg, 64*len(specs)),
+		peersOK: make(chan ackMsg, 16*len(specs)),
+		deadCh:  make(chan int, 16*len(specs)),
+		workers: make([]*remoteRank, len(specs)),
+	}
+	for r := range specs {
+		sub, err := domain.NewSub(specs[r])
+		if err != nil {
+			return nil, err
+		}
+		s.subs = append(s.subs, sub)
+		s.workers[r] = &remoteRank{}
+	}
+	s.ln, err = net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, err
+	}
+	go s.acceptLoop()
+
+	for r := 0; r < s.n; r++ {
+		if err := opts.Spawn(s.Addr()); err != nil {
+			closeQuiet(s.ln)
+			return nil, fmt.Errorf("wire: spawning worker %d: %w", r, err)
+		}
+		if err := s.assignRank(r); err != nil {
+			closeQuiet(s.ln)
+			return nil, err
+		}
+	}
+	go s.monitorBeats()
+	if err := s.stabilize(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// spinorComplexLen mirrors the domain package's 12 complex per site.
+const spinorComplexLen = 12
+
+// Addr returns the coordinator's dialable address.
+func (s *Session) Addr() string { return s.ln.Addr().String() }
+
+// Ranks returns the worker count.
+func (s *Session) Ranks() int { return s.n }
+
+// Size implements solver.Linear.
+func (s *Session) Size() int { return s.size }
+
+// Close tears the session down; workers observe the closed control links
+// and exit cleanly.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*Conn, 0, s.n)
+	for _, w := range s.workers {
+		if w.conn != nil {
+			conns = append(conns, w.conn)
+		}
+	}
+	s.mu.Unlock()
+	closeQuiet(s.ln)
+	for _, c := range conns {
+		closeQuiet(c)
+	}
+}
+
+// count bumps a counter if a registry is attached.
+func (s *Session) count(name string, n int64) {
+	if s.opts.Metrics == nil || n == 0 {
+		return
+	}
+	s.opts.Metrics.Counter(name).Add(n)
+}
+
+// acceptLoop admits worker connections: each newcomer's hello (carrying
+// its peer-listener address) parks it in the pending pool until a rank
+// needs filling.
+func (s *Session) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(nc net.Conn) {
+			c := newConn(nc, 0, 0, nil, s.timing, helloMaxPayload, nil, &s.stats)
+			hello, err := c.Recv(0)
+			if err != nil || hello.Type != MsgHello {
+				closeQuiet(c)
+				return
+			}
+			select {
+			case s.pending <- &pendingWorker{conn: c, peerAddr: string(hello.Payload)}:
+			default:
+				closeQuiet(c)
+			}
+		}(nc)
+	}
+}
+
+// assignRank binds the next pending worker to rank r: welcome (rank +
+// session config), subdomain restore from the checkpoint, reader start.
+func (s *Session) assignRank(r int) error {
+	var pw *pendingWorker
+	select {
+	case pw = <-s.pending:
+	case <-time.After(s.timing.DialTimeout + s.timing.IOTimeout):
+		return fmt.Errorf("wire: no worker volunteered for rank %d", r)
+	}
+	cfg := welcomeConfig{
+		NRanks:     s.n,
+		MaxPayload: s.opts.MaxPayload,
+		Plan:       s.opts.Chaos,
+		Timing:     s.timing,
+	}
+	welcome := &Frame{Type: MsgWelcome, Rank: r, Xid: s.epoch.Load(), Payload: encodeWelcome(cfg)}
+	if err := pw.conn.Send(welcome, 0); err != nil {
+		closeQuiet(pw.conn)
+		return err
+	}
+	// Restore the subdomain from the durable checkpoint - the recovery
+	// path and the startup path are deliberately the same code.
+	specs, err := LoadCheckpoint(s.opts.CheckpointPath)
+	if err != nil {
+		closeQuiet(pw.conn)
+		return err
+	}
+	if r >= len(specs) {
+		closeQuiet(pw.conn)
+		return fmt.Errorf("wire: checkpoint has %d ranks, need rank %d", len(specs), r)
+	}
+	specBytes, err := EncodeSpec(&specs[r])
+	if err != nil {
+		closeQuiet(pw.conn)
+		return err
+	}
+	sub := &Frame{Type: MsgSub, Rank: CoordRank, Xid: s.epoch.Load(), Payload: specBytes}
+	if err := pw.conn.Send(sub, 0); err != nil {
+		closeQuiet(pw.conn)
+		return err
+	}
+	pw.conn.arm(fault.LinkKey(CoordRank, r), fault.LinkKey(CoordRank, r),
+		s.chaos, s.timing, s.opts.MaxPayload, s.epoch.Load)
+
+	s.mu.Lock()
+	w := s.workers[r]
+	w.conn = pw.conn
+	w.peerAddr = pw.peerAddr
+	w.gen++
+	w.alive = true
+	w.lastBeat = time.Now()
+	gen := w.gen
+	s.mu.Unlock()
+	go s.readRank(r, gen, pw.conn)
+	return nil
+}
+
+// readRank drains one worker's control link, routing beats, acks and
+// results. A link error is the fast death path: a crashed process closes
+// its sockets, so the EOF lands here long before the heartbeat window
+// expires.
+func (s *Session) readRank(r, gen int, c *Conn) {
+	for {
+		f, err := c.Recv(peerIdleTimeout)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			s.declareDead(r, gen, err)
+			return
+		}
+		switch f.Type {
+		case MsgBeat:
+			s.mu.Lock()
+			if s.workers[r].gen == gen {
+				s.workers[r].lastBeat = time.Now()
+			}
+			s.mu.Unlock()
+		case MsgPeersOK:
+			select {
+			case s.peersOK <- ackMsg{rank: r, epoch: f.Xid}:
+			default:
+			}
+		case MsgResult:
+			select {
+			case s.results <- resultMsg{rank: r, xid: f.Xid, payload: f.Payload}:
+			default:
+			}
+		default:
+		}
+	}
+}
+
+// monitorBeats is the partition detector: a rank whose beats stop - hung,
+// partitioned, or silently gone - is declared dead after HeartbeatMiss
+// beat periods, bounding how long any failure can stall the session.
+func (s *Session) monitorBeats() {
+	window := s.timing.HeartbeatEvery * time.Duration(s.timing.HeartbeatMiss)
+	tick := time.NewTicker(s.timing.HeartbeatEvery)
+	defer tick.Stop()
+	for range tick.C {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		type stale struct{ rank, gen int }
+		var expired []stale
+		for r, w := range s.workers {
+			if w.alive && time.Since(w.lastBeat) > window {
+				expired = append(expired, stale{rank: r, gen: w.gen})
+			}
+		}
+		s.mu.Unlock()
+		for _, e := range expired {
+			s.declareDead(e.rank, e.gen, fmt.Errorf("wire: rank %d missed %d heartbeats", e.rank, s.timing.HeartbeatMiss))
+		}
+	}
+}
+
+// declareDead retires one worker generation: idempotent per generation,
+// so the reader's EOF and the monitor's timeout can race harmlessly.
+func (s *Session) declareDead(r, gen int, cause error) {
+	s.mu.Lock()
+	w := s.workers[r]
+	if w.gen != gen || !w.alive {
+		s.mu.Unlock()
+		return
+	}
+	w.alive = false
+	conn := w.conn
+	closed := s.closed
+	s.mu.Unlock()
+	if conn != nil {
+		closeQuiet(conn)
+	}
+	if closed {
+		return
+	}
+	s.count("wire.rank_deaths", 1)
+	s.count(obs.RankMetric("wire.deaths", r), 1)
+	s.opts.Scope.Instant("wire", "rank-death", map[string]interface{}{"rank": r, "cause": cause.Error()})
+	select {
+	case s.deadCh <- r:
+	default:
+	}
+}
+
+// deadRanks lists currently dead ranks.
+func (s *Session) deadRanks() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for r, w := range s.workers {
+		if !w.alive {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// stabilize drives the session back to a fully-alive, fully-peered
+// state: respawn and restore every dead rank, bump the epoch, broadcast
+// the peer table, and wait for every rank's acknowledgment. It also
+// heals peer-link partitions with no dead rank at all - the epoch bump
+// alone rewires every peer connection.
+func (s *Session) stabilize() error {
+	var lastErr error
+	for attempt := 0; attempt <= s.opts.MaxApplyRetries; attempt++ {
+		if err := s.stabilizeOnce(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("wire: session failed to stabilize: %w", lastErr)
+}
+
+func (s *Session) stabilizeOnce() error {
+	for _, r := range s.deadRanks() {
+		if err := s.opts.Spawn(s.Addr()); err != nil {
+			return fmt.Errorf("wire: respawning rank %d: %w", r, err)
+		}
+		if err := s.assignRank(r); err != nil {
+			return err
+		}
+		s.count("wire.recoveries", 1)
+		s.count(obs.RankMetric("wire.recoveries", r), 1)
+	}
+
+	epoch := s.epoch.Add(1)
+	s.count("wire.reconnects", 1)
+	table := make([]string, s.n)
+	conns := make([]*Conn, s.n)
+	s.mu.Lock()
+	for r, w := range s.workers {
+		table[r] = w.peerAddr
+		conns[r] = w.conn
+	}
+	s.mu.Unlock()
+	peers := &Frame{Type: MsgPeers, Rank: CoordRank, Xid: epoch, Payload: encodePeerTable(table)}
+	for r, c := range conns {
+		if c == nil {
+			return fmt.Errorf("wire: rank %d has no connection", r)
+		}
+		if err := c.Send(peers, 0); err != nil {
+			return fmt.Errorf("wire: broadcasting peers to rank %d: %w", r, err)
+		}
+	}
+
+	acked := make([]bool, s.n)
+	need := s.n
+	deadline := time.NewTimer(s.timing.DialTimeout + s.timing.GhostTimeout)
+	defer deadline.Stop()
+	for need > 0 {
+		select {
+		case ack := <-s.peersOK:
+			if ack.epoch != epoch || acked[ack.rank] {
+				continue
+			}
+			acked[ack.rank] = true
+			need--
+		case r := <-s.deadCh:
+			return fmt.Errorf("wire: rank %d died during rewiring", r)
+		case <-deadline.C:
+			return fmt.Errorf("wire: epoch %d rewiring timed out with %d ranks unacked", epoch, need)
+		}
+	}
+	return nil
+}
+
+// Apply implements solver.Linear. The fault-tolerance layer retries
+// through failures; if the retry budget is exhausted the operator cannot
+// make progress and the solve cannot continue meaningfully, so it
+// panics rather than return silently wrong data.
+func (s *Session) Apply(dst, src []complex128) {
+	if err := s.ApplyCtx(context.Background(), dst, src); err != nil {
+		panic(fmt.Sprintf("wire: distributed apply failed beyond recovery: %v", err))
+	}
+}
+
+// ApplyDagger implements solver.Linear via gamma_5 hermiticity.
+func (s *Session) ApplyDagger(dst, src []complex128) {
+	tmp := make([]complex128, len(src))
+	domain.Gamma5(tmp, src)
+	s.Apply(dst, tmp)
+	domain.Gamma5(dst, dst)
+}
+
+// ApplyCtx computes dst = D src across the workers, recovering from rank
+// deaths, partitions and link failures between attempts. It fails only
+// when ctx is done or the retry budget is exhausted.
+func (s *Session) ApplyCtx(ctx context.Context, dst, src []complex128) error {
+	if len(dst) != s.size || len(src) != s.size {
+		panic("wire: Apply size mismatch")
+	}
+	var lastErr error
+	for attempt := 0; attempt <= s.opts.MaxApplyRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			s.count("wire.retries", 1)
+			// Give the heartbeat monitor one full window to convert a
+			// partition or hang into a declared death before recovering.
+			s.awaitDeaths(ctx)
+		}
+		if len(s.deadRanks()) > 0 || attempt > 0 {
+			if err := s.stabilize(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		err := s.tryApply(ctx, dst, src)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("wire: apply failed after %d attempts: %w", s.opts.MaxApplyRetries+1, lastErr)
+}
+
+// awaitDeaths parks for up to one heartbeat window, returning early as
+// soon as any rank is declared dead (or ctx is done).
+func (s *Session) awaitDeaths(ctx context.Context) {
+	window := s.timing.HeartbeatEvery * time.Duration(s.timing.HeartbeatMiss+1)
+	deadline := time.NewTimer(window)
+	defer deadline.Stop()
+	if len(s.deadRanks()) > 0 {
+		return
+	}
+	select {
+	case r := <-s.deadCh:
+		// Re-post so the stabilization pass sees it too (it reads state,
+		// not the channel, but draining here keeps the channel honest).
+		_ = r
+	case <-deadline.C:
+	case <-ctx.Done():
+	}
+}
+
+// tryApply runs one distributed application attempt under a fresh
+// transfer id; any failure leaves the workers idle (their ghost waits
+// are bounded) and the caller decides whether to recover and retry.
+func (s *Session) tryApply(ctx context.Context, dst, src []complex128) error {
+	xid := s.xid.Add(1)
+	span := s.opts.Scope.Begin("wire", "halo-apply", map[string]interface{}{
+		"xid": xid, "ranks": s.n, "coarse": s.opts.Coarse, "staged": s.opts.Staged})
+	defer span.End()
+
+	var flags byte
+	if s.opts.Coarse {
+		flags |= flagCoarse
+	}
+	if s.opts.Staged {
+		flags |= flagStaged
+	}
+	conns := make([]*Conn, s.n)
+	s.mu.Lock()
+	for r, w := range s.workers {
+		if !w.alive || w.conn == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("wire: rank %d is dead", r)
+		}
+		conns[r] = w.conn
+	}
+	s.mu.Unlock()
+
+	for r, sub := range s.subs {
+		sub.ScatterFrom(src)
+		payload := make([]byte, 1, 1+16*sub.LocalLen())
+		payload[0] = flags
+		payload = AppendComplex(payload, sub.Src())
+		f := &Frame{Type: MsgApply, Rank: CoordRank, Xid: xid, Payload: payload}
+		if err := conns[r].Send(f, 0); err != nil {
+			return fmt.Errorf("wire: sending apply to rank %d: %w", r, err)
+		}
+	}
+
+	got := make([]bool, s.n)
+	need := s.n
+	deadline := time.NewTimer(s.timing.ApplyTimeout)
+	defer deadline.Stop()
+	for need > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case r := <-s.deadCh:
+			return fmt.Errorf("wire: rank %d died mid-apply", r)
+		case res := <-s.results:
+			if res.xid != xid || got[res.rank] {
+				continue // stale attempt or duplicate
+			}
+			st, data, errstr, err := decodeResult(res.payload)
+			if err != nil {
+				return fmt.Errorf("wire: result from rank %d: %w", res.rank, err)
+			}
+			s.recordStats(res.rank, st)
+			if errstr != "" {
+				return fmt.Errorf("wire: rank %d apply failed: %s", res.rank, errstr)
+			}
+			if len(data) != s.subs[res.rank].LocalLen() {
+				return fmt.Errorf("wire: rank %d returned %d values, want %d", res.rank, len(data), s.subs[res.rank].LocalLen())
+			}
+			copy(s.subs[res.rank].Dst(), data)
+			got[res.rank] = true
+			need--
+		case <-deadline.C:
+			return fmt.Errorf("wire: apply %d timed out with %d ranks outstanding", xid, need)
+		}
+	}
+	for _, sub := range s.subs {
+		sub.GatherTo(dst)
+	}
+	s.count("wire.applies", 1)
+	return nil
+}
+
+// recordStats folds one worker's per-apply accounting into the registry.
+func (s *Session) recordStats(rank int, st resultStats) {
+	s.count("wire.halo_frames", st.HaloFrames)
+	s.count("wire.halo_wire_bytes", st.HaloBytes)
+	s.count("wire.resends", st.Resends)
+	s.count("wire.corrupt_frames", st.Corrupts)
+	s.count(obs.RankMetric("wire.halo_frames", rank), st.HaloFrames)
+	s.count(obs.RankMetric("wire.halo_wire_bytes", rank), st.HaloBytes)
+	s.count(obs.RankMetric("wire.resends", rank), st.Resends)
+	s.count(obs.RankMetric("wire.corrupt_frames", rank), st.Corrupts)
+}
+
+// ChaosCounts exposes the coordinator-side injected-fault tally (worker
+// processes keep their own engines; their effects surface in the
+// per-rank resend/corruption counters).
+func (s *Session) ChaosCounts() fault.Counts { return s.chaos.Counts() }

@@ -1,0 +1,691 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"femtoverse/internal/domain"
+	"femtoverse/internal/fault"
+)
+
+// CoordRank is the rank id the coordinator signs its frames with.
+const CoordRank = -1
+
+// WorkerOptions configures one worker. Everything else - rank, chaos
+// plan, timing, payload bound - arrives in the coordinator's welcome, so
+// a worker process needs nothing on its command line but the
+// coordinator's address.
+type WorkerOptions struct {
+	// DialTimeout bounds the initial coordinator dial (pre-welcome, so it
+	// cannot come from the welcome). Zero means the Timing default.
+	DialTimeout time.Duration
+	// KillAtApply, when non-nil, is consulted as each apply request
+	// arrives; returning true makes the worker die abruptly - sockets
+	// torn down mid-protocol, no result sent - exactly like a crashed
+	// process. The rank-loss recovery tests drive this hook.
+	KillAtApply func(rank int, xid uint64) bool
+	// HangAtApply, when non-nil, is consulted the same way; returning
+	// true freezes the worker - heartbeats included - for HangFor with
+	// every socket left open. A crash announces itself with an EOF; a
+	// hang announces nothing, so only the coordinator's heartbeat
+	// timeout can detect it. The heartbeat tests drive this hook.
+	HangAtApply func(rank int, xid uint64) bool
+	// HangFor is how long a HangAtApply freeze lasts (default 2s).
+	HangFor time.Duration
+}
+
+// errKilled is the worker's internal crash signal from KillAtApply.
+var errKilled = errors.New("wire: worker killed by chaos hook")
+
+// errHung is the worker's internal exit signal after a HangAtApply
+// freeze elapses.
+var errHung = errors.New("wire: worker hung by chaos hook")
+
+// haloKey addresses one expected ghost face: the apply transfer it
+// belongs to plus the (dimension, ghost side) slot it fills.
+type haloKey struct {
+	xid uint64
+	mu  int
+	dir int
+}
+
+// peerKey addresses a peer connection: rewiring is per epoch, and a
+// neighbor may establish the next epoch's connection before this worker
+// has even seen the epoch's peer table.
+type peerKey struct {
+	rank  int
+	epoch uint64
+}
+
+// Worker is one rank's process half: it owns a subdomain kernel
+// (domain.Sub), serves apply requests from the coordinator, exchanges
+// halo faces with peer workers over TCP, and heartbeats so the
+// coordinator can tell a slow rank from a dead one.
+type Worker struct {
+	opts  WorkerOptions
+	coord *Conn
+	rank  int
+	cfg   welcomeConfig
+	chaos *Chaos
+	sub   *domain.Sub
+	epoch atomic.Uint64
+	stats Stats
+
+	peerLn net.Listener
+
+	mu         sync.Mutex
+	peers      map[peerKey]*Conn
+	mailbox    map[haloKey]chan []complex128
+	curXid     uint64
+	peerDown   chan struct{} // closed when a current-epoch peer conn dies
+	downOnce   *sync.Once
+	haloFrames int64
+	haloBytes  int64
+	stopBeats  chan struct{}
+	// beatsOnce guards stopBeats against the hang hook and teardown
+	// racing to close it.
+	beatsOnce sync.Once
+}
+
+// Serve runs one worker against the coordinator at coordAddr until the
+// coordinator goes away (clean shutdown: conn closed), the worker is
+// killed by the chaos hook, or the protocol fails.
+func Serve(coordAddr string, opts WorkerOptions) error {
+	w := &Worker{
+		opts:    opts,
+		peers:   map[peerKey]*Conn{},
+		mailbox: map[haloKey]chan []complex128{},
+	}
+	defer w.teardown()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("wire: worker peer listener: %w", err)
+	}
+	w.peerLn = ln
+
+	if err := w.handshake(coordAddr); err != nil {
+		return err
+	}
+	w.stopBeats = make(chan struct{})
+	go w.heartbeat()
+	go w.acceptPeers()
+
+	return w.controlLoop()
+}
+
+// handshake dials the coordinator, announces the peer listener, and
+// absorbs the welcome (rank + session config) and subdomain spec.
+func (w *Worker) handshake(coordAddr string) error {
+	t := Timing{DialTimeout: w.opts.DialTimeout}.WithDefaults()
+	coord, err := dialConn(coordAddr, 0, 0, nil, t, helloMaxPayload, nil, &w.stats)
+	if err != nil {
+		return fmt.Errorf("wire: worker dial coordinator: %w", err)
+	}
+	w.coord = coord
+	hello := &Frame{Type: MsgHello, Rank: -1, Payload: []byte(w.peerLn.Addr().String())}
+	if err := coord.Send(hello, 0); err != nil {
+		return fmt.Errorf("wire: worker hello: %w", err)
+	}
+	welcome, err := coord.Recv(0)
+	if err != nil {
+		return fmt.Errorf("wire: worker awaiting welcome: %w", err)
+	}
+	if welcome.Type != MsgWelcome {
+		return fmt.Errorf("wire: worker expected welcome, got %v", welcome.Type)
+	}
+	cfg, err := decodeWelcome(welcome.Payload)
+	if err != nil {
+		return err
+	}
+	w.rank = welcome.Rank
+	w.cfg = cfg
+	w.epoch.Store(welcome.Xid)
+	chaos, err := NewChaos(cfg.Plan)
+	if err != nil {
+		return err
+	}
+	w.chaos = chaos
+	// From here on the control link runs the full fault-tolerance stack.
+	coord.arm(fault.LinkKey(w.rank, CoordRank), fault.LinkKey(CoordRank, w.rank),
+		chaos, cfg.Timing, cfg.MaxPayload, w.epoch.Load)
+
+	sub, err := coord.Recv(0)
+	if err != nil {
+		return fmt.Errorf("wire: worker awaiting subdomain: %w", err)
+	}
+	if sub.Type != MsgSub {
+		return fmt.Errorf("wire: worker expected subdomain, got %v", sub.Type)
+	}
+	spec, err := DecodeSpec(sub.Payload)
+	if err != nil {
+		return err
+	}
+	w.sub, err = domain.NewSub(spec)
+	return err
+}
+
+// helloMaxPayload bounds pre-welcome frames: addresses and specs only.
+const helloMaxPayload = 64 << 20
+
+// teardown releases every resource the worker holds.
+func (w *Worker) teardown() {
+	w.stopHeartbeat()
+	if w.peerLn != nil {
+		closeQuiet(w.peerLn)
+	}
+	if w.coord != nil {
+		closeQuiet(w.coord)
+	}
+	w.mu.Lock()
+	for _, pc := range w.peers {
+		closeQuiet(pc)
+	}
+	w.peers = map[peerKey]*Conn{}
+	w.mu.Unlock()
+}
+
+// closeQuiet releases a connection or listener being abandoned; the
+// teardown error carries nothing the caller can act on.
+func closeQuiet(c io.Closer) {
+	if err := c.Close(); err != nil {
+		return
+	}
+}
+
+// stopHeartbeat silences the beat goroutine, exactly once, whether the
+// hang hook or the final teardown asks first.
+func (w *Worker) stopHeartbeat() {
+	if w.stopBeats == nil {
+		return
+	}
+	w.beatsOnce.Do(func() { close(w.stopBeats) })
+}
+
+// heartbeat emits MsgBeat every HeartbeatEvery until stopped. A beat
+// that fails to send is dropped - if the control link is truly gone the
+// control loop exits and takes the worker down.
+func (w *Worker) heartbeat() {
+	tick := time.NewTicker(w.cfg.Timing.HeartbeatEvery)
+	defer tick.Stop()
+	var n uint64
+	for {
+		select {
+		case <-w.stopBeats:
+			return
+		case <-tick.C:
+			n++
+			f := &Frame{Type: MsgBeat, Rank: w.rank, Xid: n}
+			if err := w.coord.Send(f, 0); err != nil {
+				continue
+			}
+		}
+	}
+}
+
+// acceptPeers registers inbound peer connections. The first frame on a
+// peer connection is MsgPeerHello carrying the dialer's rank and epoch;
+// everything after is halo traffic handled by servePeer.
+func (w *Worker) acceptPeers() {
+	for {
+		nc, err := w.peerLn.Accept()
+		if err != nil {
+			return
+		}
+		go func(nc net.Conn) {
+			pc := newConn(nc, 0, 0, nil, w.cfg.Timing, w.cfg.MaxPayload, w.epoch.Load, &w.stats)
+			hello, err := pc.Recv(0)
+			if err != nil || hello.Type != MsgPeerHello {
+				closeQuiet(pc)
+				return
+			}
+			pc.arm(fault.LinkKey(w.rank, hello.Rank), peerPartitionKey(w.rank, hello.Rank),
+				w.chaos, w.cfg.Timing, w.cfg.MaxPayload, w.epoch.Load)
+			w.registerPeer(hello.Rank, hello.Xid, pc)
+		}(nc)
+	}
+}
+
+// peerPartitionKey canonicalizes a peer pair so a partition draw severs
+// both directions of the link at once.
+func peerPartitionKey(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	return fault.LinkKey(a, b)
+}
+
+// registerPeer files a peer connection under its (rank, epoch) and
+// starts its halo reader. A duplicate registration keeps the first
+// connection and drops the newcomer.
+func (w *Worker) registerPeer(rank int, epoch uint64, pc *Conn) {
+	k := peerKey{rank: rank, epoch: epoch}
+	w.mu.Lock()
+	if _, dup := w.peers[k]; dup {
+		w.mu.Unlock()
+		closeQuiet(pc)
+		return
+	}
+	w.peers[k] = pc
+	down, once := w.peerDown, w.downOnce
+	w.mu.Unlock()
+	go w.servePeer(pc, epoch, down, once)
+}
+
+// servePeer drains one peer connection, delivering halo sections to the
+// mailbox. A read error on a current-epoch connection broadcasts
+// peer-down so in-flight ghost waits abort immediately instead of
+// riding out the full ghost timeout.
+func (w *Worker) servePeer(pc *Conn, epoch uint64, down chan struct{}, once *sync.Once) {
+	for {
+		f, err := pc.Recv(peerIdleTimeout)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			if epoch == w.epoch.Load() && down != nil && once != nil {
+				once.Do(func() { close(down) })
+			}
+			return
+		}
+		if f.Type != MsgHalo {
+			continue
+		}
+		if err := w.deliverHalo(f); err != nil {
+			continue
+		}
+	}
+}
+
+// peerIdleTimeout is the read deadline on idle peer connections; a
+// timeout just re-arms the read, it is not a failure.
+const peerIdleTimeout = time.Hour
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// deliverHalo unpacks a halo frame's sections into the mailbox. The
+// sender packs its face for (mu, senderDir); on this side it fills the
+// opposite ghost slot, exactly the in-process channel wiring.
+func (w *Worker) deliverHalo(f Frame) error {
+	secs, err := decodeHaloSections(f.Payload)
+	if err != nil {
+		return err
+	}
+	for _, s := range secs {
+		w.post(haloKey{xid: f.Xid, mu: s.mu, dir: 1 - s.dir}, s.data)
+	}
+	return nil
+}
+
+// post delivers one ghost face. Faces for transfers already superseded
+// are dropped; faces for future transfers are buffered (a neighbor that
+// got its apply first legitimately sends ahead).
+func (w *Worker) post(k haloKey, data []complex128) {
+	w.mu.Lock()
+	if k.xid < w.curXid {
+		w.mu.Unlock()
+		return
+	}
+	ch := w.mailboxLocked(k)
+	w.mu.Unlock()
+	select {
+	case ch <- data:
+	default:
+	}
+}
+
+// mailboxLocked returns (creating if needed) the capacity-1 slot for k.
+// Callers hold w.mu.
+func (w *Worker) mailboxLocked(k haloKey) chan []complex128 {
+	ch, ok := w.mailbox[k]
+	if !ok {
+		ch = make(chan []complex128, 1)
+		w.mailbox[k] = ch
+	}
+	return ch
+}
+
+// beginXid advances the current transfer id and purges mailbox slots
+// from superseded transfers, so ghosts from an abandoned apply attempt
+// can never satisfy a later one.
+func (w *Worker) beginXid(xid uint64) {
+	w.mu.Lock()
+	w.curXid = xid
+	for k := range w.mailbox {
+		if k.xid < xid {
+			delete(w.mailbox, k)
+		}
+	}
+	w.mu.Unlock()
+}
+
+// controlLoop serves the coordinator until the link dies.
+func (w *Worker) controlLoop() error {
+	for {
+		f, err := w.coord.Recv(peerIdleTimeout)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) {
+				// Coordinator done with us (a close with frames still
+				// buffered surfaces as a reset): clean exit.
+				return nil
+			}
+			return fmt.Errorf("wire: worker %d control link: %w", w.rank, err)
+		}
+		switch f.Type {
+		case MsgPeers:
+			if err := w.rewire(f); err != nil {
+				// Incomplete rewiring: withhold the ack. The coordinator's
+				// recovery loop times out and retries with a fresh epoch.
+				continue
+			}
+			ok := &Frame{Type: MsgPeersOK, Rank: w.rank, Xid: f.Xid}
+			if err := w.coord.Send(ok, 0); err != nil {
+				continue
+			}
+		case MsgApply:
+			if w.opts.KillAtApply != nil && w.opts.KillAtApply(w.rank, f.Xid) {
+				return errKilled
+			}
+			if w.opts.HangAtApply != nil && w.opts.HangAtApply(w.rank, f.Xid) {
+				return w.hang()
+			}
+			if err := w.serveApply(f); err != nil {
+				return err
+			}
+		default:
+			// Unexpected frame on the control link: ignore; the protocol
+			// is request-driven and the coordinator retries.
+		}
+	}
+}
+
+// hang freezes the worker with every socket open: beats stop, the apply
+// goes unanswered, nothing closes - the shape of a wedged process, which
+// only a heartbeat monitor can tell apart from a merely slow one. After
+// HangFor the worker exits and teardown releases the sockets.
+func (w *Worker) hang() error {
+	w.stopHeartbeat()
+	d := w.opts.HangFor
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	time.Sleep(d)
+	return errHung
+}
+
+// rewire installs the epoch's peer table: dial every needed neighbor we
+// outrank-dial (lower rank dials, so each unordered pair gets exactly
+// one connection), wait for the rest to dial us, and retire previous
+// epochs' connections.
+func (w *Worker) rewire(f Frame) error {
+	epoch := f.Xid
+	table, err := decodePeerTable(f.Payload)
+	if err != nil {
+		return err
+	}
+
+	// New epoch: fresh peer-down broadcast, retire stale conns.
+	down := make(chan struct{})
+	once := &sync.Once{}
+	w.mu.Lock()
+	w.peerDown, w.downOnce = down, once
+	w.epoch.Store(epoch)
+	for k, pc := range w.peers {
+		if k.epoch < epoch {
+			closeQuiet(pc)
+			delete(w.peers, k)
+		}
+	}
+	w.mu.Unlock()
+
+	needed := w.neededPeers()
+	for _, p := range needed {
+		if w.rank > p {
+			continue // the lower rank dials
+		}
+		if w.hasPeer(p, epoch) {
+			continue
+		}
+		addr, ok := table[p]
+		if !ok {
+			return fmt.Errorf("wire: worker %d: epoch %d peer table missing rank %d", w.rank, epoch, p)
+		}
+		pc, err := dialConn(addr, fault.LinkKey(w.rank, p), peerPartitionKey(w.rank, p),
+			w.chaos, w.cfg.Timing, w.cfg.MaxPayload, w.epoch.Load, &w.stats)
+		if err != nil {
+			return fmt.Errorf("wire: worker %d dial peer %d: %w", w.rank, p, err)
+		}
+		hello := &Frame{Type: MsgPeerHello, Rank: w.rank, Xid: epoch}
+		if err := pc.Send(hello, 0); err != nil {
+			closeQuiet(pc)
+			return err
+		}
+		w.registerPeer(p, epoch, pc)
+	}
+
+	// Await the inbound dials.
+	deadline := time.Now().Add(w.cfg.Timing.DialTimeout)
+	for {
+		missing := 0
+		for _, p := range needed {
+			if !w.hasPeer(p, epoch) {
+				missing++
+			}
+		}
+		if missing == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("wire: worker %d: epoch %d still missing %d peer connections", w.rank, epoch, missing)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// hasPeer reports whether the (rank, epoch) connection is registered.
+func (w *Worker) hasPeer(rank int, epoch uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.peers[peerKey{rank: rank, epoch: epoch}]
+	return ok
+}
+
+// peerFor returns the current-epoch connection to rank, if any.
+func (w *Worker) peerFor(rank int) (*Conn, chan struct{}) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peers[peerKey{rank: rank, epoch: w.epoch.Load()}], w.peerDown
+}
+
+// neededPeers lists the distinct neighbor ranks across partitioned
+// dimensions, in (mu, dir) first-seen order.
+func (w *Worker) neededPeers() []int {
+	seen := map[int]bool{}
+	var out []int
+	for mu := 0; mu < len(w.sub.Spec.Grid); mu++ {
+		if !w.sub.Spec.Partitioned(mu) {
+			continue
+		}
+		for dir := 0; dir < 2; dir++ {
+			p := w.sub.Spec.NeighborRank(mu, dir)
+			if p == w.rank || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// serveApply runs the four-step halo pipeline for one transfer and
+// reports the result (or the failure) back to the coordinator.
+func (w *Worker) serveApply(f Frame) error {
+	resendBase := w.stats.Resends.Load()
+	corruptBase := w.stats.Corrupts.Load()
+	w.mu.Lock()
+	w.haloFrames, w.haloBytes = 0, 0
+	w.mu.Unlock()
+
+	applyErr := w.applyOnce(f)
+
+	res := &Frame{Type: MsgResult, Rank: w.rank, Xid: f.Xid}
+	w.mu.Lock()
+	st := resultStats{
+		HaloFrames: w.haloFrames,
+		HaloBytes:  w.haloBytes,
+		Resends:    w.stats.Resends.Load() - resendBase,
+		Corrupts:   w.stats.Corrupts.Load() - corruptBase,
+	}
+	w.mu.Unlock()
+	if applyErr != nil {
+		res.Payload = encodeResult(st, nil, applyErr.Error())
+	} else {
+		res.Payload = encodeResult(st, w.sub.Dst(), "")
+	}
+	return w.coord.Send(res, 0)
+}
+
+// applyOnce executes one operator application against the current
+// epoch's peers.
+func (w *Worker) applyOnce(f Frame) error {
+	if len(f.Payload) < 1 {
+		return fmt.Errorf("wire: worker %d: empty apply payload", w.rank)
+	}
+	coarse := f.Payload[0]&flagCoarse != 0
+	staged := f.Payload[0]&flagStaged != 0
+	src, _, err := DecodeComplex(f.Payload[1:], w.sub.LocalLen())
+	if err != nil {
+		return err
+	}
+	w.sub.SetSrc(src)
+	w.beginXid(f.Xid)
+
+	if staged {
+		// Staged: fill the interior first, then push halos - the policy
+		// that trades overlap for fewer in-flight messages.
+		w.sub.StencilInterior()
+		if err := w.sendHalos(f.Xid, coarse); err != nil {
+			return err
+		}
+	} else {
+		// Eager: halos leave before any arithmetic so the interior
+		// overlaps the exchange.
+		if err := w.sendHalos(f.Xid, coarse); err != nil {
+			return err
+		}
+		w.sub.StencilInterior()
+	}
+	if err := w.recvGhosts(f.Xid); err != nil {
+		return err
+	}
+	w.sub.StencilBoundary()
+	return nil
+}
+
+// Halo-plan flag bits in the apply payload's first byte.
+const (
+	flagCoarse = 1 << 0
+	flagStaged = 1 << 1
+)
+
+// sendHalos packs and ships every boundary face for transfer xid. Fine
+// granularity sends one frame per (mu, dir) face; coarse batches all
+// faces bound for the same neighbor into one frame. The grouping order
+// matches domain.Dist.HaloMessageBytes, which is what makes the
+// modelled message sizes crosscheckable against these live sends.
+func (w *Worker) sendHalos(xid uint64, coarse bool) error {
+	perPeer := map[int][]haloSection{}
+	var order []int
+	for mu := 0; mu < len(w.sub.Spec.Grid); mu++ {
+		if !w.sub.Spec.Partitioned(mu) {
+			continue
+		}
+		for dir := 0; dir < 2; dir++ {
+			buf := make([]complex128, w.sub.FaceLen(mu))
+			w.sub.PackFace(mu, dir, buf)
+			p := w.sub.Spec.NeighborRank(mu, dir)
+			if _, seen := perPeer[p]; !seen {
+				order = append(order, p)
+			}
+			perPeer[p] = append(perPeer[p], haloSection{mu: mu, dir: dir, data: buf})
+		}
+	}
+	sel := 0
+	for _, p := range order {
+		pc, _ := w.peerFor(p)
+		if pc == nil {
+			return fmt.Errorf("wire: worker %d: no connection to peer %d", w.rank, p)
+		}
+		if coarse {
+			if err := w.sendHaloFrame(pc, xid, sel, perPeer[p]); err != nil {
+				return err
+			}
+			sel++
+			continue
+		}
+		for _, s := range perPeer[p] {
+			if err := w.sendHaloFrame(pc, xid, sel, []haloSection{s}); err != nil {
+				return err
+			}
+			sel++
+		}
+	}
+	return nil
+}
+
+// sendHaloFrame encodes sections into one MsgHalo frame and transmits
+// it, tallying the halo frame/byte counters the result reports.
+func (w *Worker) sendHaloFrame(pc *Conn, xid uint64, sel int, secs []haloSection) error {
+	f := &Frame{Type: MsgHalo, Rank: w.rank, Xid: xid, Payload: encodeHaloSections(secs)}
+	w.mu.Lock()
+	w.haloFrames++
+	w.haloBytes += int64(f.WireLen())
+	w.mu.Unlock()
+	return pc.Send(f, sel)
+}
+
+// recvGhosts waits for every expected ghost face of transfer xid,
+// bounded by the ghost timeout and aborted early if a peer connection
+// dies. A missing ghost is a detected fault the coordinator turns into
+// recovery, never an indefinite stall.
+func (w *Worker) recvGhosts(xid uint64) error {
+	timer := time.NewTimer(w.cfg.Timing.GhostTimeout)
+	defer timer.Stop()
+	for mu := 0; mu < len(w.sub.Spec.Grid); mu++ {
+		if !w.sub.Spec.Partitioned(mu) {
+			continue
+		}
+		for dir := 0; dir < 2; dir++ {
+			w.mu.Lock()
+			ch := w.mailboxLocked(haloKey{xid: xid, mu: mu, dir: dir})
+			down := w.peerDown
+			w.mu.Unlock()
+			select {
+			case data := <-ch:
+				if len(data) != w.sub.FaceLen(mu) {
+					return fmt.Errorf("wire: worker %d: ghost (mu=%d dir=%d) has %d values, want %d", w.rank, mu, dir, len(data), w.sub.FaceLen(mu))
+				}
+				w.sub.SetGhost(mu, dir, data)
+			case <-down:
+				return fmt.Errorf("wire: worker %d: peer connection lost waiting for ghost (mu=%d dir=%d xid=%d)", w.rank, mu, dir, xid)
+			case <-timer.C:
+				return fmt.Errorf("wire: worker %d: ghost (mu=%d dir=%d xid=%d) not received within %v", w.rank, mu, dir, xid, w.cfg.Timing.GhostTimeout)
+			}
+		}
+	}
+	return nil
+}
