@@ -8,7 +8,7 @@
 set -eux
 go vet ./...
 go build -o "$PWD/femtolint.bin" ./cmd/femtolint
-trap 'rm -f "$PWD/femtolint.bin" "$PWD/garank.bin"' EXIT
+trap 'rm -f "$PWD/femtolint.bin" "$PWD/garank.bin" "$PWD/gastress.bin"' EXIT
 go vet -vettool="$PWD/femtolint.bin" ./...
 go build ./...
 # internal/core's race suite runs close to the default 10m per-package
@@ -69,6 +69,21 @@ go build -o "$PWD/garank.bin" ./cmd/garank
 ./garank.bin -ranks 4 -drop 0.01 -corrupt 0.01 -delay 0.002 -chaos-seed 7 -max-inject 200
 ./garank.bin -ranks 2 -partition 0.3 -chaos-seed 2 -max-inject 4
 rm -f "$PWD/garank.bin"
+# Scenario gate: the seeded chaos-soak sweep. The scenario package's own
+# suite (generator determinism, coverage, the full six-scenario soak and
+# the replay-identity contract) re-runs under the race detector against
+# fresh interleavings. Then gastress sweeps the pinned seed twice: eight
+# scenarios spanning all five mix families plus preemption, budget
+# expiry, and network chaos, each run live (runtime pool + real physics
+# episode) and simulated (cluster twin), held to the full invariant set,
+# with the two sweeps required to produce byte-identical canonical
+# reports. A single-index replay then proves one scenario reproduces in
+# isolation, outside sweep order.
+go test -race -count=2 ./internal/scenario/
+go build -o "$PWD/gastress.bin" ./cmd/gastress
+./gastress.bin -seed 1 -count 8 -repeat 2
+./gastress.bin -seed 1 -index 3
+rm -f "$PWD/gastress.bin"
 # The femtolint suppression budget: the tree carries 8 reviewed
 # //femtolint:ignore directives (the runtime's deliberate post-drain
 # Wait, the journal's best-effort Close-after-error cleanups). New code

@@ -19,9 +19,11 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"femtoverse/internal/dirac"
@@ -59,8 +61,10 @@ func main() {
 		killRank = flag.Int("kill-rank", -1, "rank to kill mid-solve (coordinator: forwarded to workers)")
 		killXid  = flag.Uint64("kill-xid", 0, "apply transfer id at which the killed rank dies")
 
-		beatEvery  = flag.Duration("beat", 20*time.Millisecond, "worker heartbeat period")
-		beatMiss   = flag.Int("beat-miss", 5, "missed beats before a rank is declared dead")
+		beatEvery  = flag.Duration("heartbeat-every", 20*time.Millisecond, "worker heartbeat period")
+		beatMiss   = flag.Int("heartbeat-miss", 5, "missed beats before a rank is declared dead")
+		retryBase  = flag.Duration("retry-base", time.Millisecond, "base delay of the capped jittered frame-retransmit backoff")
+		retryMax   = flag.Duration("retry-max", 50*time.Millisecond, "cap of the frame-retransmit backoff")
 		checkpoint = flag.String("checkpoint", "", "subdomain checkpoint path (default: temp dir)")
 		metrics    = flag.Bool("metrics", false, "print the metrics snapshot")
 	)
@@ -69,7 +73,10 @@ func main() {
 	if *serve {
 		os.Exit(runWorker(*coord, *killRank, *killXid))
 	}
-	if err := runCoordinator(coordConfig{
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchSignals(cancel)
+	if err := runCoordinator(ctx, coordConfig{
 		ranks: *ranks, gridSpec: *gridSpec, ls: *ls, lt: *lt,
 		mass: *mass, eps: *eps, seed: *seed, tol: *tol,
 		coarse: *coarse, staged: *staged,
@@ -78,12 +85,37 @@ func main() {
 			NetCorrupt: *corrupt, NetPartition: *partition, MaxInjections: *maxInject,
 		},
 		killRank: *killRank, killXid: *killXid,
-		beatEvery: *beatEvery, beatMiss: *beatMiss,
+		timing: wire.Timing{
+			HeartbeatEvery: *beatEvery, HeartbeatMiss: *beatMiss,
+			RetryBase: *retryBase, RetryMax: *retryMax,
+		},
 		checkpoint: *checkpoint, metrics: *metrics,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "garank: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// watchSignals installs the two-stage SIGINT/SIGTERM handler: the first
+// signal cancels the solve context, so the in-flight CGNE solve drains
+// at its next iteration and the session teardown disconnects every
+// worker cleanly; any further signal hard-kills the coordinator.
+func watchSignals(cancel context.CancelFunc) {
+	sigs := make(chan os.Signal, 4)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		n := 0
+		for s := range sigs {
+			n++
+			switch {
+			case n == 1:
+				fmt.Fprintf(os.Stderr, "garank: %v: draining the in-flight solve (again to hard-kill)\n", s)
+				cancel()
+			default:
+				os.Exit(130)
+			}
+		}
+	}()
 }
 
 // runWorker hosts one rank until the coordinator disconnects. Exit code
@@ -117,8 +149,7 @@ type coordConfig struct {
 	plan           fault.Plan
 	killRank       int
 	killXid        uint64
-	beatEvery      time.Duration
-	beatMiss       int
+	timing         wire.Timing
 	checkpoint     string
 	metrics        bool
 }
@@ -144,8 +175,9 @@ func parseGrid(spec string, ranks int) ([lattice.NDim]int, error) {
 }
 
 // runCoordinator runs the distributed solve and the single-process
-// crosscheck.
-func runCoordinator(cfg coordConfig) error {
+// crosscheck. Cancelling ctx drains the solve and tears the workers
+// down cleanly through the deferred session close.
+func runCoordinator(ctx context.Context, cfg coordConfig) error {
 	grid, err := parseGrid(cfg.gridSpec, cfg.ranks)
 	if err != nil {
 		return err
@@ -177,7 +209,7 @@ func runCoordinator(cfg coordConfig) error {
 	sess, err := wire.NewSession(u, wire.Options{
 		Grid: grid, Mass: cfg.mass,
 		Coarse: cfg.coarse, Staged: cfg.staged,
-		Timing:         wire.Timing{HeartbeatEvery: cfg.beatEvery, HeartbeatMiss: cfg.beatMiss},
+		Timing:         cfg.timing,
 		CheckpointPath: cfg.checkpoint,
 		Chaos:          cfg.plan,
 		Metrics:        reg,
@@ -195,8 +227,11 @@ func runCoordinator(cfg coordConfig) error {
 	b[0] = 1
 
 	t0 := time.Now()
-	x, st, err := solver.CGNE(context.Background(), sess, b, solver.Params{Tol: cfg.tol})
+	x, st, err := solver.CGNE(ctx, sess, b, solver.Params{Tol: cfg.tol})
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("solve drained after signal: %w", err)
+		}
 		return fmt.Errorf("distributed solve: %w", err)
 	}
 	fmt.Printf("distributed solve: %d iterations, residual %.3e, %.2fs\n",
@@ -205,7 +240,7 @@ func runCoordinator(cfg coordConfig) error {
 	// Single-process crosscheck: the same solve on the shared-memory
 	// operator must be bit-for-bit identical.
 	w := dirac.NewWilson(u, cfg.mass)
-	xRef, stRef, err := solver.CGNE(context.Background(), w, b, solver.Params{Tol: cfg.tol})
+	xRef, stRef, err := solver.CGNE(ctx, w, b, solver.Params{Tol: cfg.tol})
 	if err != nil {
 		return fmt.Errorf("reference solve: %w", err)
 	}

@@ -1,0 +1,250 @@
+// Command gastress is the seeded chaos-soak sweep driver: it generates
+// deterministic scenarios (workload mixes layered with adversity plans),
+// runs each one both live (internal/runtime pool plus a real physics
+// episode) and simulated (internal/cluster twin), and holds every run to
+// the scenario invariant set - conservation, fault parity, payload
+// integrity, obs consistency, utilization parity, drain and admission
+// behaviour, bit-identical correlators.
+//
+// Usage:
+//
+//	gastress -seed 1 -count 8            # sweep scenarios 0..7
+//	gastress -seed 1 -index 3            # replay one scenario
+//	gastress -seed 1 -count 8 -repeat 2  # sweep twice, reports must match byte-for-byte
+//	gastress -seed 1 -count 8 -json      # machine-readable report on stdout
+//
+// Exit status: 0 all invariants held and repeats matched, 1 an invariant
+// was violated or a repeat diverged, 2 the harness itself failed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+
+	"femtoverse/internal/scenario"
+)
+
+// jsonScenario is one scenario's entry in the -json report: the
+// replay-stable identity and verdict fields plus the wall-clock side
+// data the parity gates measure.
+type jsonScenario struct {
+	Name           string   `json:"name"`
+	Index          int      `json:"index"`
+	Family         string   `json:"family"`
+	Adversity      string   `json:"adversity"`
+	Deterministic  bool     `json:"deterministic"`
+	Workers        int      `json:"workers"`
+	Tasks          int      `json:"tasks"`
+	LiveSolveUtil  float64  `json:"live_solve_util"`
+	SimGPUUtil     float64  `json:"sim_gpu_util"`
+	UtilGap        float64  `json:"util_gap"`
+	LiveWallMS     float64  `json:"live_wall_ms"`
+	Faults         string   `json:"faults,omitempty"`
+	Checks         []string `json:"checks"`
+	Violations     []string `json:"violations,omitempty"`
+	WorkloadDigest string   `json:"workload_digest"`
+	SimDigest      string   `json:"sim_digest"`
+	PhysicsDigest  string   `json:"physics_fingerprint"`
+}
+
+// jsonFamily aggregates the live-vs-sim parity numbers per mix family.
+type jsonFamily struct {
+	Family        string  `json:"family"`
+	Scenarios     int     `json:"scenarios"`
+	MeanLiveUtil  float64 `json:"mean_live_solve_util"`
+	MeanSimUtil   float64 `json:"mean_sim_gpu_util"`
+	MeanUtilGap   float64 `json:"mean_util_gap"`
+	MaxUtilGap    float64 `json:"max_util_gap"`
+	Deterministic int     `json:"deterministic_scenarios"`
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	Seed            int64          `json:"seed"`
+	Count           int            `json:"count"`
+	Repeat          int            `json:"repeat"`
+	Scenarios       []jsonScenario `json:"scenarios"`
+	Families        []jsonFamily   `json:"families"`
+	Violations      int            `json:"violations"`
+	ReplayIdentical bool           `json:"replay_identical"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed    = flag.Int64("seed", 1, "scenario-space seed: every draw derives from it")
+		count   = flag.Int("count", 8, "sweep scenarios 0..count-1")
+		index   = flag.Int("index", -1, "run only this scenario index (overrides -count)")
+		repeat  = flag.Int("repeat", 1, "run the sweep this many times; canonical reports must be byte-identical across runs")
+		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+		verbose = flag.Bool("v", false, "print each scenario's canonical report")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var indices []int
+	if *index >= 0 {
+		indices = []int{*index}
+	} else {
+		if *count < 1 {
+			fmt.Fprintln(os.Stderr, "gastress: -count must be at least 1")
+			return 2
+		}
+		for i := 0; i < *count; i++ {
+			indices = append(indices, i)
+		}
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	firstCanonical := map[int][]byte{}
+	outcomes := map[int]*scenario.Outcome{}
+	violations := 0
+	replayIdentical := true
+	for rep := 0; rep < *repeat; rep++ {
+		for _, idx := range indices {
+			if err := ctx.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "gastress: %v\n", err)
+				return 2
+			}
+			sc := scenario.Generate(*seed, idx)
+			out, err := scenario.Run(ctx, sc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gastress: %v\n", err)
+				return 2
+			}
+			canonical, err := out.Report.Canonical()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gastress: %s: canonical report: %v\n", sc.Name, err)
+				return 2
+			}
+			violations += len(out.Violations)
+			for _, v := range out.Violations {
+				fmt.Fprintf(os.Stderr, "gastress: %s: VIOLATION: %s\n", sc.Name, v)
+			}
+			if rep == 0 {
+				firstCanonical[idx] = canonical
+				outcomes[idx] = out
+				if !*jsonOut {
+					fmt.Printf("%-40s det=%-5v workers=%d tasks=%-3d live util %.3f  sim util %.3f  checks %d  violations %d\n",
+						sc.Name, sc.Deterministic(), sc.Workload.SolveWorkers, len(sc.Workload.Tasks),
+						out.Live.SolveUtil, out.Sim.GPUUtil, len(out.Report.Checks), len(out.Violations))
+				}
+				if *verbose && !*jsonOut {
+					fmt.Printf("%s\n", canonical)
+				}
+			} else if !bytes.Equal(canonical, firstCanonical[idx]) {
+				replayIdentical = false
+				fmt.Fprintf(os.Stderr, "gastress: %s: repeat %d produced a different canonical report\n", sc.Name, rep+1)
+			}
+		}
+	}
+
+	report := assemble(*seed, *repeat, indices, outcomes)
+	report.Violations = violations
+	report.ReplayIdentical = replayIdentical
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "gastress: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Println()
+		for _, f := range report.Families {
+			fmt.Printf("family %-22s %d scenarios  mean live util %.3f  mean sim util %.3f  mean gap %.3f  max gap %.3f\n",
+				f.Family, f.Scenarios, f.MeanLiveUtil, f.MeanSimUtil, f.MeanUtilGap, f.MaxUtilGap)
+		}
+		fmt.Printf("gastress: %d scenarios x %d runs, %d violations, replay identical: %v\n",
+			len(indices), *repeat, violations, replayIdentical)
+	}
+	if violations > 0 || !replayIdentical {
+		return 1
+	}
+	return 0
+}
+
+// assemble builds the JSON report from the first sweep's outcomes.
+func assemble(seed int64, repeat int, indices []int, outcomes map[int]*scenario.Outcome) jsonReport {
+	report := jsonReport{Seed: seed, Count: len(indices), Repeat: repeat}
+	type agg struct {
+		n, det         int
+		live, sim, gap float64
+		maxGap         float64
+	}
+	families := map[string]*agg{}
+	for _, idx := range indices {
+		out := outcomes[idx]
+		if out == nil {
+			continue
+		}
+		gap := math.Abs(out.Live.SolveUtil - out.Sim.GPUUtil)
+		report.Scenarios = append(report.Scenarios, jsonScenario{
+			Name:           out.Report.Name,
+			Index:          out.Report.Index,
+			Family:         out.Report.Family,
+			Adversity:      out.Report.Adversity,
+			Deterministic:  out.Report.Deterministic,
+			Workers:        out.Report.Workers,
+			Tasks:          out.Report.Tasks,
+			LiveSolveUtil:  out.Live.SolveUtil,
+			SimGPUUtil:     out.Sim.GPUUtil,
+			UtilGap:        gap,
+			LiveWallMS:     float64(out.LiveWall.Microseconds()) / 1e3,
+			Faults:         out.Report.Faults,
+			Checks:         out.Report.Checks,
+			Violations:     out.Violations,
+			WorkloadDigest: out.Report.WorkloadDigest,
+			SimDigest:      out.Report.SimDigest,
+			PhysicsDigest:  out.Report.PhysicsFingerprint,
+		})
+		a := families[out.Report.Family]
+		if a == nil {
+			a = &agg{}
+			families[out.Report.Family] = a
+		}
+		a.n++
+		if out.Report.Deterministic {
+			a.det++
+		}
+		a.live += out.Live.SolveUtil
+		a.sim += out.Sim.GPUUtil
+		a.gap += gap
+		if gap > a.maxGap {
+			a.maxGap = gap
+		}
+	}
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := families[name]
+		report.Families = append(report.Families, jsonFamily{
+			Family:        name,
+			Scenarios:     a.n,
+			MeanLiveUtil:  a.live / float64(a.n),
+			MeanSimUtil:   a.sim / float64(a.n),
+			MeanUtilGap:   a.gap / float64(a.n),
+			MaxUtilGap:    a.maxGap,
+			Deterministic: a.det,
+		})
+	}
+	return report
+}

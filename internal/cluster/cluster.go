@@ -56,6 +56,12 @@ type Task struct {
 	// DependsOn lists task IDs that must complete before this task may
 	// start (contractions depend on the propagators they consume).
 	DependsOn []int
+	// ArrivalSeconds is when the task becomes visible to the scheduler:
+	// before that instant it is invisible to PendingIDs, as if it had not
+	// been submitted yet. Bursty multi-tenant workloads are modelled by
+	// staggering arrivals; 0 (the default) means available from the
+	// allocation's start.
+	ArrivalSeconds float64
 }
 
 // Config describes the simulated allocation.
@@ -255,7 +261,7 @@ type nodeState struct {
 type event struct {
 	time float64
 	seq  int
-	task int // index into sim.stats
+	task int // index into sim.stats; -1 marks a task-arrival event
 }
 
 type eventHeap []event
@@ -311,12 +317,15 @@ func (s *Sim) Config() Config { return s.cfg }
 func (s *Sim) Now() float64 { return s.now }
 
 // PendingIDs returns the unscheduled task IDs whose dependencies have all
-// completed, in submission order.
+// completed and whose arrival time has passed, in submission order.
 func (s *Sim) PendingIDs() []int {
 	out := make([]int, 0, len(s.order))
 	for _, id := range s.order {
 		t, ok := s.pending[id]
 		if !ok {
+			continue
+		}
+		if t.ArrivalSeconds > s.now {
 			continue
 		}
 		ready := true
@@ -440,6 +449,9 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 		if _, dup := s.pending[t.ID]; dup {
 			return Report{}, fmt.Errorf("cluster: duplicate task ID %d", t.ID)
 		}
+		if t.ArrivalSeconds < 0 || math.IsNaN(t.ArrivalSeconds) {
+			return Report{}, fmt.Errorf("cluster: task %d arrival %g", t.ID, t.ArrivalSeconds)
+		}
 		s.pending[t.ID] = t
 		s.order = append(s.order, t.ID)
 	}
@@ -457,6 +469,17 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 	startup := p.Startup(cfg)
 	s.now = startup
 	rep := Report{Policy: p.Name(), StartupSeconds: startup}
+
+	// Arrivals later than startup get wake-up events so the policy is
+	// re-consulted the instant new work becomes visible; earlier arrivals
+	// are already visible at the first dispatch (the clock never runs
+	// backwards from startup).
+	for _, t := range tasks {
+		if t.ArrivalSeconds > startup {
+			heap.Push(&s.events, event{time: t.ArrivalSeconds, seq: s.seq, task: -1})
+			s.seq++
+		}
+	}
 
 	dispatch := func() error {
 		for {
@@ -530,7 +553,7 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(event)
-		if s.canceled[ev.task] {
+		if ev.task >= 0 && s.canceled[ev.task] {
 			continue
 		}
 		if cfg.AllocationSeconds > 0 && ev.time > cfg.AllocationSeconds {
@@ -541,6 +564,14 @@ func Run(cfg Config, tasks []Task, p Policy) (Report, error) {
 			break
 		}
 		s.now = ev.time
+		if ev.task < 0 {
+			// A task arrival: nothing completes, but the policy sees new
+			// pending work.
+			if err := dispatch(); err != nil {
+				return Report{}, err
+			}
+			continue
+		}
 		stat := &s.stats[ev.task]
 		dur := release(ev.task)
 

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Fingerprint returns a canonical SHA-256 digest of the campaign's
+// finished correlators: configuration index, then the exact float64 bit
+// patterns of C2 and CFH, in ascending configuration order. Two
+// campaigns agree on Fingerprint iff they hold bit-for-bit identical
+// physics for the same set of finished configurations, which makes the
+// digest the replay-identity check of the scenario soak harness - a
+// journaled resume, a cache-warm rerun, or a chaos run must reproduce
+// the unperturbed campaign's fingerprint exactly.
+func (c *Campaign) Fingerprint() string {
+	var buf []byte
+	writeVec := func(v []float64) {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(len(v)))
+		for _, x := range v {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	for i := 0; i < c.Spec.NConfigs; i++ {
+		c2, ok := c.C2[i]
+		if !ok {
+			continue
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(i))
+		writeVec(c2)
+		writeVec(c.CFH[i])
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(buf))
+}

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// kindRate builds a plan whose only nonzero rate is kind k.
+func kindRate(k Kind, rate float64) Plan {
+	var p Plan
+	switch k {
+	case Transient:
+		p.Transient = rate
+	case Panic:
+		p.Panic = rate
+	case Hang:
+		p.Hang = rate
+	case Corrupt:
+		p.Corrupt = rate
+	case DomainLoss:
+		p.DomainLoss = rate
+	case Preempt:
+		p.Preempt = rate
+	case NetDrop:
+		p.NetDrop = rate
+	case NetDelay:
+		p.NetDelay = rate
+	case NetPartition:
+		p.NetPartition = rate
+	case NetCorrupt:
+		p.NetCorrupt = rate
+	}
+	return p
+}
+
+// TestValidateEveryKindEdgeCases sweeps the rate edge cases over every
+// fault kind, network kinds included: any single negative or NaN rate
+// must reject, a total at or above one must reject however it is split
+// across kinds, and a total just under one must pass.
+func TestValidateEveryKindEdgeCases(t *testing.T) {
+	for k := Kind(1); k < numKinds; k++ {
+		if err := kindRate(k, -0.01).Validate(); err == nil {
+			t.Errorf("negative %v rate accepted", k)
+		}
+		if err := kindRate(k, math.NaN()).Validate(); err == nil {
+			t.Errorf("NaN %v rate accepted", k)
+		}
+		if err := kindRate(k, 1.0).Validate(); err == nil {
+			t.Errorf("unit %v rate accepted", k)
+		}
+		if err := kindRate(k, 0.999).Validate(); err != nil {
+			t.Errorf("near-unit %v rate rejected: %v", k, err)
+		}
+	}
+	// The super-unit check must see the sum, not any single rate: eight
+	// kinds at exactly 1/8 each are individually harmless but total
+	// exactly 1 (1/8 is a binary fraction, so the sum is exact).
+	spread := Plan{
+		Transient: 0.125, Panic: 0.125, Hang: 0.125, Corrupt: 0.125,
+		DomainLoss: 0.125, Preempt: 0.125, NetDrop: 0.125, NetDelay: 0.125,
+	}
+	if err := spread.Validate(); err == nil {
+		t.Error("rates summing to 1 accepted")
+	}
+	// Compute and network kinds must share one budget, not two.
+	mixed := Plan{Transient: 0.5, NetDrop: 0.5}
+	if err := mixed.Validate(); err == nil {
+		t.Error("compute+net rates summing to 1 accepted")
+	}
+	if err := (Plan{Transient: 0.49, NetDrop: 0.49}).Validate(); err != nil {
+		t.Errorf("compute+net rates under 1 rejected: %v", err)
+	}
+	if err := (Plan{}).Validate(); err != nil {
+		t.Errorf("zero plan rejected: %v", err)
+	}
+	if (Plan{}).Enabled() {
+		t.Error("zero plan claims to be enabled")
+	}
+	if !(Plan{NetPartition: 0.01}).Enabled() {
+		t.Error("net-only plan claims to be disabled")
+	}
+}
+
+// TestCountsAddTotalAllKinds tallies one fault of every kind and checks
+// that each lands in its own bucket, that the network kinds reach both
+// Total and String, and that None is ignored.
+func TestCountsAddTotalAllKinds(t *testing.T) {
+	var c Counts
+	for k := Kind(1); k < numKinds; k++ {
+		c.Add(k)
+	}
+	want := Counts{
+		Transient: 1, Panic: 1, Hang: 1, Corrupt: 1, DomainLoss: 1,
+		Preempt: 1, NetDrop: 1, NetDelay: 1, NetPartition: 1, NetCorrupt: 1,
+	}
+	if c != want {
+		t.Fatalf("per-kind tally wrong: %+v", c)
+	}
+	if c.Total() != int(numKinds)-1 {
+		t.Fatalf("Total() = %d, want %d", c.Total(), int(numKinds)-1)
+	}
+	c.Add(None)
+	if c.Total() != int(numKinds)-1 {
+		t.Fatal("Add(None) changed the tally")
+	}
+	s := c.String()
+	for _, frag := range []string{"net-drop", "net-delay", "net-partition", "net-corrupt"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Counts.String() %q omits %s", s, frag)
+		}
+	}
+	if zero := (Counts{}).String(); !strings.Contains(zero, "0 injected") {
+		t.Errorf("zero tally renders as %q", zero)
+	}
+}
+
+// TestUniformKeyOrderings pins the identity-keyed variate stream: the
+// value is a pure function of (seed, key sequence), the key sequence is
+// position-sensitive (swapping keys changes the draw, so task and
+// attempt identities can never alias), and prefixes never collide with
+// their extensions.
+func TestUniformKeyOrderings(t *testing.T) {
+	if Uniform(3, 7, 11) != Uniform(3, 7, 11) {
+		t.Fatal("Uniform is not deterministic for multi-key draws")
+	}
+	if Uniform(3, 7, 11) == Uniform(3, 11, 7) {
+		t.Error("swapping keys did not change the draw: task/attempt identities alias")
+	}
+	if Uniform(3, 7) == Uniform(3, 7, 0) {
+		t.Error("appending a zero key did not change the draw")
+	}
+	if Uniform(3) == Uniform(3, 0) {
+		t.Error("seed-only draw equals its zero-key extension")
+	}
+	if Uniform(3, -7) == Uniform(3, 7) {
+		t.Error("negative and positive keys alias")
+	}
+	// Distinct seeds must decorrelate the whole stream, not just shift it.
+	same := 0
+	for i := int64(0); i < 1000; i++ {
+		if Uniform(1, i) == Uniform(2, i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/1000 draws identical across seeds 1 and 2", same)
+	}
+}
+
+// TestSplitmix64Determinism pins the mixer itself: fixed points would
+// freeze the draw stream, and collisions over a dense input range would
+// break the bijection the identity-keyed scheme relies on.
+func TestSplitmix64Determinism(t *testing.T) {
+	if splitmix64(0) == 0 {
+		t.Fatal("splitmix64(0) is a fixed point")
+	}
+	if splitmix64(12345) != splitmix64(12345) {
+		t.Fatal("splitmix64 is not deterministic")
+	}
+	seen := make(map[uint64]uint64, 1<<16)
+	for x := uint64(0); x < 1<<16; x++ {
+		h := splitmix64(x)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("splitmix64 collision: inputs %d and %d both map to %d", prev, x, h)
+		}
+		seen[h] = x
+	}
+}

@@ -101,6 +101,12 @@ func (j *Policy) Dispatch(s *cluster.Sim) []cluster.Start {
 		if j.unavailable(cfg, n) {
 			continue
 		}
+		// A solve needs one host core per GPU alongside the GPUs
+		// themselves; a node whose CPU slots are all held by running
+		// contractions cannot take one, however free its GPUs are.
+		if s.NodeCPUsFree(n) < cfg.GPUsPerNode {
+			continue
+		}
 		b := n / j.P.BlockNodes
 		freeByBlock[b] = append(freeByBlock[b], n)
 	}
@@ -187,6 +193,19 @@ func (j *Policy) Dispatch(s *cluster.Sim) []cluster.Start {
 						Overhead: j.P.SpawnOverhead,
 					})
 					cpuReserved[n] += t.CPUs
+					// A GPU placement on this node would need one host
+					// core per GPU; once the contractions promised in
+					// this round leave fewer than that, the node is no
+					// longer whole for takeFromBlock/adjacentBlocks.
+					if s.NodeCPUsFree(n)-cpuReserved[n] < cfg.GPUsPerNode {
+						b := n / j.P.BlockNodes
+						for i, fn := range freeByBlock[b] {
+							if fn == n {
+								freeByBlock[b] = append(freeByBlock[b][:i:i], freeByBlock[b][i+1:]...)
+								break
+							}
+						}
+					}
 					break
 				}
 			}

@@ -259,3 +259,28 @@ func TestRankRecoverySeconds(t *testing.T) {
 		t.Fatalf("calibrated penalty not applied: got %v, want %v", rep.NetRecoverySeconds, want)
 	}
 }
+
+func TestCoScheduleNeverDoubleBooksHostCores(t *testing.T) {
+	// Regression: a dispatch round that first promises both CPU slots of
+	// a whole-free node to contractions and then hands the same node to a
+	// GPU solve used to double-book the host core. The shape needs a
+	// solve completion that releases a fan of contractions while another
+	// solve is pending and exactly one whole node is free.
+	cfg := cluster.Config{Nodes: 2, GPUsPerNode: 1, CPUSlotsPerNode: 2, Seed: 1}
+	tasks := []cluster.Task{
+		{ID: 0, Name: "solve-a", Kind: cluster.GPUTask, GPUs: 1, Seconds: 10},
+		{ID: 1, Name: "c1", Kind: cluster.CPUTask, CPUs: 1, Seconds: 5, DependsOn: []int{0}},
+		{ID: 2, Name: "c2", Kind: cluster.CPUTask, CPUs: 1, Seconds: 5, DependsOn: []int{0}},
+		{ID: 3, Name: "c3", Kind: cluster.CPUTask, CPUs: 1, Seconds: 5, DependsOn: []int{0}},
+		{ID: 4, Name: "c4", Kind: cluster.CPUTask, CPUs: 1, Seconds: 5, DependsOn: []int{0}},
+		{ID: 5, Name: "solve-b", Kind: cluster.GPUTask, GPUs: 1, Seconds: 30},
+		{ID: 6, Name: "solve-c", Kind: cluster.GPUTask, GPUs: 1, Seconds: 10, DependsOn: []int{0}},
+	}
+	rep, err := cluster.Run(cfg, tasks, New(Params{LumpNodes: 2, BlockNodes: 2, CoSchedule: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TasksDone != len(tasks) {
+		t.Fatalf("finished %d of %d tasks", rep.TasksDone, len(tasks))
+	}
+}

@@ -330,6 +330,28 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// CounterValue returns the value of the named counter in the snapshot
+// and whether it is present. Consumers that cross-check a snapshot
+// against an external report (the scenario soak's obs-consistency
+// invariant) use it instead of re-deriving the sorted layout.
+func (s Snapshot) CounterValue(name string) (int64, bool) {
+	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Name >= name })
+	if i < len(s.Counters) && s.Counters[i].Name == name {
+		return s.Counters[i].Value, true
+	}
+	return 0, false
+}
+
+// GaugeValue returns the value of the named gauge in the snapshot and
+// whether it is present.
+func (s Snapshot) GaugeValue(name string) (float64, bool) {
+	i := sort.Search(len(s.Gauges), func(i int) bool { return s.Gauges[i].Name >= name })
+	if i < len(s.Gauges) && s.Gauges[i].Name == name {
+		return s.Gauges[i].Value, true
+	}
+	return 0, false
+}
+
 // Text renders the snapshot as aligned human-readable lines, one
 // instrument per line, histograms with count/mean and their occupied
 // buckets.

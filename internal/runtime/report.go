@@ -130,6 +130,31 @@ type Report struct {
 // quotes for the solve (GPU) partition.
 func (r Report) IdleFraction() float64 { return 1 - r.SolveUtil }
 
+// CheckConservation verifies the report's accounting identities: every
+// submitted task is exactly one of succeeded, failed, refused or
+// stranded; stranded work implies a drain happened (the hard-cancel
+// phase is the only thing that strands); and the admitted count covers
+// at least the outcomes that require a started attempt (success or being
+// killed mid-flight) without exceeding the task count. The scenario soak
+// harness holds every run, chaotic or not, to these invariants.
+func (r Report) CheckConservation() error {
+	if r.Succeeded+r.Failed+r.Refused+r.Stranded != r.Tasks {
+		return fmt.Errorf("runtime: outcome counts %d ok + %d failed + %d refused + %d stranded != %d tasks",
+			r.Succeeded, r.Failed, r.Refused, r.Stranded, r.Tasks)
+	}
+	if r.Stranded > 0 && !r.Drained {
+		return fmt.Errorf("runtime: %d tasks stranded without a drain event", r.Stranded)
+	}
+	if r.Admitted > r.Tasks {
+		return fmt.Errorf("runtime: %d admitted > %d tasks", r.Admitted, r.Tasks)
+	}
+	if r.Admitted < r.Succeeded+r.Stranded {
+		return fmt.Errorf("runtime: %d admitted < %d succeeded + %d stranded",
+			r.Admitted, r.Succeeded, r.Stranded)
+	}
+	return nil
+}
+
 // Util returns the utilization of one worker class.
 func (r Report) Util(c Class) float64 {
 	if c == Solve {

@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"femtoverse/internal/cluster"
+	"femtoverse/internal/fault"
+)
+
+// Report is the canonical record of one scenario run. Everything in it
+// is replay-stable: a pure function of (Seed, Index), so running the
+// same scenario twice - or in a different process, or interleaved with
+// other scenarios - must produce byte-identical Canonical() output.
+// Wall-clock observations (live utilization, durations) are therefore
+// excluded; they live on Outcome and are gated by tolerances instead of
+// equality. Live outcome fields are filled only for scenarios whose
+// outcome partition is deterministic (Scenario.Deterministic); expiring
+// scenarios zero them and rely on the adversity-specific booleans.
+type Report struct {
+	Name      string `json:"name"`
+	Seed      int64  `json:"seed"`
+	Index     int    `json:"index"`
+	Family    string `json:"family"`
+	Adversity string `json:"adversity"`
+	Workers   int    `json:"workers"`
+	Tasks     int    `json:"tasks"`
+	// WorkloadDigest fingerprints the generated inputs (tasks, plan,
+	// adversity parameters): two processes disagreeing here generated
+	// different scenarios, not different outcomes.
+	WorkloadDigest string `json:"workload_digest"`
+	Plan           string `json:"plan"`
+	Deterministic  bool   `json:"deterministic"`
+
+	// Live outcome (deterministic scenarios only; zero otherwise).
+	Succeeded      int    `json:"succeeded"`
+	FailedAttempts int    `json:"failed_attempts"`
+	Faults         string `json:"faults"`
+	// PayloadDigest hashes the float64 payloads of all succeeded tasks
+	// in ID order: corrupted attempts must never leak values into it.
+	PayloadDigest string `json:"payload_digest"`
+
+	// Simulator twin (always deterministic, even for expiring runs).
+	SimDigest    string `json:"sim_digest"`
+	SimTasksDone int    `json:"sim_tasks_done"`
+	SimRefused   int    `json:"sim_refused"`
+	SimStranded  int    `json:"sim_stranded"`
+	SimFailures  int    `json:"sim_failures"`
+	SimExpired   bool   `json:"sim_expired"`
+	SimFaults    string `json:"sim_faults"`
+
+	// Adversity-specific verdicts.
+	Drained        bool   `json:"drained"`
+	DrainReason    string `json:"drain_reason"`
+	MonsterRefused bool   `json:"monster_refused"`
+
+	// PhysicsFingerprint is the campaign correlator digest every episode
+	// variant (concurrent, cache-warm, journal-resumed) reproduced.
+	PhysicsFingerprint string `json:"physics_fingerprint"`
+
+	// Checks lists the invariants that were applied (and held - a
+	// violated invariant fails the run instead of producing a report).
+	Checks []string `json:"checks"`
+}
+
+// Canonical serializes the report to its replay-comparable byte form.
+func (r Report) Canonical() ([]byte, error) {
+	sort.Strings(r.Checks)
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// digestWriter accumulates canonical binary encodings of a digest
+// preimage; sum finalizes it into a SHA-256 hex string. The preimage is
+// built as plain bytes, so the encoding has no error paths at all.
+type digestWriter struct {
+	buf []byte
+}
+
+func (d *digestWriter) u64(v uint64)  { d.buf = binary.BigEndian.AppendUint64(d.buf, v) }
+func (d *digestWriter) i64(v int64)   { d.u64(uint64(v)) }
+func (d *digestWriter) f64(v float64) { d.u64(math.Float64bits(v)) }
+func (d *digestWriter) str(s string)  { d.u64(uint64(len(s))); d.buf = append(d.buf, s...) }
+func (d *digestWriter) boolean(b bool) {
+	if b {
+		d.u64(1)
+	} else {
+		d.u64(0)
+	}
+}
+func (d *digestWriter) sum() string { return fmt.Sprintf("%x", sha256.Sum256(d.buf)) }
+
+// WorkloadDigest fingerprints the scenario's generated inputs.
+func (sc Scenario) WorkloadDigest() string {
+	d := &digestWriter{}
+	d.i64(sc.Seed)
+	d.i64(int64(sc.Index))
+	d.i64(int64(sc.Family))
+	d.i64(int64(sc.Adversity))
+	d.i64(int64(sc.Workload.SolveWorkers))
+	d.i64(int64(sc.Workload.Tenants))
+	for _, b := range sc.Workload.TenantBudget {
+		d.f64(b)
+	}
+	d.u64(uint64(len(sc.Workload.Tasks)))
+	for i := range sc.Workload.Tasks {
+		t := sc.Workload.Tasks[i]
+		d.i64(int64(t.ID))
+		d.str(t.Name)
+		d.boolean(t.Solve)
+		d.i64(int64(t.Slots))
+		d.f64(t.Seconds)
+		for _, dep := range t.DependsOn {
+			d.i64(int64(dep))
+		}
+		d.i64(-1)
+		d.i64(int64(t.Tenant))
+		d.f64(t.ArrivalSeconds)
+	}
+	d.str(sc.Plan.String())
+	d.i64(int64(sc.PreemptAfter))
+	d.f64(sc.SimWallSeconds)
+	d.i64(int64(sc.MonsterID))
+	return d.sum()
+}
+
+// simDigest fingerprints the deterministic content of a simulator
+// report: aggregate accounting plus the full per-execution schedule.
+func simDigest(rep cluster.Report) string {
+	d := &digestWriter{}
+	d.str(rep.Policy)
+	d.f64(rep.Makespan)
+	d.f64(rep.StartupSeconds)
+	d.f64(rep.GPUBusy)
+	d.f64(rep.CPUBusy)
+	d.f64(rep.GPUUtil)
+	d.i64(int64(rep.TasksDone))
+	d.i64(int64(rep.Failures))
+	d.f64(rep.WastedGPUSeconds)
+	d.f64(rep.NetRecoverySeconds)
+	d.boolean(rep.Expired)
+	d.i64(int64(rep.Refused))
+	d.i64(int64(rep.StrandedTasks))
+	d.f64(rep.LostGPUSeconds)
+	d.str(rep.Faults.String())
+	d.u64(uint64(len(rep.PerTask)))
+	for i := range rep.PerTask {
+		st := rep.PerTask[i]
+		d.i64(int64(st.Task.ID))
+		d.f64(st.Start)
+		d.f64(st.End)
+		d.f64(st.Speed)
+		d.boolean(st.Failed)
+		d.boolean(st.Scattered)
+		for _, n := range st.Nodes {
+			d.i64(int64(n))
+		}
+		d.i64(-1)
+	}
+	return d.sum()
+}
+
+// payloadSalt namespaces the synthetic-payload variates away from every
+// other draw keyed by the scenario seed.
+const payloadSalt int64 = 0x7061796c // "payl"
+
+// Payload is the synthetic value task id of scenario (seed, index)
+// returns from a clean attempt. The payload-integrity invariant hashes
+// these for every succeeded task: a Corrupt fault that leaked a value
+// into the result stream would break the digest.
+func Payload(seed int64, index, id int) float64 {
+	return fault.Uniform(seed^payloadSalt, int64(index), int64(id))
+}
+
+// payloadDigest hashes succeeded-task payloads in ascending ID order.
+func payloadDigest(ids []int, seed int64, index int) string {
+	sort.Ints(ids)
+	d := &digestWriter{}
+	for _, id := range ids {
+		d.i64(int64(id))
+		d.f64(Payload(seed, index, id))
+	}
+	return d.sum()
+}
+
+// failing reports whether a drawn kind fails the drawing attempt on the
+// live pool (net kinds and Preempt are counted but harmless to the
+// attempt itself).
+func failing(k fault.Kind) bool {
+	switch k {
+	case fault.Transient, fault.Panic, fault.Hang, fault.Corrupt, fault.DomainLoss:
+		return true
+	default:
+		return false
+	}
+}
+
+// expectedOutcome replays the plan's identity-keyed draws in closed form
+// and returns the fault tally and failed-attempt count every conforming
+// executor must reproduce exactly. It relies on the scenario invariants
+// that make the partition order-free: MaxRetries exceeds the per-task
+// injection cap (so no task fails terminally) and the plan holds no
+// DomainLoss (so attempt numbers never diverge through casualties).
+func expectedOutcome(plan fault.Plan, tasks []TaskSpec) (fault.Counts, int, error) {
+	var counts fault.Counts
+	failed := 0
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		return counts, 0, err
+	}
+	for i := range tasks {
+		for attempt := 1; ; attempt++ {
+			k := inj.Draw(tasks[i].ID, attempt)
+			if k != fault.None {
+				counts.Add(k)
+			}
+			if !failing(k) {
+				break
+			}
+			failed++
+		}
+	}
+	return counts, failed, nil
+}

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic pins the generator's replay contract: the
+// same (seed, index) must regenerate an identical scenario, and
+// different seeds must actually change the workload.
+func TestGenerateDeterministic(t *testing.T) {
+	for idx := 0; idx < 12; idx++ {
+		a := Generate(7, idx)
+		b := Generate(7, idx)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("index %d: regeneration differs:\n%+v\n%+v", idx, a, b)
+		}
+	}
+	if Generate(1, 0).WorkloadDigest() == Generate(2, 0).WorkloadDigest() {
+		t.Fatal("different seeds generated identical workloads")
+	}
+	if Generate(1, 0).WorkloadDigest() == Generate(1, 30).WorkloadDigest() {
+		t.Fatal("indices 0 and 30 (same family/adversity cell) generated identical workloads")
+	}
+}
+
+// TestGenerateCoverage checks the sweep-coverage contract the CI gate
+// relies on - eight consecutive indices span every mix family plus
+// preemption, budget-expiry, and net-fault scenarios - and that every
+// generated scenario is well-formed.
+func TestGenerateCoverage(t *testing.T) {
+	families := map[Family]bool{}
+	adversities := map[AdversityKind]bool{}
+	for idx := 0; idx < 8; idx++ {
+		sc := Generate(1, idx)
+		families[sc.Family] = true
+		adversities[sc.Adversity] = true
+	}
+	if len(families) != int(NumFamilies) {
+		t.Errorf("8 scenarios covered %d of %d families", len(families), NumFamilies)
+	}
+	for _, want := range []AdversityKind{Preemption, BudgetExpiry, NetChaos} {
+		if !adversities[want] {
+			t.Errorf("8 scenarios missing a %v scenario", want)
+		}
+	}
+
+	for idx := 0; idx < 30; idx++ {
+		sc := Generate(3, idx)
+		if err := sc.Plan.Validate(); err != nil {
+			t.Errorf("index %d: invalid plan: %v", idx, err)
+		}
+		seen := map[int]bool{}
+		for i := range sc.Workload.Tasks {
+			task := sc.Workload.Tasks[i]
+			if seen[task.ID] {
+				t.Errorf("index %d: duplicate task ID %d", idx, task.ID)
+			}
+			seen[task.ID] = true
+			if task.Seconds <= 0 || task.ArrivalSeconds < 0 {
+				t.Errorf("index %d task %d: bad timing %g/%g", idx, task.ID, task.Seconds, task.ArrivalSeconds)
+			}
+			for _, dep := range task.DependsOn {
+				if !seen[dep] {
+					t.Errorf("index %d task %d: dependency %d not submitted before it", idx, task.ID, dep)
+				}
+			}
+			if task.Tenant >= sc.Workload.Tenants {
+				t.Errorf("index %d task %d: tenant %d out of range", idx, task.ID, task.Tenant)
+			}
+		}
+		if sc.Workload.Tenants > 0 {
+			spent := make([]float64, sc.Workload.Tenants)
+			for i := range sc.Workload.Tasks {
+				task := sc.Workload.Tasks[i]
+				if task.Tenant >= 0 && task.Solve {
+					spent[task.Tenant] += task.Seconds
+				}
+			}
+			for tn, s := range spent {
+				if s > sc.Workload.TenantBudget[tn] {
+					t.Errorf("index %d: tenant %d over budget: %g > %g", idx, tn, s, sc.Workload.TenantBudget[tn])
+				}
+			}
+		}
+		if sc.Adversity == BudgetExpiry && sc.MonsterID < 0 {
+			t.Errorf("index %d: budget-expiry scenario without a monster task", idx)
+		}
+	}
+}
+
+// TestRunScenariosAllInvariantsHold soaks the first six scenarios of a
+// pinned seed - together they span every adversity archetype and five
+// mix families - and requires every invariant to hold.
+func TestRunScenariosAllInvariantsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario soak skipped in -short mode")
+	}
+	ctx := context.Background()
+	for idx := 0; idx < 6; idx++ {
+		sc := Generate(1, idx)
+		out, err := Run(ctx, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		for _, v := range out.Violations {
+			t.Errorf("%s: invariant violated: %s", sc.Name, v)
+		}
+		if len(out.Report.Checks) == 0 {
+			t.Errorf("%s: no invariants applied", sc.Name)
+		}
+	}
+}
+
+// TestReplayIdentity reruns one calm and one chaotic scenario and
+// requires byte-identical canonical reports - the replay contract the
+// sweep driver's -repeat gate enforces across the whole sweep.
+func TestReplayIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay soak skipped in -short mode")
+	}
+	ctx := context.Background()
+	for _, idx := range []int{0, 1} {
+		sc := Generate(1, idx)
+		first, err := Run(ctx, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		second, err := Run(ctx, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		a, err := first.Report.Canonical()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", sc.Name, err)
+		}
+		b, err := second.Report.Canonical()
+		if err != nil {
+			t.Fatalf("%s: canonical: %v", sc.Name, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: replay produced a different canonical report:\n%s\n---\n%s", sc.Name, a, b)
+		}
+	}
+}
+
+// TestExpectedOutcomeClosedForm pins the closed-form replay of the
+// injector draws against a direct enumeration for a chaotic plan.
+func TestExpectedOutcomeClosedForm(t *testing.T) {
+	sc := Generate(1, 1) // compute-chaos scenario
+	counts, failed, err := expectedOutcome(sc.Plan, sc.Workload.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Total() == 0 {
+		t.Error("compute-chaos plan drew no faults (vacuous scenario)")
+	}
+	if want := counts.Transient + counts.Panic + counts.Hang + counts.Corrupt + counts.DomainLoss; failed != want {
+		t.Errorf("failed attempts %d != failing draws %d", failed, want)
+	}
+}
