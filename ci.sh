@@ -84,6 +84,20 @@ go build -o "$PWD/gastress.bin" ./cmd/gastress
 ./gastress.bin -seed 1 -count 8 -repeat 2
 ./gastress.bin -seed 1 -index 3
 rm -f "$PWD/gastress.bin"
+# Service gate: the multi-tenant campaign server. The serve suite
+# re-runs under the race detector against fresh interleavings
+# (-count=2): stride fair-share order pinned exactly, quota admission
+# refusals, cross-tenant warm duplicates with zero solver iterations,
+# concurrent-duplicate coalescing through the cache singleflight,
+# drain + restart resuming a journaled campaign bit for bit, and a
+# byte-identical /metrics rendering for a fixed workload. The shared
+# flag validator runs with it, then the gaserve e2e drives the real
+# binary over real HTTP: three tenants, a duplicate served warm from
+# the shared cache, a validation 400 and a quota 429, SIGTERM
+# mid-campaign, and a second server generation resuming the journal to
+# the uninterrupted run's fingerprint.
+go test -race -count=2 ./internal/serve/ ./internal/validate/
+go test -race -run 'EndToEnd|FlagValidation' ./cmd/gaserve/ ./cmd/gasolve/ ./cmd/garank/ ./cmd/gastress/
 # The femtolint suppression budget: the tree carries 8 reviewed
 # //femtolint:ignore directives (the runtime's deliberate post-drain
 # Wait, the journal's best-effort Close-after-error cleanups). New code

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"time"
+
+	"femtoverse/internal/validate"
+)
+
+// rankFlags carries the coordinator-mode flag values that need range
+// checks. The wire layer's Timing.WithDefaults used to paper over bad
+// values silently (a -5ms heartbeat became 50ms, a zero miss budget
+// became 6); the contract now is that an explicit nonsense value is an
+// error at the door, and only genuinely-unset (zero via struct literal,
+// never via flag) fields are defaulted.
+type rankFlags struct {
+	ranks               int
+	tol                 float64
+	drop, delay         float64
+	corrupt, partition  float64
+	maxInject           int
+	beatEvery           time.Duration
+	beatMiss            int
+	retryBase, retryMax time.Duration
+	ls, lt              int
+	killRank            int
+	killXid             uint64
+}
+
+// validate applies the flag contract, reporting every violation.
+func (f rankFlags) validate() error {
+	return validate.All(
+		validate.PositiveInt("-ranks", f.ranks),
+		validate.PositiveInt("-l", f.ls),
+		validate.PositiveInt("-t", f.lt),
+		validate.PositiveFloat("-tol", f.tol),
+		validate.UnitRate("-drop", f.drop),
+		validate.UnitRate("-delay", f.delay),
+		validate.UnitRate("-corrupt", f.corrupt),
+		validate.UnitRate("-partition", f.partition),
+		validate.NonNegativeInt("-max-inject", f.maxInject),
+		validate.PositiveDuration("-heartbeat-every", f.beatEvery),
+		validate.PositiveInt("-heartbeat-miss", f.beatMiss),
+		validate.PositiveDuration("-retry-base", f.retryBase),
+		validate.PositiveDuration("-retry-max", f.retryMax),
+		validate.MinDuration("-retry-max", f.retryMax, "-retry-base", f.retryBase),
+	)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func goodRankFlags() rankFlags {
+	return rankFlags{
+		ranks: 4, tol: 1e-8,
+		maxInject: 64,
+		beatEvery: 20 * time.Millisecond, beatMiss: 5,
+		retryBase: time.Millisecond, retryMax: 50 * time.Millisecond,
+		ls: 4, lt: 8, killRank: -1,
+	}
+}
+
+func TestRankFlagValidationSweep(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*rankFlags)
+		ok      bool
+		mention string
+	}{
+		{"baseline", func(f *rankFlags) {}, true, ""},
+		{"zero ranks", func(f *rankFlags) { f.ranks = 0 }, false, "-ranks"},
+		{"negative ranks", func(f *rankFlags) { f.ranks = -4 }, false, "-ranks"},
+		{"zero tol", func(f *rankFlags) { f.tol = 0 }, false, "-tol"},
+		{"zero heartbeat period", func(f *rankFlags) { f.beatEvery = 0 }, false, "-heartbeat-every"},
+		{"negative heartbeat period", func(f *rankFlags) { f.beatEvery = -5 * time.Millisecond }, false, "-heartbeat-every"},
+		{"zero heartbeat miss", func(f *rankFlags) { f.beatMiss = 0 }, false, "-heartbeat-miss"},
+		{"negative heartbeat miss", func(f *rankFlags) { f.beatMiss = -1 }, false, "-heartbeat-miss"},
+		{"zero retry base", func(f *rankFlags) { f.retryBase = 0 }, false, "-retry-base"},
+		{"negative retry base", func(f *rankFlags) { f.retryBase = -time.Millisecond }, false, "-retry-base"},
+		{"zero retry max", func(f *rankFlags) { f.retryMax = 0 }, false, "-retry-max"},
+		{"retry max below base", func(f *rankFlags) { f.retryMax = f.retryBase / 2 }, false, "-retry-base"},
+		{"retry max equals base", func(f *rankFlags) { f.retryMax = f.retryBase }, true, ""},
+		{"drop rate above one", func(f *rankFlags) { f.drop = 1.5 }, false, "-drop"},
+		{"negative partition rate", func(f *rankFlags) { f.partition = -0.1 }, false, "-partition"},
+		{"negative max inject", func(f *rankFlags) { f.maxInject = -1 }, false, "-max-inject"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := goodRankFlags()
+			c.mutate(&f)
+			err := f.validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("validate() = %v, want ok=%v", err, c.ok)
+			}
+			if err != nil && c.mention != "" && !strings.Contains(err.Error(), c.mention) {
+				t.Fatalf("error %q does not mention %q", err, c.mention)
+			}
+		})
+	}
+}

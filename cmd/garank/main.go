@@ -73,6 +73,17 @@ func main() {
 	if *serve {
 		os.Exit(runWorker(*coord, *killRank, *killXid))
 	}
+	if err := (rankFlags{
+		ranks: *ranks, tol: *tol,
+		drop: *drop, delay: *delay, corrupt: *corrupt, partition: *partition,
+		maxInject: *maxInject,
+		beatEvery: *beatEvery, beatMiss: *beatMiss,
+		retryBase: *retryBase, retryMax: *retryMax,
+		ls: *ls, lt: *lt, killRank: *killRank, killXid: *killXid,
+	}).validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "garank: invalid flags:\n%v\n", err)
+		os.Exit(2)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	watchSignals(cancel)

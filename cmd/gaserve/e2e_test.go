@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"femtoverse/internal/serve"
+)
+
+// TestEndToEndService exercises the real binary over real HTTP: three
+// tenants on one server generation (cold campaign, bit-for-bit warm
+// duplicate with zero additional solver iterations, validation 400 and
+// quota 429 refusals), SIGTERM mid-campaign, then a second generation
+// over the same state directory with a cold cache that resumes the
+// interrupted campaign from its journal and finishes with a fingerprint
+// identical to an uninterrupted run of the same spec.
+func TestEndToEndService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: builds and runs the server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "gaserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	stateDir := t.TempDir()
+	specA := `{"dims":[2,2,2,4],"ls":2,"nconfigs":3,"seed":11,"therm":2,"gap":1,"tol":1e-5}`
+	specB := `{"dims":[2,2,2,4],"ls":2,"nconfigs":4,"seed":77,"therm":2,"gap":1,"tol":1e-5}`
+
+	p1 := startServer(t, bin, stateDir, t.TempDir())
+	alpha := submitOK(t, p1.base, `{"tenant":"alpha","spec":`+specA+`}`)
+	alpha = pollComplete(t, p1.base, alpha.ID)
+	if alpha.Fingerprint == "" {
+		t.Fatalf("complete campaign without fingerprint: %+v", alpha)
+	}
+	itersCold := metricsCounter(t, p1.base, "core.solver_iterations")
+	if itersCold == 0 {
+		t.Fatal("cold campaign reported zero solver iterations")
+	}
+
+	beta := submitOK(t, p1.base, `{"tenant":"beta","spec":`+specA+`}`)
+	beta = pollComplete(t, p1.base, beta.ID)
+	if beta.Fingerprint != alpha.Fingerprint {
+		t.Fatalf("cross-tenant duplicate fingerprint %q != %q", beta.Fingerprint, alpha.Fingerprint)
+	}
+	if v := metricsCounter(t, p1.base, "core.solver_iterations"); v != itersCold {
+		t.Fatalf("warm duplicate ran the solver: iterations %d -> %d", itersCold, v)
+	}
+
+	if code, body := submitRaw(t, p1.base, `{"tenant":"bad","spec":{"tol":-1}}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d %s", code, body)
+	}
+	if code, body := submitRaw(t, p1.base, `{"tenant":"hog","spec":{"dims":[2,2,2,4],"ls":2,"nconfigs":50}}`); code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota spec: %d %s", code, body)
+	}
+
+	gamma := submitOK(t, p1.base, `{"tenant":"gamma","spec":`+specB+`}`)
+	waitFirstConfig(t, p1.base, gamma.ID)
+	p1.terminate(t)
+
+	// Generation two: same journals, cold cache - what survives the
+	// restart is exactly what the write-ahead log carries.
+	p2 := startServer(t, bin, stateDir, t.TempDir())
+	st := getStatus(t, p2.base, gamma.ID)
+	if st.Done < 1 {
+		t.Fatalf("journal lost the finished configurations: %+v", st)
+	}
+	resumed := pollComplete(t, p2.base, gamma.ID)
+
+	delta := submitOK(t, p2.base, `{"tenant":"delta","spec":`+specB+`}`)
+	delta = pollComplete(t, p2.base, delta.ID)
+	if delta.Fingerprint != resumed.Fingerprint {
+		t.Fatalf("journal-resumed fingerprint %q != fresh-run fingerprint %q",
+			resumed.Fingerprint, delta.Fingerprint)
+	}
+	p2.terminate(t)
+}
+
+type proc struct {
+	cmd  *exec.Cmd
+	base string
+	done chan error
+}
+
+func startServer(t *testing.T, bin, stateDir, cacheDir string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-state", stateDir, "-cache", cacheDir,
+		"-solvers", "2", "-contracts", "1", "-quota", "12", "-grace", "10s")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "gaserve: listening on "); ok {
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	p := &proc{cmd: cmd, done: done}
+	t.Cleanup(func() {
+		select {
+		case <-p.done:
+		default:
+			if err := cmd.Process.Kill(); err == nil {
+				<-p.done
+			}
+		}
+	})
+	select {
+	case a := <-addrCh:
+		p.base = "http://" + a
+		return p
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never announced its address")
+	}
+	return nil
+}
+
+// terminate sends SIGTERM and requires a clean (exit 0) drain.
+func (p *proc) terminate(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-p.done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+func submitRaw(t *testing.T, base, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func submitOK(t *testing.T, base, body string) serve.CampaignStatus {
+	t.Helper()
+	code, data := submitRaw(t, base, body)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", code, data)
+	}
+	var st serve.CampaignStatus
+	if err := json.Unmarshal([]byte(data), &st); err != nil {
+		t.Fatalf("submit response %q: %v", data, err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, base, id string) serve.CampaignStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pollComplete(t *testing.T, base, id string) serve.CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, base, id)
+		if st.State == "complete" {
+			return st
+		}
+		if st.State == "failed" {
+			t.Fatalf("campaign %s failed: %s", id, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never completed", id)
+	return serve.CampaignStatus{}
+}
+
+func waitFirstConfig(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		if st := getStatus(t, base, id); st.Done >= 1 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s: no configuration finished", id)
+}
+
+func metricsCounter(t *testing.T, base, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	val := int64(-1)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("counter %s: %v", name, err)
+			}
+			val = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if val < 0 {
+		t.Fatalf("counter %s absent from /metrics", name)
+	}
+	return val
+}

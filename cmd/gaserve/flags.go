@@ -1,0 +1,38 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"femtoverse/internal/validate"
+)
+
+// serveFlags carries every gaserve flag through the shared validator,
+// so a bad invocation reports all problems at once instead of dying on
+// the first (the same contract as gasolve/garank/gastress, and the same
+// validators the HTTP request decoder applies to submissions).
+type serveFlags struct {
+	addr      string
+	state     string
+	solvers   int
+	contracts int
+	quota     int
+	grace     time.Duration
+}
+
+func (f serveFlags) validate() error {
+	var errs []error
+	if strings.TrimSpace(f.addr) == "" {
+		errs = append(errs, errors.New("-addr: must be non-empty"))
+	}
+	if strings.TrimSpace(f.state) == "" {
+		errs = append(errs, errors.New("-state: must be non-empty (campaign journals live there)"))
+	}
+	errs = append(errs,
+		validate.PositiveInt("-solvers", f.solvers),
+		validate.PositiveInt("-contracts", f.contracts),
+		validate.PositiveInt("-quota", f.quota),
+		validate.PositiveDuration("-grace", f.grace))
+	return validate.All(errs...)
+}

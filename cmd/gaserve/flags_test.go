@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func goodServeFlags() serveFlags {
+	return serveFlags{
+		addr: "127.0.0.1:0", state: "/tmp/state",
+		solvers: 2, contracts: 1, quota: 64, grace: 2 * time.Second,
+	}
+}
+
+func TestServeFlagValidationSweep(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*serveFlags)
+		ok      bool
+		mention string
+	}{
+		{"baseline", func(f *serveFlags) {}, true, ""},
+		{"empty addr", func(f *serveFlags) { f.addr = "  " }, false, "-addr"},
+		{"empty state", func(f *serveFlags) { f.state = "" }, false, "-state"},
+		{"zero solvers", func(f *serveFlags) { f.solvers = 0 }, false, "-solvers"},
+		{"negative contracts", func(f *serveFlags) { f.contracts = -1 }, false, "-contracts"},
+		{"zero quota", func(f *serveFlags) { f.quota = 0 }, false, "-quota"},
+		{"zero grace", func(f *serveFlags) { f.grace = 0 }, false, "-grace"},
+		{"negative grace", func(f *serveFlags) { f.grace = -time.Second }, false, "-grace"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodServeFlags()
+			tc.mutate(&f)
+			err := f.validate()
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("validation passed, want failure")
+			}
+			if !strings.Contains(err.Error(), tc.mention) {
+				t.Fatalf("error %q does not mention %q", err, tc.mention)
+			}
+		})
+	}
+
+	// Every problem is reported at once.
+	f := goodServeFlags()
+	f.state, f.solvers, f.quota = "", 0, -1
+	err := f.validate()
+	if err == nil {
+		t.Fatal("multi-fault flags validated")
+	}
+	for _, want := range []string{"-state", "-solvers", "-quota"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error %q missing %q", err, want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command gaserve runs the campaign service: a multi-tenant HTTP server
+// that schedules submitted campaigns onto one shared job-runtime pool
+// with fair share across tenants, journals every finished configuration
+// to a per-campaign write-ahead log, and deduplicates identical solves
+// across tenants through the content-addressed result cache.
+//
+//	gaserve -addr 127.0.0.1:8347 -state /var/lib/femtoverse/serve \
+//	        -cache /var/lib/femtoverse/cache -solvers 4 -contracts 1
+//
+// SIGTERM (or Ctrl-C) starts the two-phase drain: admission stops,
+// in-flight solves get -grace to finish and journal, and the process
+// exits cleanly. Restarting over the same -state resumes every
+// incomplete campaign bit-for-bit.
+//
+// API:
+//
+//	POST /v1/campaigns             submit (JSON: tenant, priority, spec overrides)
+//	GET  /v1/campaigns             list all campaigns
+//	GET  /v1/campaigns/{id}        poll one campaign's status/results
+//	GET  /v1/campaigns/{id}/events chunked NDJSON event stream until terminal
+//	GET  /v1/campaigns/{id}/trace  per-campaign Chrome trace
+//	GET  /v1/dispatch              global dispatch order (fair-share audit)
+//	GET  /metrics                  deterministic text metrics snapshot
+//	GET  /healthz                  ok | draining
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"femtoverse/internal/cache"
+	"femtoverse/internal/obs"
+	"femtoverse/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8347", "listen address (port 0 picks a free port)")
+		state     = flag.String("state", "", "state directory for campaign journals (required)")
+		cacheDir  = flag.String("cache", "", "result-cache directory (empty: no cross-tenant dedupe)")
+		solvers   = flag.Int("solvers", 2, "solve-class workers of the shared pool")
+		contracts = flag.Int("contracts", 1, "contract-class workers of the shared pool")
+		quota     = flag.Int("quota", 64, "default per-tenant quota (max unfinished configurations)")
+		grace     = flag.Duration("grace", 2*time.Second, "drain grace for in-flight solves on shutdown")
+	)
+	flag.Parse()
+	f := serveFlags{addr: *addr, state: *state, solvers: *solvers,
+		contracts: *contracts, quota: *quota, grace: *grace}
+	if err := f.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "gaserve: invalid flags:\n%v\n", err)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	var store *cache.Cache
+	if *cacheDir != "" {
+		var err error
+		store, err = cache.New(cache.Config{Dir: *cacheDir, Metrics: reg})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gaserve: cache: %v\n", err)
+			return 1
+		}
+	}
+	srv, err := serve.New(context.Background(), serve.Config{
+		StateDir:        *state,
+		SolveWorkers:    *solvers,
+		ContractWorkers: *contracts,
+		Cache:           store,
+		Metrics:         reg,
+		DefaultQuota:    *quota,
+		DrainGrace:      *grace,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gaserve: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gaserve: listen: %v\n", err)
+		return 1
+	}
+	fmt.Printf("gaserve: listening on %s (state %s)\n", ln.Addr(), *state)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("gaserve: %v: draining (grace %v)\n", sig, *grace)
+		// Two phases: the service drain first (stops admission, lets
+		// in-flight solves journal, syncs every journal), then the HTTP
+		// listener - held open through the drain so status polls and
+		// 503s keep working until the very end.
+		dctx, cancel := context.WithTimeout(context.Background(), *grace+10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "gaserve: drain: %v\n", err)
+		}
+		hctx, hcancel := context.WithTimeout(context.Background(), time.Second)
+		defer hcancel()
+		if err := hs.Shutdown(hctx); err != nil {
+			// Lingering event streams: force-close them.
+			if cerr := hs.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "gaserve: close: %v\n", cerr)
+			}
+		}
+	}()
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "gaserve: serve: %v\n", err)
+		return 1
+	}
+	fmt.Println("gaserve: drained cleanly")
+	return 0
+}

@@ -144,24 +144,15 @@ func main() {
 	)
 	flag.Parse()
 
-	if *walltime < 0 || *drainGrace < 0 {
-		fmt.Fprintln(os.Stderr, "gasolve: -walltime and -drain-grace must be non-negative")
-		os.Exit(2)
-	}
-	if *walltime > 0 && *journal == "" {
-		fmt.Fprintln(os.Stderr, "gasolve: -walltime needs -journal: only a journaled campaign can resume the refused work")
-		os.Exit(2)
-	}
-	if *journal != "" && *checkpoint != "" {
-		fmt.Fprintln(os.Stderr, "gasolve: -journal and -checkpoint are mutually exclusive")
-		os.Exit(2)
-	}
-	if (*metrics || *traceOut != "") && *workers < 1 {
-		fmt.Fprintln(os.Stderr, "gasolve: -metrics and -trace instrument the concurrent pipeline; add -workers N")
-		os.Exit(2)
-	}
-	if *cacheMem < 0 {
-		fmt.Fprintln(os.Stderr, "gasolve: -cache-mem must be non-negative")
+	if err := (cliFlags{
+		walltime: *walltime, drainGrace: *drainGrace, cacheMemMB: *cacheMem,
+		samples: *nSamples, tradFactor: *factor,
+		l: *l, t: *t, ls: *ls, configs: *nCfg, batch: *batch,
+		workers: *workers, preflight: *preflight,
+		journal: *journal, checkpoint: *checkpoint,
+		metrics: *metrics, traceOut: *traceOut,
+	}).validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "gasolve: invalid flags:\n%v\n", err)
 		os.Exit(2)
 	}
 	sinks := newObsSinks(*metrics, *traceOut)

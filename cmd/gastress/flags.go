@@ -1,0 +1,34 @@
+package main
+
+import (
+	"fmt"
+
+	"femtoverse/internal/validate"
+)
+
+// stressFlags carries the gastress flag values that need range checks.
+// The sweep loop used to clamp a bad -repeat silently and only caught a
+// bad -count after signal handling was already installed; the contract
+// now is that nonsense values are an error before any work starts.
+type stressFlags struct {
+	count  int
+	index  int
+	repeat int
+}
+
+// validate applies the flag contract, reporting every violation.
+// -index -1 is the documented "sweep everything" sentinel; any other
+// negative index is an error. When an explicit index is given, -count
+// is ignored, so it is only range-checked in sweep mode.
+func (f stressFlags) validate() error {
+	errs := []error{
+		validate.PositiveInt("-repeat", f.repeat),
+	}
+	if f.index < -1 {
+		errs = append(errs, fmt.Errorf("-index must be -1 (sweep) or a scenario index >= 0, got %d", f.index))
+	}
+	if f.index < 0 {
+		errs = append(errs, validate.PositiveInt("-count", f.count))
+	}
+	return validate.All(errs...)
+}

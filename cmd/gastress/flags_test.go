@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func goodStressFlags() stressFlags {
+	return stressFlags{count: 8, index: -1, repeat: 1}
+}
+
+func TestStressFlagValidationSweep(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*stressFlags)
+		ok      bool
+		mention string
+	}{
+		{"baseline", func(f *stressFlags) {}, true, ""},
+		{"zero count", func(f *stressFlags) { f.count = 0 }, false, "-count"},
+		{"negative count", func(f *stressFlags) { f.count = -3 }, false, "-count"},
+		{"count ignored with explicit index", func(f *stressFlags) { f.count = 0; f.index = 2 }, true, ""},
+		{"index below sentinel", func(f *stressFlags) { f.index = -2 }, false, "-index"},
+		{"zero repeat", func(f *stressFlags) { f.repeat = 0 }, false, "-repeat"},
+		{"negative repeat", func(f *stressFlags) { f.repeat = -1 }, false, "-repeat"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := goodStressFlags()
+			c.mutate(&f)
+			err := f.validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("validate() = %v, want ok=%v", err, c.ok)
+			}
+			if err != nil && c.mention != "" && !strings.Contains(err.Error(), c.mention) {
+				t.Fatalf("error %q does not mention %q", err, c.mention)
+			}
+		})
+	}
+}

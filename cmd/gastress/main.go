@@ -92,6 +92,11 @@ func run() int {
 	)
 	flag.Parse()
 
+	if err := (stressFlags{count: *count, index: *index, repeat: *repeat}).validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "gastress: invalid flags:\n%v\n", err)
+		return 2
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -99,16 +104,9 @@ func run() int {
 	if *index >= 0 {
 		indices = []int{*index}
 	} else {
-		if *count < 1 {
-			fmt.Fprintln(os.Stderr, "gastress: -count must be at least 1")
-			return 2
-		}
 		for i := 0; i < *count; i++ {
 			indices = append(indices, i)
 		}
-	}
-	if *repeat < 1 {
-		*repeat = 1
 	}
 
 	firstCanonical := map[int][]byte{}

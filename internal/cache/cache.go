@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"femtoverse/internal/hio"
 	"femtoverse/internal/obs"
@@ -192,7 +193,9 @@ func (c *Cache) Put(key Key, val []byte) error {
 // running compute - by a tier hit or by adopting another caller's
 // in-flight compute. Disk-tier store failures are counted, not
 // propagated: the computed value is correct regardless of whether it
-// could be persisted.
+// could be persisted. Like Get, the returned slice is the caller's to
+// keep: cold-path results are copied per caller, so the leader and its
+// coalesced waiters never alias one another's bytes.
 func (c *Cache) GetOrCompute(key Key, compute func() ([]byte, error)) (val []byte, cached bool, err error) {
 	for {
 		if v, ok := c.Get(key); ok {
@@ -225,7 +228,10 @@ func (c *Cache) GetOrCompute(key Key, compute func() ([]byte, error)) (val []byt
 		if err != nil {
 			return nil, shared, err
 		}
-		return v, shared, nil
+		// The flight hands every caller the same slice the leader's
+		// compute returned; copy so one caller mutating its result cannot
+		// poison the others (or, through them, the leader).
+		return append([]byte(nil), v...), shared, nil
 	}
 }
 
@@ -383,7 +389,11 @@ func (c *Cache) diskGet(key Key) ([]byte, bool) {
 	}
 	file, err := hio.Load(c.diskPath(key))
 	if err != nil {
-		if !errors.Is(err, fs.ErrNotExist) {
+		// ENOTDIR means a path component is not a directory: the entry
+		// (like ENOENT) was simply never written - a failed Put against an
+		// unwritable shard leaves nothing behind - so neither counts as a
+		// corrupt entry.
+		if !errors.Is(err, fs.ErrNotExist) && !errors.Is(err, syscall.ENOTDIR) {
 			c.dropCorrupt()
 		}
 		return nil, false

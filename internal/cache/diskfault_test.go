@@ -1,0 +1,225 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The disk tier's failure contract: a failed or partial write is never
+// an integrity problem, only a durability one. A Put that cannot land on
+// disk still serves from memory and still satisfies the in-flight
+// Flight leader and its waiters; a torn entry on disk reads as a miss
+// (corruption-is-a-miss) and the next successful Put atomically repairs
+// it. These tests inject the failures a long-running service actually
+// meets - an unwritable shard path (full disk, EPERM; injected here by
+// blocking the shard directory with a regular file, which fails
+// identically even when the tests run as root) and a write torn by a
+// crash (injected by truncating a good entry in place).
+
+// blockShard makes the shard directory for key uncreatable by planting a
+// regular file where the directory must go. MkdirAll then fails with
+// ENOTDIR on every Put for that shard, the same shape as a disk the
+// process cannot write.
+func blockShard(t *testing.T, dir string, key Key) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, key.ID[:2]), []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func faultKey(t *testing.T, name string) Key {
+	t.Helper()
+	return NewKey("cache-test/diskfault/v1").Str("name", name).Build()
+}
+
+// TestDiskPutFailureServesFromMemory: a Put whose disk write fails
+// reports the error and counts it, but the value stays served - from
+// memory in this process, and as a clean miss (never a poisoned read)
+// for a later process sharing the directory.
+func TestDiskPutFailureServesFromMemory(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := faultKey(t, "blocked")
+	val := []byte("correlator payload")
+	blockShard(t, dir, key)
+
+	if err := c.Put(key, val); err == nil {
+		t.Fatal("Put with a blocked shard dir reported success")
+	}
+	if got, ok := c.Get(key); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("memory tier lost the value after a disk put failure: %q %v", got, ok)
+	}
+	st := c.Stats()
+	if st.PutErrors != 1 {
+		t.Fatalf("PutErrors = %d, want 1", st.PutErrors)
+	}
+
+	// A fresh process over the same directory: the failed write left no
+	// entry at all, so the key is a plain miss - not corruption, not a
+	// wrong value.
+	c2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("fresh cache served a value whose disk write failed")
+	}
+	if st := c2.Stats(); st.CorruptDropped != 0 {
+		t.Fatalf("missing entry miscounted as corrupt: %d", st.CorruptDropped)
+	}
+}
+
+// TestDiskPutFailureDoesNotPoisonFlight: with the disk tier unwritable,
+// a cold GetOrCompute still runs exactly one compute, the leader and
+// every coalesced waiter receive the correct bytes with a nil error,
+// and no caller's slice aliases another's.
+func TestDiskPutFailureDoesNotPoisonFlight(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := faultKey(t, "flight")
+	val := []byte("solved once")
+	blockShard(t, dir, key)
+
+	var mu sync.Mutex
+	computes := 0
+	release := make(chan struct{})
+	compute := func() ([]byte, error) {
+		mu.Lock()
+		computes++
+		mu.Unlock()
+		<-release // hold the flight open so followers coalesce
+		return append([]byte(nil), val...), nil
+	}
+
+	const callers = 8
+	results := make([][]byte, callers)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			v, _, err := c.GetOrCompute(key, compute)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	for i := 0; i < callers; i++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+
+	if computes != 1 {
+		t.Fatalf("computes = %d, want 1: a disk write failure must not break coalescing", computes)
+	}
+	for i, v := range results {
+		if !bytes.Equal(v, val) {
+			t.Fatalf("caller %d got %q, want %q", i, v, val)
+		}
+	}
+	// No aliasing: mutating one caller's result must not reach another's.
+	results[0][0] ^= 0xFF
+	for i := 1; i < callers; i++ {
+		if !bytes.Equal(results[i], val) {
+			t.Fatalf("caller %d's result aliases caller 0's slice", i)
+		}
+	}
+	// And the memory tier is not poisoned either: a later Get returns
+	// the pristine value.
+	if got, ok := c.Get(key); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("memory tier after caller mutation: %q %v", got, ok)
+	}
+	if st := c.Stats(); st.PutErrors != 1 {
+		t.Fatalf("PutErrors = %d, want 1 (the leader's put)", st.PutErrors)
+	}
+}
+
+// TestTornDiskWriteIsAMissAndRepairs: a partial write (a crash mid-save
+// would leave either nothing or a complete file; this injects the
+// harsher case of a truncated file appearing at the final path) reads
+// as a miss, is counted as corrupt, and the next Put atomically
+// replaces it with a readable entry.
+func TestTornDiskWriteIsAMissAndRepairs(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := faultKey(t, "torn")
+	val := []byte("full payload, CRC-protected")
+	if err := c.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	path := c.diskPath(key)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache (no memory copy) must see a miss, not an error or a
+	// short read.
+	c2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("torn disk entry served as a hit")
+	}
+	if st := c2.Stats(); st.CorruptDropped != 1 || st.Misses != 1 {
+		t.Fatalf("torn entry accounting: corrupt=%d misses=%d, want 1/1", st.CorruptDropped, st.Misses)
+	}
+
+	// The recompute path repairs it in place.
+	v, cached, err := c2.GetOrCompute(key, func() ([]byte, error) { return append([]byte(nil), val...), nil })
+	if err != nil || cached || !bytes.Equal(v, val) {
+		t.Fatalf("recompute over torn entry: v=%q cached=%v err=%v", v, cached, err)
+	}
+	c3, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c3.Get(key); !ok || !bytes.Equal(got, val) {
+		t.Fatalf("repaired entry not served: %q %v", got, ok)
+	}
+}
+
+// TestGarbageDiskEntryIsAMiss: arbitrary bytes at the entry path (bit
+// rot, a foreign file) are a counted miss, never an error.
+func TestGarbageDiskEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := faultKey(t, "garbage")
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not an hio container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("garbage entry served as a hit")
+	}
+	if st := c.Stats(); st.CorruptDropped != 1 {
+		t.Fatalf("CorruptDropped = %d, want 1", st.CorruptDropped)
+	}
+}

@@ -67,27 +67,13 @@ func (c *Campaign) cacheLookup(i int) (c2, cfh []float64, ok bool) {
 // deterministic, the decoded correlators are bit-for-bit what the solver
 // would have produced.
 func (c *Campaign) solveThroughCache(tctx context.Context, i int, u *gauge.Field, restart *int) (c2, cfh []float64, err error) {
-	blob, _, err := c.Cache.GetOrCompute(solveKey(c.Spec, i), func() ([]byte, error) {
-		p, err := solveConfig(tctx, c.Spec, u)
-		if err != nil {
-			return nil, err
-		}
-		*restart = p.restarts
-		reg := c.Obs.Metrics
-		reg.Counter("core.configs_solved").Inc()
-		reg.Counter("core.solver_iterations").Add(int64(p.iters))
-		reg.Counter("core.solver_flops").Add(p.flops)
-		cc2, ccfh := contractConfig(p)
-		return cache.EncodeFloatSeries(cc2, ccfh)
-	})
+	c2, cfh, restarts, err := SolveConfigCached(tctx, c.Spec, i,
+		func() (*gauge.Field, error) { return u, nil }, c.Cache, c.Obs.Metrics)
 	if err != nil {
 		return nil, nil, err
 	}
-	series, err := cache.DecodeFloatSeries(blob, 2)
-	if err != nil {
-		return nil, nil, fmt.Errorf("decode cached correlators: %w", err)
-	}
-	return series[0], series[1], nil
+	*restart = restarts
+	return c2, cfh, nil
 }
 
 // realResultFromCampaign assembles the RealResult of a completed

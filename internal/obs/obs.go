@@ -262,10 +262,14 @@ type HistogramValue struct {
 }
 
 // Snapshot is a point-in-time copy of every instrument, sorted by name
-// within each kind so rendering is deterministic. Individual histogram
-// buckets are read without a global pause, so a snapshot taken during a
-// run may be internally skewed by in-flight observations; end-of-run
-// snapshots (the normal use) are exact.
+// within each kind so rendering is deterministic. Snapshots taken
+// mid-run are internally consistent: a histogram's Count is derived
+// from the very bucket reads in Counts (never a separately-read
+// aggregate that could tear against in-flight observations), so
+// Count == sum(Counts) always holds, and repeated snapshots are
+// monotonic per bucket. Sum may trail Count by observations whose
+// bucket landed before their sum accumulation; end-of-run snapshots
+// (the quiescent case) are exact.
 type Snapshot struct {
 	Counters   []CounterValue   `json:"counters"`
 	Gauges     []GaugeValue     `json:"gauges"`
@@ -317,13 +321,23 @@ func (r *Registry) Snapshot() Snapshot {
 		h := hists[name]
 		hv := HistogramValue{
 			Name:   name,
-			Count:  h.Count(),
-			Sum:    h.Sum(),
 			Bounds: append([]float64(nil), h.bounds...),
 			Counts: make([]int64, len(h.counts)),
 		}
+		// Count is the sum of the bucket reads, not a separate h.Count()
+		// load: Observe lands the bucket before the aggregates, so reading
+		// an aggregate first can tear (Count < sum of Counts) under
+		// concurrent writers. Deriving it keeps every snapshot internally
+		// consistent. Sum is read before the buckets for the same reason:
+		// an observation's sum lands after its bucket, so a sum read taken
+		// first covers only observations the later bucket reads also count
+		// - Sum trails Count, and the rendered mean never includes
+		// uncounted mass.
+		hv.Sum = h.Sum()
 		for i := range h.counts {
-			hv.Counts[i] = h.counts[i].Load()
+			c := h.counts[i].Load()
+			hv.Counts[i] = c
+			hv.Count += c
 		}
 		s.Histograms = append(s.Histograms, hv)
 	}

@@ -195,6 +195,11 @@ func (p *Pool) drainLocked(reason string) {
 	p.drainLevel = drainSoft
 	p.drainReason = reason
 	p.drainedAt = time.Since(p.t0)
+	if p.budgetTimer != nil {
+		// The drain is already under way; a budget expiry landing after
+		// this point must not fire a second trigger into the pool.
+		p.budgetTimer.Stop()
+	}
 	p.trace.Instant("sched", "drain-soft", map[string]interface{}{"reason": reason})
 	p.refuseQueuedLocked(reason)
 	p.graceTimer = time.AfterFunc(p.cfg.Budget.DrainGrace, p.hardCancel)
@@ -238,6 +243,12 @@ func (p *Pool) hardCancel() {
 		p.drainLocked("hard cancel")
 	}
 	p.drainLevel = drainHard
+	if p.graceTimer != nil {
+		// Escalation has happened; the pending grace expiry (or the
+		// redundant timer armed by the drainLocked call above) must not
+		// re-fire hardCancel into a pool that may outlive this drain.
+		p.graceTimer.Stop()
+	}
 	p.trace.Instant("sched", "drain-hard", nil)
 	close(p.hardCh)
 	for j := range p.runningSet {

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"sync"
+
+	"femtoverse/internal/core"
+	"femtoverse/internal/gauge"
+	"femtoverse/internal/obs"
+)
+
+// Campaign lifecycle states. A campaign is queued until its first
+// configuration is dispatched, running until its last correlator pair is
+// recorded and finalized, and then complete; a solve error that is not
+// the drain unwinding in-flight work marks it failed. A drain strands
+// in-flight configurations without changing the campaign state - the
+// journal already holds everything recorded, and a restarted server
+// resumes the remainder bit-for-bit.
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateComplete = "complete"
+	stateFailed   = "failed"
+)
+
+// Event is one entry of a campaign's ordered event log. Events carry a
+// sequence number instead of a timestamp so the log (and the streamed
+// NDJSON rendering of it) is deterministic for a fixed workload.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Kind string `json:"kind"`
+	Msg  string `json:"msg"`
+}
+
+// CampaignStatus is the polling view of one campaign, also returned by
+// the submission call. Geff/GeffErr are populated once the campaign is
+// complete.
+type CampaignStatus struct {
+	ID          string    `json:"id"`
+	Tenant      string    `json:"tenant"`
+	Name        string    `json:"name,omitempty"`
+	Priority    int       `json:"priority"`
+	State       string    `json:"state"`
+	Done        int       `json:"done"`
+	Total       int       `json:"total"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Geff        []float64 `json:"geff,omitempty"`
+	GeffErr     []float64 `json:"geff_err,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// sidecar is the JSON metadata file stored next to a campaign's journal:
+// the identity the journal format deliberately does not carry (tenant,
+// priority, display name), so a restarted server can rebuild its
+// scheduling state from the state directory alone.
+type sidecar struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
+	Name     string `json:"name,omitempty"`
+}
+
+// campaignRun is one submitted campaign and everything the server holds
+// for it: the core campaign accumulating correlators, its write-ahead
+// journal, the per-campaign tracer, the lazily generated gauge ensemble,
+// and the event log. All mutable fields are guarded by Server.mu except
+// the ensemble (sync.Once) and the journal (internally locked).
+type campaignRun struct {
+	id       string
+	tenant   string
+	priority int
+	name     string
+	spec     core.RealConfig
+
+	camp    *core.Campaign
+	journal *core.Journal
+	tracer  *obs.Tracer
+
+	state       string
+	failed      error
+	fingerprint string
+	geff        []float64
+	geffErr     []float64
+
+	// next is the lowest configuration index not yet dispatched; it is
+	// always positioned on an undone configuration (or past the end).
+	next int
+
+	events  []Event
+	eventCh chan struct{}
+
+	// The gauge ensemble is a pure function of the spec, regenerated on
+	// demand by the first cold solve - a fully warm campaign never pays
+	// for it, and a resumed campaign regenerates it identically.
+	ensembleOnce sync.Once
+	ensemble     []*gauge.Field
+	ensembleErr  error
+
+	closeOnce sync.Once
+}
+
+func newCampaignRun(id, tenant string, priority int, name string, spec core.RealConfig) *campaignRun {
+	return &campaignRun{
+		id:       id,
+		tenant:   tenant,
+		priority: priority,
+		name:     name,
+		spec:     spec,
+		tracer:   obs.NewTracer(nil),
+		state:    stateQueued,
+		eventCh:  make(chan struct{}),
+	}
+}
+
+// fieldFor returns the lazy field callback for configuration i: the
+// ensemble is generated at most once per campaign, and only if some
+// configuration actually misses the cache.
+func (cr *campaignRun) fieldFor(i int) func() (*gauge.Field, error) {
+	return func() (*gauge.Field, error) {
+		cr.ensembleOnce.Do(func() {
+			cr.ensemble, cr.ensembleErr = core.EnsembleFor(cr.spec)
+		})
+		if cr.ensembleErr != nil {
+			return nil, cr.ensembleErr
+		}
+		return cr.ensemble[i], nil
+	}
+}
+
+// advanceNext moves next past configurations that are already recorded
+// (a resumed campaign's journaled prefix, in the general case any
+// subset). Caller holds Server.mu.
+func (cr *campaignRun) advanceNext() {
+	for cr.next < cr.spec.NConfigs {
+		if _, done := cr.camp.C2[cr.next]; !done {
+			return
+		}
+		cr.next++
+	}
+}
+
+// terminal reports whether the campaign will never dispatch again.
+// Caller holds Server.mu.
+func (cr *campaignRun) terminal() bool {
+	return cr.state == stateComplete || cr.state == stateFailed
+}

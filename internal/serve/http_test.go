@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func drainBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("close body: %v", err)
+		}
+	}()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestHTTPValidationAndErrorMapping pins the request-decoding contract:
+// the shared validator's findings come back as 400s naming the field,
+// quota refusals as 429, unknown campaigns as 404, and submissions to a
+// draining server as 503.
+func TestHTTPValidationAndErrorMapping(t *testing.T) {
+	s, _ := newTestServer(t, Config{StartPaused: true, DefaultQuota: 2})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp := postJSON(t, hs.URL, "{")
+	if body := drainBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d %s", resp.StatusCode, body)
+	}
+	resp = postJSON(t, hs.URL, `{"tenant":"x","bogus":1}`)
+	if body := drainBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d %s", resp.StatusCode, body)
+	}
+	resp = postJSON(t, hs.URL, `{"tenant":"x","spec":{"tol":-1,"nconfigs":0}}`)
+	body := drainBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "spec.tol") || !strings.Contains(body, "spec.nconfigs") {
+		t.Fatalf("validation errors not collected: %s", body)
+	}
+	resp = postJSON(t, hs.URL, `{"spec":{"nconfigs":1}}`)
+	if body := drainBody(t, resp); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing tenant: %d %s", resp.StatusCode, body)
+	}
+	resp = postJSON(t, hs.URL, `{"tenant":"x","spec":{"nconfigs":3}}`)
+	if body := drainBody(t, resp); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over quota: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/campaigns/c999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := drainBody(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := drainBody(t, resp); resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJSON(t, hs.URL, `{"tenant":"x","spec":{"nconfigs":1}}`)
+	if body := drainBody(t, resp); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPCampaignLifecycle drives one campaign end to end over HTTP:
+// submit, stream its events until the terminal "complete" (the stream
+// must end by itself, in order, without timestamps), then fetch the
+// status, the Chrome trace, the dispatch log, and /metrics.
+func TestHTTPCampaignLifecycle(t *testing.T) {
+	s, _ := newTestServer(t, Config{SolveWorkers: 2})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp := postJSON(t, hs.URL, `{"tenant":"alpha","name":"lifecycle","spec":{"dims":[2,2,2,4],"ls":2,"nconfigs":2,"seed":31,"therm":2,"gap":1,"tol":1e-5}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, drainBody(t, resp))
+	}
+	var st CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eresp, err := http.Get(hs.URL + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	sc := bufio.NewScanner(eresp.Body)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eresp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("too few events: %+v", events)
+	}
+	for i, e := range events {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d: %+v", i, e.Seq, events)
+		}
+	}
+	if events[0].Kind != "submitted" || events[len(events)-1].Kind != "complete" {
+		t.Fatalf("event log shape: first=%s last=%s", events[0].Kind, events[len(events)-1].Kind)
+	}
+
+	final, err := s.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != stateComplete || final.Fingerprint == "" || final.Done != 2 {
+		t.Fatalf("final status: %+v", final)
+	}
+
+	tresp, err := http.Get(hs.URL + "/v1/campaigns/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := drainBody(t, tresp)
+	if tresp.StatusCode != http.StatusOK || !json.Valid([]byte(trace)) {
+		t.Fatalf("trace: %d, valid=%v", tresp.StatusCode, json.Valid([]byte(trace)))
+	}
+	if !bytes.Contains([]byte(trace), []byte("solve 000")) {
+		t.Fatalf("trace missing solve spans: %s", trace)
+	}
+
+	dresp, err := http.Get(hs.URL + "/v1/dispatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []string
+	if err := json.NewDecoder(dresp.Body).Decode(&log); err != nil {
+		t.Fatal(err)
+	}
+	if err := dresp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 2 || !strings.HasPrefix(log[0], "alpha/"+st.ID) {
+		t.Fatalf("dispatch log: %v", log)
+	}
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := drainBody(t, mresp)
+	if mresp.StatusCode != http.StatusOK || !strings.Contains(metrics, "serve.campaigns_completed") {
+		t.Fatalf("metrics: %d\n%s", mresp.StatusCode, metrics)
+	}
+}
